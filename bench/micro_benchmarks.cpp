@@ -1,0 +1,145 @@
+// Microbenchmarks of the simulator's hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "bus/consumer.h"
+#include "bus/producer.h"
+#include "common/rng.h"
+#include "fit/levenberg_marquardt.h"
+#include "metrics/p2_quantile.h"
+#include "model/concurrency_model.h"
+#include "ntier/cpu_scheduler.h"
+#include "ntier/metric_sample.h"
+#include "ntier/slot_pool.h"
+#include "sim/engine.h"
+
+namespace {
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  dcm::sim::Engine engine;
+  int64_t t = 0;
+  for (auto _ : state) {
+    engine.schedule_at(++t, [] {});
+    engine.run_until(t);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_EnginePendingHeap(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    dcm::sim::Engine engine;
+    for (int i = 0; i < depth; ++i) {
+      engine.schedule_at(i, [] {});
+    }
+    engine.run_until(depth);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * depth);
+}
+BENCHMARK(BM_EnginePendingHeap)->Arg(1024)->Arg(16384);
+
+void BM_SlotPoolAcquireRelease(benchmark::State& state) {
+  dcm::sim::Engine engine;
+  dcm::ntier::SlotPool pool(engine, "bench", 64);
+  for (auto _ : state) {
+    pool.acquire([] {});
+    pool.release();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SlotPoolAcquireRelease);
+
+void BM_CpuSchedulerChurn(benchmark::State& state) {
+  const int concurrency = static_cast<int>(state.range(0));
+  dcm::ntier::CpuModelConfig cpu_config;
+  cpu_config.params = {1e-3, 1e-4, 1e-6};
+  dcm::sim::Engine engine;
+  dcm::ntier::CpuScheduler cpu(engine, cpu_config);
+  cpu.set_thread_count(concurrency);
+  uint64_t completed = 0;
+  std::function<void()> spawn = [&] {
+    cpu.submit(1e-3, [&] {
+      ++completed;
+      spawn();
+    });
+  };
+  for (int i = 0; i < concurrency; ++i) spawn();
+  double horizon = 0.0;
+  for (auto _ : state) {
+    horizon += 0.01;
+    engine.run_until(dcm::sim::from_seconds(horizon));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+}
+BENCHMARK(BM_CpuSchedulerChurn)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_BusProduceConsume(benchmark::State& state) {
+  dcm::bus::Broker broker;
+  broker.create_topic("t", {4, 0});
+  dcm::bus::Producer producer(broker);
+  dcm::bus::Consumer consumer(broker, "g", "t");
+  int64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    producer.send("t", "key-" + std::to_string(t % 16), "payload", t);
+    benchmark::DoNotOptimize(consumer.poll(16));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BusProduceConsume);
+
+void BM_MetricSampleSerializeParse(benchmark::State& state) {
+  dcm::ntier::MetricSample sample;
+  sample.time = 123456789;
+  sample.server_id = "tomcat-vm1";
+  sample.tier = "tomcat";
+  sample.depth = 1;
+  sample.vm_state = "ACTIVE";
+  sample.throughput = 87.5;
+  sample.avg_response_time = 0.042;
+  sample.concurrency = 19.7;
+  sample.cpu_util = 0.93;
+  sample.thread_pool_size = 20;
+  sample.conn_pool_size = 18;
+  sample.queue_length = 3;
+  for (auto _ : state) {
+    const std::string payload = sample.serialize();
+    benchmark::DoNotOptimize(dcm::ntier::MetricSample::parse(payload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricSampleSerializeParse);
+
+void BM_P2Quantile(benchmark::State& state) {
+  dcm::metrics::P2Quantile q(0.95);
+  dcm::Rng rng(1);
+  for (auto _ : state) {
+    q.add(rng.exponential(0.1));
+  }
+  benchmark::DoNotOptimize(q.value());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_P2Quantile);
+
+void BM_LevenbergMarquardtEq7(benchmark::State& state) {
+  // Fit Eq. 7 to a synthetic sweep — the online estimator's refit cost.
+  const dcm::model::ServiceTimeParams truth{7.19e-3, 5.04e-3, 1.65e-6};
+  std::vector<double> x, y;
+  for (int n = 1; n <= 120; n += 4) {
+    x.push_back(n);
+    y.push_back(dcm::model::server_throughput(truth, n));
+  }
+  const dcm::fit::ModelFn fn = [](const std::vector<double>& p, double n) {
+    return n / (p[0] + p[1] * (n - 1.0) + p[2] * n * (n - 1.0));
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dcm::fit::levenberg_marquardt(fn, x, y, {0.01, 0.001, 1e-5}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LevenbergMarquardtEq7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Table I — model training parameters and prediction results.
+//
+// Reproduces the paper's training pipeline end to end:
+//   1. JMeter sweeps with the "matching thread pool" discipline make the
+//      target tier the bottleneck (1/1/1 for Tomcat, 1/2/1 for MySQL).
+//   2. The monitor-measured <per-server concurrency, system throughput>
+//      pairs feed the Least-Square (Levenberg–Marquardt) fit of Eq. 7.
+//   3. Report S0, α, β, γ, R², N_b and X_max — one column per model.
+//
+// Two fits are shown per tier: the normalized fit (γ pinned to 1 — what the
+// online controller uses; N_b is invariant) and a fit with S0 fixed to the
+// known single-thread service demand (recovers γ).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "model/trainer.h"
+
+using namespace dcm;
+
+namespace {
+
+struct TrainingSet {
+  std::vector<model::TrainingSample> samples;
+  double max_concurrency = 0.0;
+};
+
+TrainingSet collect(core::HardwareConfig hw, int tier_depth, double concurrency_cap,
+                    const std::vector<int>& offered) {
+  core::ExperimentConfig base;
+  base.hardware = hw;
+  base.soft = {1000, 100, 400};  // wide-open conns: concurrency reaches the DB
+  base.duration_seconds = 90.0;
+  base.warmup_seconds = 30.0;
+
+  const auto points = core::jmeter_concurrency_sweep(base, offered, /*match_app_pools=*/true);
+  TrainingSet set;
+  for (const auto& p : points) {
+    const double conc = p.per_server_concurrency[static_cast<size_t>(tier_depth)];
+    if (conc < 0.8 || conc > concurrency_cap) continue;
+    set.samples.push_back({std::max(1.0, conc), p.throughput});
+    set.max_concurrency = std::max(set.max_concurrency, conc);
+  }
+  return set;
+}
+
+void report(const char* name, const model::TrainedModel& normalized,
+            const model::TrainedModel& with_s0, double paper_nb,
+            const TrainingSet& set) {
+  TextTable table({"parameter", "normalized_fit", "known_S0_fit"});
+  const auto& n = normalized.model;
+  const auto& k = with_s0.model;
+  table.add_row({"S0 (s)", format_number(n.params.s0, 6), format_number(k.params.s0, 6)});
+  table.add_row({"alpha (s)", format_number(n.params.alpha, 6), format_number(k.params.alpha, 6)});
+  table.add_row({"beta (s)", format_number(n.params.beta, 8), format_number(k.params.beta, 8)});
+  table.add_row({"gamma", format_number(n.gamma, 3), format_number(k.gamma, 3)});
+  table.add_row({"R^2", format_number(normalized.r_squared, 4),
+                 format_number(with_s0.r_squared, 4)});
+  table.add_row({"N_b", format_number(normalized.optimal_concurrency(), 1),
+                 format_number(with_s0.optimal_concurrency(), 1)});
+  table.add_row({"X_max (req/s)", format_number(normalized.max_throughput(), 1),
+                 format_number(with_s0.max_throughput(), 1)});
+  std::printf("--- %s model (paper N_b = %.0f, trained on %zu samples, max conc %.0f) ---\n",
+              name, paper_nb, set.samples.size(), set.max_concurrency);
+  table.print();
+  // Eq. 7 is nearly flat around the knee (the paper's own parameters give
+  // <2% throughput change between N_b/2 and 2·N_b), so N_b is weakly
+  // identified from throughput data; what matters for control is that the
+  // fitted optimum performs at the plateau. Quantify that:
+  const double x_at_fit = normalized.model.throughput(normalized.optimal_concurrency());
+  const double x_at_paper = normalized.model.throughput(paper_nb);
+  std::printf("plateau check: X(fitted N_b)=%.1f vs X(paper N_b)=%.1f (%.2f%% apart)\n\n",
+              x_at_fit, x_at_paper, 100.0 * std::abs(x_at_fit - x_at_paper) /
+                                        std::max(x_at_fit, x_at_paper));
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Table I: concurrency-aware model training ===\n");
+
+  // Tomcat model: 1/1/1, Tomcat is the bottleneck; sweep 1..200 as in the
+  // paper's training phase.
+  {
+    const std::vector<int> offered = {1,  2,  4,  6,  8,  10, 14, 18, 22, 28,
+                                      35, 45, 60, 80, 100, 130, 160, 200};
+    const TrainingSet set = collect({1, 1, 1}, /*tier_depth=*/1, /*cap=*/220.0, offered);
+    const model::Trainer trainer(/*servers=*/1, /*visit_ratio=*/1.0);
+    const auto normalized = trainer.fit_normalized(set.samples);
+    const auto with_s0 = trainer.fit_with_known_s0(core::tomcat_cpu_model().params.s0,
+                                                   set.samples);
+    report("Tomcat", normalized, with_s0, 20.0, set);
+  }
+
+  // MySQL model: 1/2/1, MySQL is the bottleneck. Train below the thrash
+  // region (the quadratic Eq. 7 does not model swap-collapse; the paper's
+  // R²=0.97 likewise comes from a sweep that stays in the smooth regime).
+  {
+    const std::vector<int> offered = {2,  4,  8,  12, 16, 20, 24, 28, 32, 36,
+                                      42, 48, 56, 64, 72, 80, 96, 110, 130};
+    const TrainingSet set = collect({1, 2, 1}, /*tier_depth=*/2, /*cap=*/62.0, offered);
+    const model::Trainer trainer(/*servers=*/1, /*visit_ratio=*/core::kDbVisitRatio);
+    const auto normalized = trainer.fit_normalized(set.samples);
+    const auto with_s0 = trainer.fit_with_known_s0(core::mysql_cpu_model().params.s0,
+                                                   set.samples);
+    report("MySQL", normalized, with_s0, 36.0, set);
+  }
+
+  std::puts("notes:");
+  std::puts(" * normalized fit pins gamma=1 (N_b is invariant to the gamma scaling)");
+  std::puts(" * the paper's gamma (11.03 / 4.45) absorbs its testbed's client scale;");
+  std::puts("   the simulator's single-server training recovers gamma near 1 by design");
+  return 0;
+}

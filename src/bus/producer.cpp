@@ -1,0 +1,23 @@
+#include "bus/producer.h"
+
+#include "common/check.h"
+
+namespace dcm::bus {
+
+Producer::Producer(Broker& broker) : broker_(&broker) {}
+
+int64_t Producer::send(const std::string& topic_name, const std::string& key, std::string value,
+                       sim::SimTime timestamp) {
+  Topic* topic = broker_->find_topic(topic_name);
+  DCM_CHECK_MSG(topic != nullptr, "produce to unknown topic");
+  const int p = topic->partition_for_key(key);
+  Record record;
+  record.timestamp = timestamp;
+  record.key = key;
+  record.value = std::move(value);
+  const int64_t offset = topic->partition(p).append(std::move(record));
+  ++records_sent_;
+  return offset;
+}
+
+}  // namespace dcm::bus

@@ -1,0 +1,27 @@
+// Producer: appends keyed records to a topic via the broker.
+#pragma once
+
+#include <string>
+
+#include "bus/broker.h"
+
+namespace dcm::bus {
+
+class Producer {
+ public:
+  /// The broker must outlive the producer.
+  explicit Producer(Broker& broker);
+
+  /// Appends to the key's partition; returns the assigned offset.
+  /// The topic must exist.
+  int64_t send(const std::string& topic, const std::string& key, std::string value,
+               sim::SimTime timestamp);
+
+  uint64_t records_sent() const { return records_sent_; }
+
+ private:
+  Broker* broker_;
+  uint64_t records_sent_ = 0;
+};
+
+}  // namespace dcm::bus

@@ -1,0 +1,24 @@
+// Bus record type.
+//
+// The DCM monitoring pipeline ships per-second metric samples from agents to
+// the controller through a Kafka-like log (paper Sec. IV: agents produce at
+// 1 Hz, the controller consumes at its own 15 s pace; the log decouples the
+// rates). Records carry opaque string payloads, like Kafka's byte values —
+// agents serialise samples, the controller parses them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace dcm::bus {
+
+struct Record {
+  int64_t offset = -1;          // assigned by the partition on append
+  sim::SimTime timestamp = 0;   // producer-supplied event time
+  std::string key;              // partitioning key (e.g. server id)
+  std::string value;            // serialised payload
+};
+
+}  // namespace dcm::bus

@@ -1,0 +1,38 @@
+// Lightweight invariant-checking macros.
+//
+// DCM_CHECK is always on (simulation correctness depends on these holding;
+// the cost is negligible next to event-queue work). DCM_DCHECK compiles out
+// in NDEBUG builds and is meant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcm::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "DCM_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace dcm::detail
+
+#define DCM_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::dcm::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DCM_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) ::dcm::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DCM_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define DCM_DCHECK(expr) DCM_CHECK(expr)
+#endif

@@ -1,0 +1,112 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace dcm {
+
+Config Config::parse(const std::string& content) {
+  Config config;
+  std::istringstream in(content);
+  std::string line;
+  std::string section;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments ('#' or ';' to end of line).
+    const size_t hash = line.find_first_of("#;");
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+
+    if (trimmed.front() == '[') {
+      if (trimmed.back() != ']' || trimmed.size() < 3) {
+        throw std::runtime_error("config: malformed section at line " +
+                                 std::to_string(line_number));
+      }
+      section = std::string(trim(trimmed.substr(1, trimmed.size() - 2)));
+      continue;
+    }
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("config: expected key=value at line " +
+                               std::to_string(line_number));
+    }
+    const std::string key(trim(trimmed.substr(0, eq)));
+    const std::string value(trim(trimmed.substr(eq + 1)));
+    if (key.empty()) {
+      throw std::runtime_error("config: empty key at line " + std::to_string(line_number));
+    }
+    config.sections_[section][key] = value;
+  }
+  return config;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) throw std::runtime_error("config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::optional<std::string> Config::raw(const std::string& section, const std::string& key) const {
+  const auto sit = sections_.find(section);
+  if (sit == sections_.end()) return std::nullopt;
+  const auto kit = sit->second.find(key);
+  if (kit == sit->second.end()) return std::nullopt;
+  return kit->second;
+}
+
+bool Config::has(const std::string& section, const std::string& key) const {
+  return raw(section, key).has_value();
+}
+
+std::string Config::get_string(const std::string& section, const std::string& key,
+                               const std::string& fallback) const {
+  return raw(section, key).value_or(fallback);
+}
+
+int64_t Config::get_int(const std::string& section, const std::string& key,
+                        int64_t fallback) const {
+  const auto value = raw(section, key);
+  if (!value) return fallback;
+  const auto parsed = parse_int(*value);
+  if (!parsed) {
+    throw std::runtime_error("config: [" + section + "] " + key + " is not an integer: " +
+                             *value);
+  }
+  return *parsed;
+}
+
+double Config::get_double(const std::string& section, const std::string& key,
+                          double fallback) const {
+  const auto value = raw(section, key);
+  if (!value) return fallback;
+  const auto parsed = parse_double(*value);
+  if (!parsed) {
+    throw std::runtime_error("config: [" + section + "] " + key + " is not a number: " + *value);
+  }
+  return *parsed;
+}
+
+bool Config::get_bool(const std::string& section, const std::string& key, bool fallback) const {
+  const auto value = raw(section, key);
+  if (!value) return fallback;
+  std::string lowered = *value;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lowered == "true" || lowered == "yes" || lowered == "on" || lowered == "1") return true;
+  if (lowered == "false" || lowered == "no" || lowered == "off" || lowered == "0") return false;
+  throw std::runtime_error("config: [" + section + "] " + key + " is not a boolean: " + *value);
+}
+
+void Config::set(const std::string& section, const std::string& key, const std::string& value) {
+  sections_[section][key] = value;
+}
+
+}  // namespace dcm

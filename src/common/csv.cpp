@@ -1,0 +1,86 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace dcm {
+
+CsvWriter::CsvWriter(const std::string& path) : owned_(true) {
+  auto* file = new std::ofstream(path);
+  if (!file->is_open()) {
+    delete file;
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  out_ = file;
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out), owned_(false) {}
+
+CsvWriter::~CsvWriter() {
+  if (owned_) delete out_;
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) { write_row(columns); }
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << fields[i];
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << fields[i];
+  }
+  *out_ << '\n';
+}
+
+int CsvTable::column(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+CsvTable parse_stream(std::istream& in, bool has_header) {
+  CsvTable table;
+  std::string line;
+  bool saw_header = !has_header;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string> fields = split(trimmed, ',');
+    for (auto& f : fields) f = std::string(trim(f));
+    if (!saw_header) {
+      table.header = std::move(fields);
+      saw_header = true;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+CsvTable read_csv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in.is_open()) throw std::runtime_error("read_csv: cannot open " + path);
+  return parse_stream(in, has_header);
+}
+
+CsvTable parse_csv(const std::string& content, bool has_header) {
+  std::istringstream in(content);
+  return parse_stream(in, has_header);
+}
+
+}  // namespace dcm

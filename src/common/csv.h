@@ -1,0 +1,49 @@
+// CSV reading/writing for workload traces and benchmark output.
+//
+// The dialect is deliberately minimal (no quoting/escaping) because every
+// file we produce or consume is numeric columns plus simple identifiers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcm {
+
+class CsvWriter {
+ public:
+  /// Writes to an owned file. Throws std::runtime_error if it cannot open.
+  explicit CsvWriter(const std::string& path);
+  /// Writes to a caller-owned stream (e.g. std::ostringstream in tests).
+  explicit CsvWriter(std::ostream& out);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(const std::vector<double>& fields);
+
+ private:
+  std::ostream* out_;
+  bool owned_;
+};
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column, or -1.
+  int column(const std::string& name) const;
+};
+
+/// Parses a whole CSV file; `has_header` controls whether the first
+/// non-comment line becomes `header`. Lines starting with '#' are skipped.
+/// Throws std::runtime_error on I/O failure.
+CsvTable read_csv(const std::string& path, bool has_header = true);
+
+/// Same, from an in-memory string (used by tests).
+CsvTable parse_csv(const std::string& content, bool has_header = true);
+
+}  // namespace dcm

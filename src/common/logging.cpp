@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace dcm {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+std::function<void(LogLevel, const std::string&)> g_sink;
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (level < g_level) return;
+
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+
+  std::string body;
+  if (needed > 0) {
+    body.resize(static_cast<size_t>(needed));
+    std::vsnprintf(body.data(), body.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+
+  if (g_sink) {
+    g_sink(level, body);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), body.c_str());
+  }
+}
+
+}  // namespace dcm

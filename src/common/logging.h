@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design (a discrete-event engine), so
+// the logger favours simplicity over lock-free cleverness: a global level,
+// an optional sink redirect (used by tests to capture output), and printf
+// style formatting.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace dcm {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Returns the human-readable tag for a level ("INFO", "WARN", ...).
+const char* log_level_name(LogLevel level);
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Redirect log lines to a sink (e.g. a test capture). Pass nullptr to
+/// restore stderr output. The sink receives fully formatted lines without a
+/// trailing newline.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+/// Core logging call; prefer the DCM_LOG_* macros below.
+void log_message(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace dcm
+
+#define DCM_LOG_TRACE(...) ::dcm::log_message(::dcm::LogLevel::kTrace, __VA_ARGS__)
+#define DCM_LOG_DEBUG(...) ::dcm::log_message(::dcm::LogLevel::kDebug, __VA_ARGS__)
+#define DCM_LOG_INFO(...) ::dcm::log_message(::dcm::LogLevel::kInfo, __VA_ARGS__)
+#define DCM_LOG_WARN(...) ::dcm::log_message(::dcm::LogLevel::kWarn, __VA_ARGS__)
+#define DCM_LOG_ERROR(...) ::dcm::log_message(::dcm::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator draws from its own Rng stream
+// seeded from an experiment-level master seed, so whole experiments replay
+// bit-identically regardless of event interleaving. The generator is
+// xoshiro256** (Blackman & Vigna), seeded through SplitMix64.
+#pragma once
+
+#include <cstdint>
+
+namespace dcm {
+
+/// SplitMix64 step — used to expand a single seed into generator state and
+/// to derive independent child seeds.
+uint64_t splitmix64(uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit draw.
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal parameterised by the *resulting* mean and coefficient of
+  /// variation (cv = stddev/mean), both > 0. Handy for service times.
+  double lognormal_mean_cv(double mean, double cv);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Derive an independent child stream (stable for a given parent state
+  /// sequence position).
+  Rng fork();
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace dcm

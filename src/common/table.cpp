@@ -1,0 +1,60 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace dcm {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  DCM_CHECK_MSG(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::vector<double>& row, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (double v : row) fields.push_back(format_number(v, precision));
+  add_row(std::move(fields));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c];
+      for (size_t pad = row[c].size(); pad < width[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t w : width) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string format_number(double value, int max_precision) {
+  std::string s = str_format("%.*f", max_precision, value);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace dcm

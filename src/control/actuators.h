@@ -1,0 +1,64 @@
+// The two actuators of the DCM architecture (paper Sec. IV).
+//
+// VmAgent — VM-level scaling: start/stop VMs through the tier (the
+// hypervisor-API substitute), recording every action.
+// AppAgent — fine-grained soft-resource re-allocation: live-resizes server
+// thread pools and DB connection pools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ntier/app.h"
+#include "sim/engine.h"
+
+namespace dcm::control {
+
+struct ControlAction {
+  sim::SimTime time = 0;
+  std::string tier;
+  std::string action;  // "scale_out" | "scale_in" | "set_stp" | "set_conns"
+  std::string detail;
+};
+
+class ControlLog {
+ public:
+  void add(sim::SimTime time, std::string tier, std::string action, std::string detail);
+  const std::vector<ControlAction>& actions() const { return actions_; }
+  /// Actions of one kind (e.g. all "scale_out"s) for bench reporting.
+  std::vector<ControlAction> filtered(const std::string& action) const;
+
+ private:
+  std::vector<ControlAction> actions_;
+};
+
+class VmAgent {
+ public:
+  VmAgent(sim::Engine& engine, ntier::NTierApp& app, ControlLog& log);
+
+  /// Returns false when the tier is already at its max (or min) size.
+  bool scale_out(size_t tier_index);
+  bool scale_in(size_t tier_index);
+
+ private:
+  sim::Engine* engine_;
+  ntier::NTierApp* app_;
+  ControlLog* log_;
+};
+
+class AppAgent {
+ public:
+  AppAgent(sim::Engine& engine, ntier::NTierApp& app, ControlLog& log);
+
+  /// Sets the per-server worker thread pool of a tier (no-op if unchanged).
+  void set_thread_pool_size(size_t tier_index, int per_server);
+  /// Sets the per-server connection pool toward the downstream tier.
+  void set_downstream_connections(size_t tier_index, int per_server);
+
+ private:
+  sim::Engine* engine_;
+  ntier::NTierApp* app_;
+  ControlLog* log_;
+};
+
+}  // namespace dcm::control

@@ -1,0 +1,141 @@
+#include "control/controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "ntier/monitor_agent.h"
+
+namespace dcm::control {
+
+ControllerBase::ControllerBase(sim::Engine& engine, ntier::NTierApp& app, bus::Broker& broker,
+                               ScalingPolicy policy, std::string name)
+    : engine_(&engine),
+      app_(&app),
+      policy_(policy),
+      name_(std::move(name)),
+      vm_agent_(engine, app, log_),
+      app_agent_(engine, app, log_),
+      low_util_streak_(app.tier_count(), 0),
+      previous_util_(app.tier_count(), 0.0),
+      has_previous_util_(app.tier_count(), false) {
+  DCM_CHECK(policy_.control_period > 0);
+  // Normally the MonitorFleet creates the metrics topic first; create it
+  // here too so construction order doesn't matter.
+  if (broker.find_topic(ntier::kMetricsTopic) == nullptr) {
+    bus::TopicConfig topic_config;
+    topic_config.partitions = 4;
+    topic_config.retention = sim::from_seconds(120.0);
+    broker.create_topic(ntier::kMetricsTopic, topic_config);
+  }
+  consumer_ = std::make_unique<bus::Consumer>(broker, /*group=*/name_, ntier::kMetricsTopic);
+  util_series_.reserve(app.tier_count());
+  for (size_t i = 0; i < app.tier_count(); ++i) {
+    util_series_.emplace_back(app.tier(i).name() + ".util", policy_.control_period);
+  }
+}
+
+ControllerBase::~ControllerBase() { timer_.cancel(); }
+
+void ControllerBase::start() {
+  timer_ = engine_->schedule_periodic(policy_.control_period, [this] { control_tick(); });
+}
+
+void ControllerBase::stop() { timer_.cancel(); }
+
+void ControllerBase::control_tick() {
+  period_samples_.clear();
+  // Drain everything published since the last tick.
+  while (true) {
+    auto batch = consumer_->poll(1024);
+    if (batch.empty()) break;
+    for (const auto& record : batch) {
+      auto sample = ntier::MetricSample::parse(record.value);
+      if (!sample) {
+        DCM_LOG_WARN("controller %s: dropping malformed sample", name_.c_str());
+        continue;
+      }
+      period_samples_.push_back(std::move(*sample));
+    }
+  }
+  consumer_->commit();
+
+  const auto observations = aggregate();
+  for (const auto& obs : observations) {
+    util_series_[static_cast<size_t>(obs.depth)].add(engine_->now() - policy_.control_period,
+                                                     obs.mean_util);
+  }
+  decide(observations);
+}
+
+std::vector<TierObservation> ControllerBase::aggregate() {
+  std::vector<TierObservation> out(app_->tier_count());
+  std::vector<double> rt_weight(app_->tier_count(), 0.0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const ntier::Tier& tier = app_->tier(i);
+    out[i].tier = tier.name();
+    out[i].depth = static_cast<int>(i);
+    out[i].active_vms = tier.active_vm_count();
+    out[i].booting_vms = tier.booting_vm_count();
+  }
+  for (const auto& s : period_samples_) {
+    if (s.vm_state != "ACTIVE") continue;
+    if (s.depth < 0 || static_cast<size_t>(s.depth) >= out.size()) continue;
+    TierObservation& obs = out[static_cast<size_t>(s.depth)];
+    ++obs.samples;
+    obs.mean_util += s.cpu_util;
+    obs.mean_concurrency += s.concurrency;
+    obs.mean_throughput += s.throughput;
+    // Weight response time by completions so idle seconds don't dilute it.
+    obs.mean_response_time += s.avg_response_time * s.throughput;
+    rt_weight[static_cast<size_t>(s.depth)] += s.throughput;
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    TierObservation& obs = out[i];
+    if (obs.samples > 0) {
+      obs.mean_util /= obs.samples;
+      obs.mean_concurrency /= obs.samples;
+      obs.mean_throughput /= obs.samples;
+    }
+    obs.mean_response_time = rt_weight[i] > 0.0 ? obs.mean_response_time / rt_weight[i] : 0.0;
+  }
+  return out;
+}
+
+bool ControllerBase::apply_hardware_rule(size_t tier_index, const TierObservation& obs) {
+  if (tier_index == 0 && !policy_.scale_front_tier) return false;
+  if (obs.samples == 0) return false;
+
+  // Predictive extension: judge scale-out on the utilisation projected one
+  // period ahead from the two most recent observations.
+  double out_signal = obs.mean_util;
+  if (policy_.predictive && has_previous_util_[tier_index]) {
+    const double projected = obs.mean_util + (obs.mean_util - previous_util_[tier_index]);
+    out_signal = std::max(out_signal, projected);
+  }
+  previous_util_[tier_index] = obs.mean_util;
+  has_previous_util_[tier_index] = true;
+
+  // SLA extension: response-time violation also triggers a scale-out.
+  const bool rt_violation = policy_.scale_out_response_time > 0.0 &&
+                            obs.mean_response_time > policy_.scale_out_response_time;
+
+  auto& streak = low_util_streak_[tier_index];
+  if (out_signal > policy_.scale_out_util || rt_violation) {
+    streak = 0;
+    if (policy_.wait_for_booting && obs.booting_vms > 0) return false;
+    return vm_agent_.scale_out(tier_index);
+  }
+  if (obs.mean_util < policy_.scale_in_util) {
+    ++streak;
+    if (streak >= policy_.scale_in_consecutive) {
+      streak = 0;
+      return vm_agent_.scale_in(tier_index);
+    }
+    return false;
+  }
+  streak = 0;
+  return false;
+}
+
+}  // namespace dcm::control

@@ -1,0 +1,94 @@
+// Optimization controller base (paper Sec. IV).
+//
+// Every control period (15 s) the controller drains the monitoring topic
+// from the bus, aggregates the per-second samples into one observation per
+// tier, and lets the concrete policy decide. The shared hardware rule
+// (threshold scaling with "quick start, slow turn off" hysteresis) lives
+// here so EC2-AutoScale and DCM differ only in what DCM adds on top.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/broker.h"
+#include "bus/consumer.h"
+#include "control/actuators.h"
+#include "control/scaling_policy.h"
+#include "metrics/timeseries.h"
+#include "ntier/app.h"
+#include "ntier/metric_sample.h"
+#include "sim/engine.h"
+
+namespace dcm::control {
+
+/// One control period's digest of a tier's ACTIVE servers.
+struct TierObservation {
+  std::string tier;
+  int depth = 0;
+  int samples = 0;        // per-second samples aggregated
+  double mean_util = 0.0;
+  double mean_concurrency = 0.0;   // per-server busy threads
+  double mean_throughput = 0.0;    // per-server completions/s
+  double mean_response_time = 0.0;
+  int active_vms = 0;
+  int booting_vms = 0;
+};
+
+class ControllerBase {
+ public:
+  ControllerBase(sim::Engine& engine, ntier::NTierApp& app, bus::Broker& broker,
+                 ScalingPolicy policy, std::string name);
+  virtual ~ControllerBase();
+
+  ControllerBase(const ControllerBase&) = delete;
+  ControllerBase& operator=(const ControllerBase&) = delete;
+
+  /// Arms the periodic control loop (first tick after one control period).
+  void start();
+  void stop();
+
+  const ControlLog& log() const { return log_; }
+  const std::string& name() const { return name_; }
+  /// Per-tier utilisation as seen by the controller, one point per tick —
+  /// the Fig. 5(c-f) "CPU util" series.
+  const std::vector<metrics::TimeSeries>& util_series() const { return util_series_; }
+
+ protected:
+  /// Concrete policy hook, called once per control period.
+  virtual void decide(const std::vector<TierObservation>& observations) = 0;
+
+  /// The shared VM-level rule. Applies scale-out/in for one tier according
+  /// to the policy thresholds; returns true if an action was taken.
+  bool apply_hardware_rule(size_t tier_index, const TierObservation& obs);
+
+  /// Raw samples drained this period (DCM's online estimator consumes them).
+  const std::vector<ntier::MetricSample>& period_samples() const { return period_samples_; }
+
+  sim::Engine& engine() { return *engine_; }
+  ntier::NTierApp& app() { return *app_; }
+  VmAgent& vm_agent() { return vm_agent_; }
+  AppAgent& app_agent() { return app_agent_; }
+  const ScalingPolicy& policy() const { return policy_; }
+
+ private:
+  void control_tick();
+  std::vector<TierObservation> aggregate();
+
+  sim::Engine* engine_;
+  ntier::NTierApp* app_;
+  ScalingPolicy policy_;
+  std::string name_;
+  ControlLog log_;
+  VmAgent vm_agent_;
+  AppAgent app_agent_;
+  std::unique_ptr<bus::Consumer> consumer_;
+  sim::EventHandle timer_;
+  std::vector<ntier::MetricSample> period_samples_;
+  std::vector<int> low_util_streak_;     // per tier, for slow scale-in
+  std::vector<double> previous_util_;    // per tier, for predictive trend
+  std::vector<bool> has_previous_util_;  // per tier
+  std::vector<metrics::TimeSeries> util_series_;
+};
+
+}  // namespace dcm::control

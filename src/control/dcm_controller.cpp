@@ -1,0 +1,104 @@
+#include "control/dcm_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dcm::control {
+
+DcmController::DcmController(sim::Engine& engine, ntier::NTierApp& app, bus::Broker& broker,
+                             DcmConfig config)
+    : ControllerBase(engine, app, broker, config.policy, "dcm"),
+      config_(std::move(config)),
+      app_estimator_(config_.estimator),
+      db_estimator_(config_.estimator) {
+  DCM_CHECK_MSG(config_.app_tier < app.tier_count() && config_.db_tier < app.tier_count() &&
+                    config_.app_tier < config_.db_tier,
+                "DcmController tier indexes out of range");
+  DCM_CHECK(config_.app_tier_model.params.valid());
+  DCM_CHECK(config_.db_tier_model.params.valid());
+  DCM_CHECK(config_.stp_headroom >= 1.0);
+
+  // APP-agent follows the VM-agent: re-tune as soon as a VM enters service.
+  for (size_t depth : {config_.app_tier, config_.db_tier}) {
+    app.tier(depth).add_vm_activated_callback(
+        [this](ntier::Vm&) { reallocate_soft_resources(); });
+  }
+  // Deploy the model-optimal allocation for the initial configuration.
+  reallocate_soft_resources();
+}
+
+int DcmController::app_tier_nb() const {
+  const int nb = config_.app_tier_model.optimal_concurrency_int();
+  const int with_headroom = static_cast<int>(std::lround(nb * config_.stp_headroom));
+  return std::clamp(with_headroom, config_.min_stp, config_.max_stp);
+}
+
+int DcmController::db_tier_nb() const {
+  return std::max(1, config_.db_tier_model.optimal_concurrency_int());
+}
+
+void DcmController::decide(const std::vector<TierObservation>& observations) {
+  if (config_.online_estimation) {
+    for (const auto& s : period_samples()) {
+      if (s.vm_state != "ACTIVE") continue;
+      if (static_cast<size_t>(s.depth) == config_.app_tier) {
+        app_estimator_.observe(s.concurrency, s.throughput);
+      } else if (static_cast<size_t>(s.depth) == config_.db_tier) {
+        db_estimator_.observe(s.concurrency, s.throughput);
+      }
+    }
+    refine_models_online();
+  }
+
+  for (size_t i = 0; i < observations.size(); ++i) {
+    apply_hardware_rule(i, observations[i]);
+  }
+  reallocate_soft_resources();
+}
+
+void DcmController::reallocate_soft_resources() {
+  ntier::Tier& app_tier = app().tier(config_.app_tier);
+  ntier::Tier& db_tier = app().tier(config_.db_tier);
+
+  // Use ACTIVE counts: a booting DB VM is not yet sharing load, so sizing
+  // for it early would overload the survivors; the activation callback
+  // re-runs this the moment it joins.
+  const int k_app = std::max(1, app_tier.active_vm_count());
+  const int k_db = std::max(1, db_tier.active_vm_count());
+
+  app_agent().set_thread_pool_size(config_.app_tier, app_tier_nb());
+
+  const int total_db_concurrency = k_db * db_tier_nb();
+  const int conns_per_app = std::max(
+      config_.min_conns,
+      static_cast<int>(std::ceil(static_cast<double>(total_db_concurrency) / k_app)));
+  app_agent().set_downstream_connections(config_.app_tier, conns_per_app);
+}
+
+void DcmController::refine_models_online() {
+  const ntier::Tier& app_tier = app().tier(config_.app_tier);
+  const ntier::Tier& db_tier = app().tier(config_.db_tier);
+  if (auto fitted = app_estimator_.fit(std::max(1, app_tier.active_vm_count()),
+                                       config_.app_tier_model.visit_ratio)) {
+    const double nb = fitted->optimal_concurrency();
+    if (nb >= 2.0 && nb <= 500.0) {
+      config_.app_tier_model.params = fitted->model.params;
+      DCM_LOG_DEBUG("dcm: refined app-tier model online, N_b=%.1f (R²=%.3f)", nb,
+                    fitted->r_squared);
+    }
+  }
+  if (auto fitted = db_estimator_.fit(std::max(1, db_tier.active_vm_count()),
+                                      config_.db_tier_model.visit_ratio)) {
+    const double nb = fitted->optimal_concurrency();
+    if (nb >= 2.0 && nb <= 500.0) {
+      config_.db_tier_model.params = fitted->model.params;
+      DCM_LOG_DEBUG("dcm: refined db-tier model online, N_b=%.1f (R²=%.3f)", nb,
+                    fitted->r_squared);
+    }
+  }
+}
+
+}  // namespace dcm::control

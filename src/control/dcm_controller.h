@@ -1,0 +1,72 @@
+// DCM — dynamic concurrency management (the paper's contribution).
+//
+// Two-level actuation: the same VM-level hardware rule as the baseline,
+// plus soft-resource re-allocation from the concurrency-aware model:
+//
+//   * app-tier (Tomcat) worker thread pool per server ←  headroom · N_b(app)
+//   * app-tier DB connection pool per server          ←  ⌈K_db · N_b(db) / K_app⌉
+//
+// so the *total* concurrency reaching the DB tier equals the model optimum
+// regardless of how many servers either tier currently has. Re-allocation
+// runs every control period and immediately after a VM enters service
+// ("the VM-agent will be called first, followed by the APP-agent").
+//
+// Models are trained offline (the Table I pipeline) and passed in; with
+// online_estimation enabled the controller also refits them continuously
+// from monitoring samples.
+#pragma once
+
+#include "control/controller.h"
+#include "control/online_estimator.h"
+#include "model/concurrency_model.h"
+
+namespace dcm::control {
+
+struct DcmConfig {
+  ScalingPolicy policy;
+  /// Trained model for the app tier (e.g. Tomcat, Table I column 1).
+  model::ConcurrencyModel app_tier_model;
+  /// Trained model for the DB tier (e.g. MySQL, Table I column 2).
+  model::ConcurrencyModel db_tier_model;
+  /// The paper notes the deployed maxThreads should exceed the theoretical
+  /// N_b because not every pooled thread is simultaneously active.
+  double stp_headroom = 1.0;
+  int min_stp = 2;
+  int max_stp = 1000;
+  int min_conns = 1;
+  /// Refine N_b online from monitoring samples (extension; Sec. III-C's
+  /// "determine these parameters via online monitoring").
+  bool online_estimation = false;
+  EstimatorConfig estimator;
+
+  /// Tier indexes of the concurrency-managed pair. Defaults fit the 3-tier
+  /// web(0)/app(1)/db(2) layout; the 4-tier layout with a DB load-balancer
+  /// tier uses app_tier=1, db_tier=3.
+  size_t app_tier = 1;
+  size_t db_tier = 2;
+};
+
+class DcmController final : public ControllerBase {
+ public:
+  DcmController(sim::Engine& engine, ntier::NTierApp& app, bus::Broker& broker, DcmConfig config);
+
+  /// Current per-server optima the APP-agent deploys.
+  int app_tier_nb() const;
+  int db_tier_nb() const;
+
+  const model::ConcurrencyModel& app_tier_model() const { return config_.app_tier_model; }
+  const model::ConcurrencyModel& db_tier_model() const { return config_.db_tier_model; }
+
+ protected:
+  void decide(const std::vector<TierObservation>& observations) override;
+
+ private:
+  void reallocate_soft_resources();
+  void refine_models_online();
+
+  DcmConfig config_;
+  OnlineModelEstimator app_estimator_;
+  OnlineModelEstimator db_estimator_;
+};
+
+}  // namespace dcm::control

@@ -1,0 +1,15 @@
+#include "control/ec2_autoscale.h"
+
+namespace dcm::control {
+
+Ec2AutoScaleController::Ec2AutoScaleController(sim::Engine& engine, ntier::NTierApp& app,
+                                               bus::Broker& broker, ScalingPolicy policy)
+    : ControllerBase(engine, app, broker, policy, "ec2-autoscale") {}
+
+void Ec2AutoScaleController::decide(const std::vector<TierObservation>& observations) {
+  for (size_t i = 0; i < observations.size(); ++i) {
+    apply_hardware_rule(i, observations[i]);
+  }
+}
+
+}  // namespace dcm::control

@@ -1,0 +1,21 @@
+// EC2-AutoScale — the paper's baseline (Sec. V-B): hardware-only threshold
+// scaling, no soft-resource adaptation. Soft resources keep whatever the
+// deployment started with, so a scale-out of the app tier silently doubles
+// the concurrency reaching the DB tier — the failure mode the paper's
+// Fig. 5(b,d,f) demonstrates.
+#pragma once
+
+#include "control/controller.h"
+
+namespace dcm::control {
+
+class Ec2AutoScaleController final : public ControllerBase {
+ public:
+  Ec2AutoScaleController(sim::Engine& engine, ntier::NTierApp& app, bus::Broker& broker,
+                         ScalingPolicy policy = {});
+
+ protected:
+  void decide(const std::vector<TierObservation>& observations) override;
+};
+
+}  // namespace dcm::control

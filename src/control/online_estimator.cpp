@@ -1,0 +1,49 @@
+#include "control/online_estimator.h"
+
+#include <cmath>
+
+namespace dcm::control {
+
+OnlineModelEstimator::OnlineModelEstimator(EstimatorConfig config) : config_(config) {}
+
+void OnlineModelEstimator::observe(double concurrency, double throughput) {
+  if (concurrency < 0.5 || throughput < 0.0) return;  // idle seconds carry no signal
+  const int bin = static_cast<int>(std::lround(concurrency));
+  bins_[std::max(1, bin)].add(throughput);
+}
+
+size_t OnlineModelEstimator::bin_count() const {
+  size_t n = 0;
+  for (const auto& [conc, stat] : bins_) {
+    if (stat.count() >= static_cast<uint64_t>(config_.min_samples_per_bin)) ++n;
+  }
+  return n;
+}
+
+bool OnlineModelEstimator::ready() const {
+  if (bin_count() < static_cast<size_t>(config_.min_bins)) return false;
+  int lo = 0, hi = 0;
+  for (const auto& [conc, stat] : bins_) {
+    if (stat.count() < static_cast<uint64_t>(config_.min_samples_per_bin)) continue;
+    if (lo == 0) lo = conc;
+    hi = conc;
+  }
+  return lo > 0 && static_cast<double>(hi) / static_cast<double>(lo) >= config_.min_spread;
+}
+
+std::optional<model::TrainedModel> OnlineModelEstimator::fit(int servers,
+                                                             double visit_ratio) const {
+  if (!ready()) return std::nullopt;
+  std::vector<model::TrainingSample> samples;
+  samples.reserve(bins_.size());
+  for (const auto& [conc, stat] : bins_) {
+    if (stat.count() < static_cast<uint64_t>(config_.min_samples_per_bin)) continue;
+    samples.push_back({static_cast<double>(conc), stat.mean()});
+  }
+  const model::Trainer trainer(servers, visit_ratio);
+  model::TrainedModel trained = trainer.fit_normalized(samples);
+  if (trained.r_squared < config_.min_r_squared) return std::nullopt;
+  return trained;
+}
+
+}  // namespace dcm::control

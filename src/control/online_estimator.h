@@ -1,0 +1,47 @@
+// Online concurrency-model estimation.
+//
+// The paper determines model parameters "via online monitoring of the whole
+// system, then regress based on the measured system throughput and the
+// thread allocation" (Sec. III-C). This estimator bins the per-second
+// (concurrency, throughput) samples of one tier's servers by integer
+// concurrency and, once the bins span a wide enough concurrency range,
+// refits Eq. 7 in normalized form (γ = 1 — the optimum N_b is invariant to
+// the γ/(S0,α,β) scaling, see model::Trainer).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "metrics/welford.h"
+#include "model/trainer.h"
+
+namespace dcm::control {
+
+struct EstimatorConfig {
+  int min_bins = 8;            // distinct concurrency levels required
+  double min_spread = 3.0;     // max/min concurrency ratio required
+  int min_samples_per_bin = 2;
+  double min_r_squared = 0.80;  // reject fits worse than this
+};
+
+class OnlineModelEstimator {
+ public:
+  explicit OnlineModelEstimator(EstimatorConfig config = {});
+
+  /// Feeds one per-second server sample (concurrency >= ~1 to count).
+  void observe(double concurrency, double throughput);
+
+  bool ready() const;
+  size_t bin_count() const;
+
+  /// Attempts a fit; nullopt when not ready or the fit is poor. The
+  /// returned model carries servers/visit_ratio for context only — N_b is
+  /// the value the DCM controller consumes.
+  std::optional<model::TrainedModel> fit(int servers, double visit_ratio) const;
+
+ private:
+  EstimatorConfig config_;
+  std::map<int, metrics::Welford> bins_;  // rounded concurrency -> throughput
+};
+
+}  // namespace dcm::control

@@ -1,0 +1,92 @@
+#include "core/config_loader.h"
+
+#include <stdexcept>
+
+#include "workload/trace_taxonomy.h"
+
+namespace dcm::core {
+namespace {
+
+workload::Trace resolve_trace(const std::string& name, int peak_users, uint64_t seed) {
+  for (const auto pattern : workload::all_trace_patterns()) {
+    if (name == workload::trace_pattern_name(pattern)) {
+      return workload::make_trace(pattern, peak_users, seed);
+    }
+  }
+  // Not a taxonomy name — treat as a CSV path.
+  return workload::Trace::load_csv(name);
+}
+
+}  // namespace
+
+ExperimentConfig experiment_from_config(const Config& config) {
+  ExperimentConfig experiment;
+
+  experiment.hardware.web = static_cast<int>(config.get_int("hardware", "web", 1));
+  experiment.hardware.app = static_cast<int>(config.get_int("hardware", "app", 1));
+  experiment.hardware.db = static_cast<int>(config.get_int("hardware", "db", 1));
+
+  experiment.soft.web_threads = static_cast<int>(config.get_int("soft", "web_threads", 1000));
+  experiment.soft.app_threads = static_cast<int>(config.get_int("soft", "app_threads", 100));
+  experiment.soft.db_connections =
+      static_cast<int>(config.get_int("soft", "db_connections", 80));
+
+  experiment.duration_seconds = config.get_double("run", "duration", 300.0);
+  experiment.warmup_seconds = config.get_double("run", "warmup", 30.0);
+  experiment.seed = static_cast<uint64_t>(config.get_int("run", "seed", 1));
+  experiment.max_vms_per_tier = static_cast<int>(config.get_int("run", "max_vms", 8));
+
+  const uint64_t workload_seed =
+      static_cast<uint64_t>(config.get_int("workload", "seed", 42));
+  const int users = static_cast<int>(config.get_int("workload", "users", 100));
+  const double think = config.get_double("workload", "think_seconds", 3.0);
+  const std::string workload_kind = config.get_string("workload", "kind", "rubbos");
+  if (workload_kind == "jmeter") {
+    experiment.workload = WorkloadSpec::jmeter(users, workload_seed);
+  } else if (workload_kind == "rubbos") {
+    experiment.workload = WorkloadSpec::rubbos(users, think, workload_seed);
+  } else if (workload_kind == "trace") {
+    const std::string trace_name =
+        config.get_string("workload", "trace", "large-variation");
+    const int peak = static_cast<int>(config.get_int("workload", "peak_users", 350));
+    experiment.workload =
+        WorkloadSpec::trace_driven(resolve_trace(trace_name, peak, workload_seed), think,
+                                   workload_seed);
+  } else {
+    throw std::runtime_error("config: unknown workload kind '" + workload_kind + "'");
+  }
+
+  control::ScalingPolicy policy;
+  policy.control_period =
+      sim::from_seconds(config.get_double("controller", "control_period", 15.0));
+  policy.scale_out_util = config.get_double("controller", "scale_out_util", 0.80);
+  policy.scale_in_util = config.get_double("controller", "scale_in_util", 0.40);
+  policy.scale_in_consecutive =
+      static_cast<int>(config.get_int("controller", "scale_in_consecutive", 3));
+  policy.predictive = config.get_bool("controller", "predictive", false);
+  policy.scale_out_response_time = config.get_double("controller", "sla_rt", 0.0);
+
+  const std::string controller_kind = config.get_string("controller", "kind", "none");
+  if (controller_kind == "none") {
+    experiment.controller = ControllerSpec::none();
+  } else if (controller_kind == "ec2") {
+    experiment.controller = ControllerSpec::ec2(policy);
+  } else if (controller_kind == "dcm") {
+    control::DcmConfig dcm;
+    dcm.policy = policy;
+    dcm.app_tier_model = tomcat_reference_model();
+    dcm.db_tier_model = mysql_reference_model();
+    dcm.stp_headroom = config.get_double("controller", "headroom", 1.0);
+    dcm.online_estimation = config.get_bool("controller", "online_estimation", false);
+    experiment.controller = ControllerSpec::dcm_controller(std::move(dcm));
+  } else {
+    throw std::runtime_error("config: unknown controller kind '" + controller_kind + "'");
+  }
+  return experiment;
+}
+
+ExperimentConfig experiment_from_file(const std::string& path) {
+  return experiment_from_config(Config::load(path));
+}
+
+}  // namespace dcm::core

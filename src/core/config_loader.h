@@ -1,0 +1,32 @@
+// Builds an ExperimentConfig from an INI file — the dcm_sim CLI's backend.
+//
+// Recognised sections/keys (all optional, with the library defaults):
+//
+//   [hardware]    web / app / db               — initial VM counts
+//   [soft]        web_threads / app_threads / db_connections
+//   [workload]    kind = jmeter|rubbos|trace
+//                 users, think_seconds, seed
+//                 trace = <taxonomy pattern name> | <path to CSV>
+//                 peak_users (taxonomy traces only)
+//   [controller]  kind = none|ec2|dcm
+//                 control_period, scale_out_util, scale_in_util,
+//                 scale_in_consecutive, predictive, sla_rt,
+//                 headroom, online_estimation
+//   [run]         duration, warmup, seed, max_vms
+#pragma once
+
+#include <string>
+
+#include "common/config.h"
+#include "core/experiment.h"
+
+namespace dcm::core {
+
+/// Translates a parsed Config. Throws std::runtime_error on invalid values
+/// (unknown workload/controller kind, unknown trace name, ...).
+ExperimentConfig experiment_from_config(const Config& config);
+
+/// Convenience: load + translate.
+ExperimentConfig experiment_from_file(const std::string& path);
+
+}  // namespace dcm::core

@@ -1,0 +1,31 @@
+// Umbrella header — the public API of the DCM reproduction library.
+//
+// Layers (bottom-up):
+//   sim/       deterministic discrete-event engine
+//   metrics/   streaming statistics and time series
+//   bus/       Kafka-like monitoring message bus
+//   fit/       least-squares / Levenberg–Marquardt fitting
+//   model/     the paper's concurrency-aware model (Eq. 1–8)
+//   ntier/     simulated n-tier application (servers, pools, VMs, tiers)
+//   workload/  RUBBoS-style workload generators and traces
+//   control/   monitoring pipeline + EC2-AutoScale and DCM controllers
+//   core/      canonical topologies and the one-call experiment runner
+#pragma once
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "control/dcm_controller.h"
+#include "control/ec2_autoscale.h"
+#include "control/online_estimator.h"
+#include "core/experiment.h"
+#include "core/topologies.h"
+#include "model/bottleneck.h"
+#include "model/concurrency_model.h"
+#include "model/trainer.h"
+#include "ntier/app.h"
+#include "ntier/monitor_agent.h"
+#include "sim/engine.h"
+#include "workload/closed_loop.h"
+#include "workload/trace.h"
+#include "workload/trace_player.h"

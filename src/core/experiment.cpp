@@ -1,0 +1,247 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "bus/broker.h"
+#include "common/check.h"
+#include "control/ec2_autoscale.h"
+#include "ntier/monitor_agent.h"
+#include "workload/trace_player.h"
+
+namespace dcm::core {
+
+WorkloadSpec WorkloadSpec::jmeter(int users, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.kind = Kind::kJmeter;
+  spec.users = users;
+  spec.seed = seed;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::rubbos(int users, double think_s, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.kind = Kind::kRubbosClients;
+  spec.users = users;
+  spec.mean_think_seconds = think_s;
+  spec.seed = seed;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::trace_driven(workload::Trace trace, double think_s, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.kind = Kind::kTrace;
+  spec.trace = std::move(trace);
+  spec.mean_think_seconds = think_s;
+  spec.seed = seed;
+  return spec;
+}
+
+ControllerSpec ControllerSpec::none() { return {}; }
+
+ControllerSpec ControllerSpec::ec2(control::ScalingPolicy policy) {
+  ControllerSpec spec;
+  spec.kind = Kind::kEc2AutoScale;
+  spec.policy = policy;
+  return spec;
+}
+
+ControllerSpec ControllerSpec::dcm_controller(control::DcmConfig config) {
+  ControllerSpec spec;
+  spec.kind = Kind::kDcm;
+  spec.policy = config.policy;
+  spec.dcm = std::move(config);
+  return spec;
+}
+
+TierTimeline::TierTimeline(const std::string& tier_name)
+    : name(tier_name),
+      provisioned_vms(tier_name + ".vms", sim::kNanosPerSecond),
+      cpu_util(tier_name + ".util", sim::kNanosPerSecond),
+      concurrency(tier_name + ".concurrency", sim::kNanosPerSecond) {}
+
+int ExperimentResult::action_count(const std::string& action, const std::string& tier) const {
+  int n = 0;
+  for (const auto& a : actions) {
+    if (a.action == action && (tier.empty() || a.tier == tier)) ++n;
+  }
+  return n;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  DCM_CHECK(config.duration_seconds > 0.0);
+  DCM_CHECK(config.warmup_seconds >= 0.0);
+  DCM_CHECK(config.warmup_seconds < config.duration_seconds);
+
+  sim::Engine engine;
+  ntier::NTierApp app(engine, rubbos_app_config(config.hardware, config.soft, config.seed,
+                                                config.max_vms_per_tier));
+  bus::Broker broker;
+  ntier::MonitorFleet fleet(engine, app, broker);
+
+  const workload::ServletCatalog catalog = workload::ServletCatalog::browse_only_mix(kDbVisitRatio);
+
+  std::unique_ptr<workload::ClosedLoopGenerator> generator;
+  std::unique_ptr<workload::TracePlayer> player;
+  switch (config.workload.kind) {
+    case WorkloadSpec::Kind::kJmeter:
+      generator = workload::make_jmeter(engine, app, catalog, config.workload.users,
+                                        config.workload.seed);
+      break;
+    case WorkloadSpec::Kind::kRubbosClients:
+      generator = workload::make_rubbos_clients(engine, app, catalog, config.workload.users,
+                                                config.workload.mean_think_seconds,
+                                                config.workload.seed);
+      break;
+    case WorkloadSpec::Kind::kTrace:
+      generator = workload::make_rubbos_clients(engine, app, catalog,
+                                                config.workload.trace.users_at(0),
+                                                config.workload.mean_think_seconds,
+                                                config.workload.seed);
+      player = std::make_unique<workload::TracePlayer>(engine, *generator,
+                                                       config.workload.trace);
+      break;
+  }
+
+  std::unique_ptr<control::ControllerBase> controller;
+  switch (config.controller.kind) {
+    case ControllerSpec::Kind::kNone:
+      break;
+    case ControllerSpec::Kind::kEc2AutoScale:
+      controller = std::make_unique<control::Ec2AutoScaleController>(engine, app, broker,
+                                                                     config.controller.policy);
+      break;
+    case ControllerSpec::Kind::kDcm: {
+      control::DcmConfig dcm_config = config.controller.dcm;
+      dcm_config.policy = config.controller.policy;
+      controller =
+          std::make_unique<control::DcmController>(engine, app, broker, std::move(dcm_config));
+      break;
+    }
+  }
+
+  ExperimentResult result;
+  for (size_t i = 0; i < app.tier_count(); ++i) {
+    result.tiers.emplace_back(app.tier(i).name());
+  }
+
+  // Per-second system sampler for the Fig. 5-style timelines.
+  std::unordered_map<const ntier::Server*, double> prev_util;
+  auto sampler = engine.schedule_periodic(sim::kNanosPerSecond, [&] {
+    const sim::SimTime now = engine.now();
+    // Stamp the *previous* second's bucket.
+    const sim::SimTime stamp = now - sim::kNanosPerSecond;
+    for (size_t i = 0; i < app.tier_count(); ++i) {
+      const ntier::Tier& tier = app.tier(i);
+      TierTimeline& line = result.tiers[i];
+      line.provisioned_vms.add(stamp, static_cast<double>(tier.provisioned_vm_count()));
+      line.concurrency.add(stamp, static_cast<double>(tier.total_in_flight()));
+      double util_sum = 0.0;
+      int active = 0;
+      for (const auto& vm : tier.vms()) {
+        if (vm->state() != ntier::VmState::kActive &&
+            vm->state() != ntier::VmState::kDraining) {
+          continue;
+        }
+        const ntier::Server* server = &vm->server();
+        const double integral = server->cpu_util_integral();
+        const double delta = integral - prev_util[server];
+        prev_util[server] = integral;
+        if (vm->state() == ntier::VmState::kActive) {
+          util_sum += delta;  // window is 1 s, so the delta is the mean util
+          ++active;
+        }
+      }
+      line.cpu_util.add(stamp, active > 0 ? util_sum / active : 0.0);
+    }
+  });
+
+  if (controller) controller->start();
+  if (player) {
+    player->start();
+  } else {
+    generator->start();
+  }
+
+  engine.run_until(sim::from_seconds(config.duration_seconds));
+  sampler.cancel();
+
+  // Summaries over the post-warmup window.
+  const sim::SimTime warmup = sim::from_seconds(config.warmup_seconds);
+  const sim::SimTime end = sim::from_seconds(config.duration_seconds);
+  const workload::ClientStats& stats = generator->stats();
+  result.client = stats;
+  result.completed = stats.completed();
+  result.errors = stats.errors();
+  result.mean_throughput = stats.mean_throughput(warmup, end);
+
+  metrics::Welford rt;
+  double rt_max = 0.0;
+  int sla_seconds = 0, measured_seconds = 0;
+  for (const auto& bucket : stats.response_time_series().buckets()) {
+    if (bucket.start < warmup) continue;
+    rt.merge(bucket.stat);
+    rt_max = std::max(rt_max, bucket.stat.max());
+    if (bucket.stat.count() > 0) {
+      ++measured_seconds;
+      if (bucket.stat.mean() > result.sla_bound_seconds) ++sla_seconds;
+    }
+  }
+  result.mean_response_time = rt.mean();
+  result.max_response_time = rt_max;
+  result.p95_response_time = stats.response_time_histogram().p95();
+  result.sla_violation_fraction =
+      measured_seconds > 0 ? static_cast<double>(sla_seconds) / measured_seconds : 0.0;
+
+  // Resource efficiency: integrate the per-second provisioned-VM series.
+  result.vm_seconds.resize(result.tiers.size(), 0.0);
+  for (size_t i = 0; i < result.tiers.size(); ++i) {
+    for (const auto& bucket : result.tiers[i].provisioned_vms.buckets()) {
+      result.vm_seconds[i] += bucket.stat.mean();  // 1 s buckets
+    }
+    if (i > 0) result.total_vm_seconds += result.vm_seconds[i];  // scalable tiers
+  }
+  result.requests_per_vm_second =
+      result.total_vm_seconds > 0.0
+          ? static_cast<double>(result.completed) / result.total_vm_seconds
+          : 0.0;
+
+  if (controller) result.actions = controller->log().actions();
+  return result;
+}
+
+std::vector<SweepPoint> jmeter_concurrency_sweep(const ExperimentConfig& base,
+                                                 const std::vector<int>& concurrencies,
+                                                 bool match_app_pools) {
+  std::vector<SweepPoint> points;
+  points.reserve(concurrencies.size());
+  for (int c : concurrencies) {
+    DCM_CHECK(c >= 1);
+    ExperimentConfig config = base;
+    config.workload = WorkloadSpec::jmeter(c, base.workload.seed + static_cast<uint64_t>(c));
+    config.controller = ControllerSpec::none();
+    if (match_app_pools) config.soft.app_threads = c;
+    const ExperimentResult result = run_experiment(config);
+
+    SweepPoint point;
+    point.concurrency = c;
+    point.throughput = result.mean_throughput;
+    point.response_time = result.mean_response_time;
+    const sim::SimTime warmup = sim::from_seconds(config.warmup_seconds);
+    for (size_t i = 0; i < result.tiers.size(); ++i) {
+      metrics::Welford conc;
+      for (const auto& bucket : result.tiers[i].concurrency.buckets()) {
+        if (bucket.start < warmup) continue;
+        conc.merge(bucket.stat);
+      }
+      const int servers = i == 0   ? config.hardware.web
+                          : i == 1 ? config.hardware.app
+                                   : config.hardware.db;
+      point.per_server_concurrency.push_back(conc.mean() / std::max(1, servers));
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace dcm::core

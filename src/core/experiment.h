@@ -1,0 +1,120 @@
+// ExperimentRunner — one-call wiring of engine + app + monitoring bus +
+// workload + (optional) controller, with per-second system timelines.
+//
+// Every bench and example builds on this facade; it is the reproduction's
+// equivalent of the paper's testbed harness.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/actuators.h"
+#include "control/dcm_controller.h"
+#include "control/scaling_policy.h"
+#include "core/topologies.h"
+#include "metrics/timeseries.h"
+#include "workload/client_stats.h"
+#include "workload/trace.h"
+
+namespace dcm::core {
+
+struct WorkloadSpec {
+  enum class Kind { kJmeter, kRubbosClients, kTrace };
+  Kind kind = Kind::kRubbosClients;
+  int users = 100;                 // kJmeter / kRubbosClients
+  double mean_think_seconds = 3.0;  // kRubbosClients / kTrace
+  workload::Trace trace;            // kTrace
+  uint64_t seed = 42;
+
+  static WorkloadSpec jmeter(int users, uint64_t seed = 42);
+  static WorkloadSpec rubbos(int users, double think_s = 3.0, uint64_t seed = 42);
+  static WorkloadSpec trace_driven(workload::Trace trace, double think_s = 3.0,
+                                   uint64_t seed = 42);
+};
+
+struct ControllerSpec {
+  enum class Kind { kNone, kEc2AutoScale, kDcm };
+  Kind kind = Kind::kNone;
+  control::ScalingPolicy policy;
+  /// Only for kDcm; policy above is copied into it.
+  control::DcmConfig dcm;
+
+  static ControllerSpec none();
+  static ControllerSpec ec2(control::ScalingPolicy policy = {});
+  static ControllerSpec dcm_controller(control::DcmConfig config);
+};
+
+struct ExperimentConfig {
+  HardwareConfig hardware;
+  SoftAllocation soft;
+  WorkloadSpec workload;
+  ControllerSpec controller;
+  double duration_seconds = 300.0;
+  /// Measurement excludes [0, warmup); timelines still cover everything.
+  double warmup_seconds = 30.0;
+  int max_vms_per_tier = 8;
+  uint64_t seed = 1;
+};
+
+/// Per-tier, per-second system timelines (the Fig. 5 panel data).
+struct TierTimeline {
+  std::string name;
+  metrics::TimeSeries provisioned_vms;
+  metrics::TimeSeries cpu_util;
+  metrics::TimeSeries concurrency;  // total in-flight requests across servers
+
+  explicit TierTimeline(const std::string& tier_name);
+};
+
+struct ExperimentResult {
+  workload::ClientStats client;
+  std::vector<TierTimeline> tiers;
+  std::vector<control::ControlAction> actions;
+
+  // Post-warmup summary.
+  double mean_throughput = 0.0;  // req/s
+  double mean_response_time = 0.0;
+  double p95_response_time = 0.0;
+  double max_response_time = 0.0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+
+  /// Resource-efficiency accounting (the paper's motivation): provisioned
+  /// VM-seconds per tier over the whole run (booting + active + draining
+  /// all cost money), and completed requests per VM-second.
+  std::vector<double> vm_seconds;     // per tier
+  double total_vm_seconds = 0.0;      // across scalable tiers
+  double requests_per_vm_second = 0.0;
+
+  /// SLA view: fraction of post-warmup seconds whose mean response time
+  /// exceeded the bound (1 s by default, the paper's visual SLA line).
+  double sla_violation_fraction = 0.0;
+  double sla_bound_seconds = 1.0;
+
+  /// Count of actions of a given kind on a given tier ("" = any tier).
+  int action_count(const std::string& action, const std::string& tier = "") const;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Sweep helper for the training/validation benches: measures steady-state
+/// throughput of the given deployment under a JMeter closed loop at each
+/// offered concurrency. When `match_pools` is true the app-tier thread pool
+/// is set to the offered concurrency (the paper's "matching thread pool"
+/// training discipline — concurrency in the server equals the workload's).
+struct SweepPoint {
+  int concurrency = 0;       // offered (JMeter users)
+  double throughput = 0.0;   // steady-state system throughput (req/s)
+  double response_time = 0.0;
+  /// Measured mean request-processing concurrency per server, per tier —
+  /// the x-axis the paper's model training actually uses.
+  std::vector<double> per_server_concurrency;
+};
+
+std::vector<SweepPoint> jmeter_concurrency_sweep(const ExperimentConfig& base,
+                                                 const std::vector<int>& concurrencies,
+                                                 bool match_app_pools);
+
+}  // namespace dcm::core

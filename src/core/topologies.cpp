@@ -1,0 +1,167 @@
+#include "core/topologies.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcm::core {
+
+ntier::CpuModelConfig apache_cpu_model() {
+  ntier::CpuModelConfig cpu;
+  cpu.params = {1.0e-3, 2.0e-5, 1.0e-8};  // light proxy work, near-linear scaling
+  cpu.thrash_threshold = 1e18;
+  cpu.thrash_factor = 0.0;
+  return cpu;
+}
+
+ntier::CpuModelConfig tomcat_cpu_model() {
+  ntier::CpuModelConfig cpu;
+  // Table I Tomcat column: S0=2.84e-2, α=9.87e-3, β=4.54e-5 ⇒ N_b ≈ 20.
+  cpu.params = {2.84e-2, 9.87e-3, 4.54e-5};
+  cpu.thrash_threshold = 300.0;  // JVM-side collapse far beyond normal pools
+  cpu.thrash_factor = 1.0e-4;
+  return cpu;
+}
+
+ntier::CpuModelConfig mysql_cpu_model() {
+  ntier::CpuModelConfig cpu;
+  // Table I MySQL column (per query): S0=7.19e-3, α=5.04e-3, β=1.65e-6
+  // ⇒ N_b ≈ 36. Thrash threshold 64: "reasonable between 20 and 80",
+  // collapse well before 160 (Fig. 2a / Sec. V-B narrative).
+  cpu.params = {7.19e-3, 5.04e-3, 1.65e-6};
+  cpu.thrash_threshold = 64.0;
+  cpu.thrash_factor = 1.0e-4;
+  return cpu;
+}
+
+ntier::AppConfig rubbos_app_config(HardwareConfig hw, SoftAllocation soft, uint64_t seed,
+                                   int max_vms_per_tier) {
+  DCM_CHECK(hw.web >= 1 && hw.app >= 1 && hw.db >= 1);
+  DCM_CHECK(soft.web_threads >= 1 && soft.app_threads >= 1 && soft.db_connections >= 1);
+
+  ntier::AppConfig config;
+  config.seed = seed;
+
+  ntier::TierConfig web;
+  web.name = "apache";
+  web.server.cpu = apache_cpu_model();
+  web.server.max_threads = soft.web_threads;
+  web.server.downstream_connections = 0;  // HAProxy fronts the app tier; no per-Apache cap
+  web.server.pre_fraction = 0.5;
+  web.server.demand_cv = 0.10;
+  web.initial_vms = hw.web;
+  web.min_vms = 1;
+  web.max_vms = std::max(hw.web, max_vms_per_tier);
+
+  ntier::TierConfig app;
+  app.name = "tomcat";
+  app.server.cpu = tomcat_cpu_model();
+  app.server.max_threads = soft.app_threads;
+  app.server.downstream_connections = soft.db_connections;
+  app.server.pre_fraction = 0.5;
+  app.server.demand_cv = 0.25;
+  app.initial_vms = hw.app;
+  app.min_vms = 1;
+  app.max_vms = std::max(hw.app, max_vms_per_tier);
+
+  ntier::TierConfig db;
+  db.name = "mysql";
+  db.server.cpu = mysql_cpu_model();
+  // max_connections-style cap, far above any sane upstream pool: the
+  // concurrency reaching MySQL is governed by the Tomcat DBConnP, exactly
+  // as in the paper.
+  db.server.max_threads = 1000;
+  db.server.downstream_connections = 0;
+  db.server.pre_fraction = 1.0;  // leaf: single CPU phase
+  db.server.demand_cv = 0.25;
+  db.initial_vms = hw.db;
+  db.min_vms = 1;
+  db.max_vms = std::max(hw.db, max_vms_per_tier);
+
+  config.tiers = {web, app, db};
+  return config;
+}
+
+ntier::AppConfig rubbos_4tier_app_config(HardwareConfig hw, SoftAllocation soft, uint64_t seed,
+                                         int max_vms_per_tier) {
+  ntier::AppConfig config = rubbos_app_config(hw, soft, seed, max_vms_per_tier);
+
+  // Insert the HAProxy tier between app and db: forwarding work only.
+  ntier::TierConfig lb;
+  lb.name = "haproxy";
+  lb.server.cpu.params = {5.0e-5, 1.0e-7, 1.0e-10};  // ~50 µs per forward
+  lb.server.max_threads = 10000;  // effectively unbounded event loop
+  lb.server.downstream_connections = 0;
+  lb.server.pre_fraction = 0.5;
+  lb.server.demand_cv = 0.05;
+  lb.initial_vms = 1;
+  lb.min_vms = 1;
+  lb.max_vms = 1;  // the paper never scales the LB tier
+  config.tiers.insert(config.tiers.begin() + 2, lb);
+  return config;
+}
+
+workload::RequestFactory four_tier_request_factory(const workload::ServletCatalog& catalog) {
+  return [&catalog](uint64_t id, Rng& rng, sim::SimTime now) {
+    const size_t index = catalog.sample(rng);
+    const auto& servlet = catalog.servlet(index);
+    auto req = std::make_shared<ntier::RequestContext>();
+    req->id = id;
+    req->servlet = static_cast<int>(index);
+    req->created = now;
+    // web → app → haproxy → db; each app-tier query takes one LB hop.
+    req->demand_scale = {servlet.web_scale, servlet.app_scale, 1.0, servlet.db_scale};
+    req->downstream_calls = {1, servlet.db_queries, 1, 0};
+    return req;
+  };
+}
+
+ntier::AppConfig mysql_only_app_config(int worker_cap, uint64_t seed) {
+  DCM_CHECK(worker_cap >= 1);
+  ntier::AppConfig config;
+  config.seed = seed;
+  ntier::TierConfig db;
+  db.name = "mysql";
+  db.server.cpu = mysql_cpu_model();
+  db.server.max_threads = worker_cap;
+  db.server.downstream_connections = 0;
+  db.server.pre_fraction = 1.0;
+  db.server.demand_cv = 0.25;
+  db.initial_vms = 1;
+  db.min_vms = 1;
+  db.max_vms = 1;
+  config.tiers = {db};
+  return config;
+}
+
+workload::RequestFactory mysql_query_factory(const workload::ServletCatalog& catalog) {
+  return [&catalog](uint64_t id, Rng& rng, sim::SimTime now) {
+    const auto& servlet = catalog.servlet(catalog.sample(rng));
+    auto req = std::make_shared<ntier::RequestContext>();
+    req->id = id;
+    req->created = now;
+    req->demand_scale = {servlet.db_scale};
+    req->downstream_calls = {0};
+    return req;
+  };
+}
+
+model::ConcurrencyModel tomcat_reference_model(int servers) {
+  model::ConcurrencyModel m;
+  m.params = tomcat_cpu_model().params;
+  m.gamma = 1.0;
+  m.servers = servers;
+  m.visit_ratio = 1.0;
+  return m;
+}
+
+model::ConcurrencyModel mysql_reference_model(int servers) {
+  model::ConcurrencyModel m;
+  m.params = mysql_cpu_model().params;
+  m.gamma = 1.0;
+  m.servers = servers;
+  m.visit_ratio = kDbVisitRatio;
+  return m;
+}
+
+}  // namespace dcm::core

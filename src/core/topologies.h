@@ -1,0 +1,71 @@
+// Canonical deployments — the single source of truth for the calibrated
+// simulator parameters used by benches, tests and examples.
+//
+// The per-tier CPU models take (S0, α, β) directly from the paper's Table I
+// (they are the paper's own fitted ground truth), extended with a thrash
+// term for MySQL so the Fig. 2(a) collapse past ~2× the optimal concurrency
+// is as sharp as the measured system's (see DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+
+#include "model/concurrency_model.h"
+#include "ntier/app.h"
+#include "workload/closed_loop.h"
+#include "workload/servlet.h"
+
+namespace dcm::core {
+
+/// Visit ratio of the DB tier (queries per HTTP request, paper Sec. III-A).
+inline constexpr double kDbVisitRatio = 2.0;
+
+ntier::CpuModelConfig apache_cpu_model();
+ntier::CpuModelConfig tomcat_cpu_model();
+ntier::CpuModelConfig mysql_cpu_model();
+
+/// The paper's three-digit hardware notation #W/#A/#D.
+struct HardwareConfig {
+  int web = 1;
+  int app = 1;
+  int db = 1;
+};
+
+/// The paper's soft-resource notation #W_T/#A_T/#A_C: Apache threads,
+/// Tomcat threads, and the per-Tomcat DB connection pool.
+struct SoftAllocation {
+  int web_threads = 1000;
+  int app_threads = 100;
+  int db_connections = 80;
+};
+
+/// Builds the 3-tier RUBBoS-like deployment (web/app/db).
+ntier::AppConfig rubbos_app_config(HardwareConfig hw, SoftAllocation soft, uint64_t seed = 1,
+                                   int max_vms_per_tier = 8);
+
+/// The paper's alternative 4-tier deployment: an HAProxy tier fronting the
+/// databases (web/app/db-lb/db). The LB tier is a near-zero-demand
+/// pass-through and is never scaled; requests built by
+/// four_tier_request_factory() carry the extra hop.
+ntier::AppConfig rubbos_4tier_app_config(HardwareConfig hw, SoftAllocation soft,
+                                         uint64_t seed = 1, int max_vms_per_tier = 8);
+
+/// Request factory for the 4-tier layout (demand plan: web → app →
+/// db-lb → db, with the servlet's queries fanned through the LB hop).
+workload::RequestFactory four_tier_request_factory(const workload::ServletCatalog& catalog);
+
+/// Single-tier MySQL deployment for the Fig. 2(a) stress experiment: the
+/// worker cap is the "matching thread pool size" knob, so the offered JMeter
+/// concurrency is the request processing concurrency.
+ntier::AppConfig mysql_only_app_config(int worker_cap = 1000, uint64_t seed = 1);
+
+/// Request factory issuing raw single-query requests against the MySQL-only
+/// deployment (demand profile drawn from the catalog's servlets).
+workload::RequestFactory mysql_query_factory(const workload::ServletCatalog& catalog);
+
+/// Reference concurrency models built from the ground-truth parameters —
+/// what offline training recovers; used to seed DCM in tests/benches that
+/// skip the training phase. N_b ≈ 20 (Tomcat), ≈ 36 (MySQL), as in Table I.
+model::ConcurrencyModel tomcat_reference_model(int servers = 1);
+model::ConcurrencyModel mysql_reference_model(int servers = 1);
+
+}  // namespace dcm::core

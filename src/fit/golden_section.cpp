@@ -1,0 +1,58 @@
+#include "fit/golden_section.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcm::fit {
+
+GoldenResult golden_section_minimize(const std::function<double(double)>& f, double lo, double hi,
+                                     double tolerance, int max_iterations) {
+  DCM_CHECK(hi >= lo);
+  const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+
+  GoldenResult result;
+  double a = lo, b = hi;
+  double c = b - inv_phi * (b - a);
+  double d = a + inv_phi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  result.evaluations = 2;
+
+  for (int i = 0; i < max_iterations && (b - a) > tolerance; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - inv_phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + inv_phi * (b - a);
+      fd = f(d);
+    }
+    ++result.evaluations;
+  }
+  result.x = 0.5 * (a + b);
+  result.value = f(result.x);
+  ++result.evaluations;
+  return result;
+}
+
+int integer_argmin(const std::function<double(int)>& f, int lo, int hi) {
+  DCM_CHECK(hi >= lo);
+  int best = lo;
+  double best_value = f(lo);
+  for (int i = lo + 1; i <= hi; ++i) {
+    const double v = f(i);
+    if (v < best_value) {
+      best_value = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace dcm::fit

@@ -1,0 +1,23 @@
+// Golden-section search for a 1-D unimodal minimum, plus an integer-domain
+// variant used to pick the best whole-number concurrency.
+#pragma once
+
+#include <functional>
+
+namespace dcm::fit {
+
+struct GoldenResult {
+  double x = 0.0;
+  double value = 0.0;
+  int evaluations = 0;
+};
+
+/// Minimizes f over [lo, hi]; f is assumed unimodal on the interval.
+GoldenResult golden_section_minimize(const std::function<double(double)>& f, double lo, double hi,
+                                     double tolerance = 1e-8, int max_iterations = 200);
+
+/// Exhaustive argmin of f over integers in [lo, hi] (inclusive).
+/// Ties break toward the smaller argument.
+int integer_argmin(const std::function<double(int)>& f, int lo, int hi);
+
+}  // namespace dcm::fit

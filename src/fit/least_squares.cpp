@@ -1,0 +1,55 @@
+#include "fit/least_squares.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcm::fit {
+
+std::vector<double> linear_least_squares(const Matrix& a, const std::vector<double>& y) {
+  DCM_CHECK(a.rows() == y.size());
+  DCM_CHECK(a.rows() >= a.cols());
+  const Matrix at = a.transpose();
+  const Matrix ata = at * a;
+  // A^T y
+  std::vector<double> aty(a.cols(), 0.0);
+  for (size_t c = 0; c < a.cols(); ++c) {
+    double sum = 0.0;
+    for (size_t r = 0; r < a.rows(); ++r) sum += a(r, c) * y[r];
+    aty[c] = sum;
+  }
+  return ata.solve(aty);
+}
+
+std::vector<double> polyfit(const std::vector<double>& x, const std::vector<double>& y,
+                            int degree) {
+  DCM_CHECK(x.size() == y.size());
+  DCM_CHECK(degree >= 0);
+  DCM_CHECK(x.size() >= static_cast<size_t>(degree) + 1);
+  Matrix a(x.size(), static_cast<size_t>(degree) + 1);
+  for (size_t r = 0; r < x.size(); ++r) {
+    double pw = 1.0;
+    for (int c = 0; c <= degree; ++c) {
+      a(r, static_cast<size_t>(c)) = pw;
+      pw *= x[r];
+    }
+  }
+  return linear_least_squares(a, y);
+}
+
+double r_squared(const std::vector<double>& observed, const std::vector<double>& predicted) {
+  DCM_CHECK(observed.size() == predicted.size());
+  DCM_CHECK(!observed.empty());
+  double mean = 0.0;
+  for (double v : observed) mean += v;
+  mean /= static_cast<double>(observed.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - mean) * (observed[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace dcm::fit

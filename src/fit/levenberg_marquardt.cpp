@@ -1,0 +1,129 @@
+#include "fit/levenberg_marquardt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "fit/least_squares.h"
+#include "fit/matrix.h"
+
+namespace dcm::fit {
+namespace {
+
+void clip_to_bounds(std::vector<double>& params, const LmOptions& opt) {
+  if (!opt.lower_bounds.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i] = std::max(params[i], opt.lower_bounds[i]);
+    }
+  }
+  if (!opt.upper_bounds.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i] = std::min(params[i], opt.upper_bounds[i]);
+    }
+  }
+}
+
+double sse_of(const ModelFn& model, const std::vector<double>& params,
+              const std::vector<double>& x, const std::vector<double>& y) {
+  double sse = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - model(params, x[i]);
+    sse += r * r;
+  }
+  return sse;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const ModelFn& model, const std::vector<double>& x,
+                             const std::vector<double>& y, std::vector<double> initial,
+                             const LmOptions& options) {
+  DCM_CHECK(x.size() == y.size());
+  DCM_CHECK(!x.empty());
+  DCM_CHECK(!initial.empty());
+  if (!options.lower_bounds.empty()) DCM_CHECK(options.lower_bounds.size() == initial.size());
+  if (!options.upper_bounds.empty()) DCM_CHECK(options.upper_bounds.size() == initial.size());
+
+  const size_t n = x.size();
+  const size_t p = initial.size();
+
+  std::vector<double> params = std::move(initial);
+  clip_to_bounds(params, options);
+  double sse = sse_of(model, params, x, y);
+  double lambda = options.initial_lambda;
+
+  LmResult result;
+  result.params = params;
+  result.sse = sse;
+
+  std::vector<double> residuals(n);
+  Matrix jac(n, p);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Residuals and forward-difference Jacobian at current params.
+    for (size_t i = 0; i < n; ++i) residuals[i] = y[i] - model(params, x[i]);
+    for (size_t j = 0; j < p; ++j) {
+      const double h = std::max(std::fabs(params[j]) * options.jacobian_step, 1e-12);
+      std::vector<double> bumped = params;
+      bumped[j] += h;
+      for (size_t i = 0; i < n; ++i) {
+        jac(i, j) = (model(bumped, x[i]) - model(params, x[i])) / h;
+      }
+    }
+
+    // Normal equations: (J^T J + λ diag(J^T J)) δ = J^T r
+    const Matrix jt = jac.transpose();
+    Matrix jtj = jt * jac;
+    std::vector<double> jtr(p, 0.0);
+    for (size_t j = 0; j < p; ++j) {
+      double sum = 0.0;
+      for (size_t i = 0; i < n; ++i) sum += jac(i, j) * residuals[i];
+      jtr[j] = sum;
+    }
+
+    bool stepped = false;
+    for (int attempt = 0; attempt < 12 && !stepped; ++attempt) {
+      Matrix damped = jtj;
+      for (size_t j = 0; j < p; ++j) {
+        damped(j, j) += lambda * std::max(jtj(j, j), 1e-12);
+      }
+      const std::vector<double> delta = damped.solve(jtr);
+      if (delta.empty()) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      std::vector<double> trial = params;
+      for (size_t j = 0; j < p; ++j) trial[j] += delta[j];
+      clip_to_bounds(trial, options);
+      const double trial_sse = sse_of(model, trial, x, y);
+      if (trial_sse < sse) {
+        const double improvement = (sse - trial_sse) / std::max(sse, 1e-300);
+        params = std::move(trial);
+        sse = trial_sse;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        stepped = true;
+        if (improvement < options.tolerance) {
+          result.converged = true;
+        }
+      } else {
+        lambda *= options.lambda_up;
+      }
+    }
+    if (!stepped) {
+      // No downhill step found at any damping — treat as converged.
+      result.converged = true;
+    }
+    if (result.converged) break;
+  }
+
+  result.params = params;
+  result.sse = sse;
+  std::vector<double> predicted(n);
+  for (size_t i = 0; i < n; ++i) predicted[i] = model(params, x[i]);
+  result.r_squared = r_squared(y, predicted);
+  return result;
+}
+
+}  // namespace dcm::fit

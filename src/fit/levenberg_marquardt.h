@@ -1,0 +1,42 @@
+// Levenberg–Marquardt nonlinear least squares with numeric Jacobian.
+//
+// Fits model(params, x) to (x, y) pairs — this is the "Least-Square Fitting
+// method" the paper uses to estimate (S0, α, β, γ) in Eq. 7 (Sec. V-A).
+// Parameters can be box-constrained; steps are clipped into the box.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace dcm::fit {
+
+struct LmOptions {
+  int max_iterations = 200;
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.1;
+  /// Converged when the relative SSE improvement drops below this.
+  double tolerance = 1e-10;
+  /// Relative step used for the forward-difference Jacobian.
+  double jacobian_step = 1e-6;
+  /// Optional per-parameter bounds (empty = unbounded).
+  std::vector<double> lower_bounds;
+  std::vector<double> upper_bounds;
+};
+
+struct LmResult {
+  std::vector<double> params;
+  double sse = 0.0;        // final sum of squared residuals
+  double r_squared = 0.0;  // against the observations
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// model(params, x) -> predicted y.
+using ModelFn = std::function<double(const std::vector<double>&, double)>;
+
+LmResult levenberg_marquardt(const ModelFn& model, const std::vector<double>& x,
+                             const std::vector<double>& y, std::vector<double> initial,
+                             const LmOptions& options = {});
+
+}  // namespace dcm::fit

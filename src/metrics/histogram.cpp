@@ -1,0 +1,77 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcm::metrics {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  DCM_CHECK(edges_.size() >= 2);
+  for (size_t i = 1; i < edges_.size(); ++i) DCM_CHECK(edges_[i] > edges_[i - 1]);
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+Histogram Histogram::linear(double lo, double hi, int buckets) {
+  DCM_CHECK(buckets >= 1);
+  DCM_CHECK(hi > lo);
+  std::vector<double> edges(static_cast<size_t>(buckets) + 1);
+  for (int i = 0; i <= buckets; ++i) {
+    edges[static_cast<size_t>(i)] = lo + (hi - lo) * i / buckets;
+  }
+  return Histogram(std::move(edges));
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, int buckets_per_decade) {
+  DCM_CHECK(lo > 0.0);
+  DCM_CHECK(hi > lo);
+  DCM_CHECK(buckets_per_decade >= 1);
+  const double decades = std::log10(hi / lo);
+  const int buckets = std::max(1, static_cast<int>(std::ceil(decades * buckets_per_decade)));
+  std::vector<double> edges(static_cast<size_t>(buckets) + 1);
+  for (int i = 0; i <= buckets; ++i) {
+    edges[static_cast<size_t>(i)] = lo * std::pow(hi / lo, static_cast<double>(i) / buckets);
+  }
+  return Histogram(std::move(edges));
+}
+
+void Histogram::add(double x, uint64_t weight) {
+  size_t idx;
+  if (x < edges_.front()) {
+    idx = 0;  // underflow
+  } else if (x >= edges_.back()) {
+    idx = counts_.size() - 1;  // overflow
+  } else {
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+    idx = static_cast<size_t>(it - edges_.begin());  // 1..B
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+double Histogram::quantile(double q) const {
+  DCM_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      if (i == 0) return edges_.front();
+      if (i == counts_.size() - 1) return edges_.back();
+      // Linear interpolation inside bucket i (covers edges_[i-1], edges_[i]).
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return edges_[i - 1] + frac * (edges_[i] - edges_[i - 1]);
+    }
+    cum = next;
+  }
+  return edges_.back();
+}
+
+}  // namespace dcm::metrics

@@ -1,0 +1,38 @@
+// Fixed-bucket histograms with quantile interpolation.
+//
+// Two layouts: linear (equal-width buckets over [lo, hi]) and log2-spaced
+// (for latency, where the dynamic range spans microseconds to seconds).
+// Out-of-range samples land in underflow/overflow buckets and still count
+// toward quantiles at the range edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dcm::metrics {
+
+class Histogram {
+ public:
+  /// Equal-width buckets over [lo, hi].
+  static Histogram linear(double lo, double hi, int buckets);
+  /// Log-spaced buckets over [lo, hi] (lo > 0).
+  static Histogram logarithmic(double lo, double hi, int buckets_per_decade = 16);
+
+  void add(double x, uint64_t weight = 1);
+  void reset();
+
+  uint64_t count() const { return total_; }
+  double quantile(double q) const;  // q in [0,1]
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  Histogram(std::vector<double> edges);
+
+  std::vector<double> edges_;    // ascending bucket boundaries, size B+1
+  std::vector<uint64_t> counts_;  // size B+2: [underflow, B buckets, overflow]
+  uint64_t total_ = 0;
+};
+
+}  // namespace dcm::metrics

@@ -1,0 +1,101 @@
+#include "metrics/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcm::metrics {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  DCM_CHECK(q > 0.0 && q < 1.0);
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double qi = heights_[static_cast<size_t>(i)];
+  const double qp = heights_[static_cast<size_t>(i + 1)];
+  const double qm = heights_[static_cast<size_t>(i - 1)];
+  const double ni = positions_[static_cast<size_t>(i)];
+  const double np = positions_[static_cast<size_t>(i + 1)];
+  const double nm = positions_[static_cast<size_t>(i - 1)];
+  return qi + d / (np - nm) *
+                  ((ni - nm + d) * (qp - qi) / (np - ni) + (np - ni - d) * (qi - qm) / (ni - nm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[static_cast<size_t>(i)] +
+         d * (heights_[static_cast<size_t>(j)] - heights_[static_cast<size_t>(i)]) /
+             (positions_[static_cast<size_t>(j)] - positions_[static_cast<size_t>(i)]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[static_cast<size_t>(i)] = i + 1;
+    }
+    return;
+  }
+
+  // Locate the cell containing x and clamp extremes into the end markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    for (int i = 1; i < 5; ++i) {
+      if (x < heights_[static_cast<size_t>(i)]) {
+        k = i - 1;
+        break;
+      }
+    }
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[static_cast<size_t>(i)] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[static_cast<size_t>(i)] += increments_[static_cast<size_t>(i)];
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[static_cast<size_t>(i)] - positions_[static_cast<size_t>(i)];
+    const double np = positions_[static_cast<size_t>(i + 1)];
+    const double nm = positions_[static_cast<size_t>(i - 1)];
+    const double ni = positions_[static_cast<size_t>(i)];
+    if ((d >= 1.0 && np - ni > 1.0) || (d <= -1.0 && nm - ni < -1.0)) {
+      const double dir = d >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, dir);
+      if (candidate <= heights_[static_cast<size_t>(i - 1)] ||
+          candidate >= heights_[static_cast<size_t>(i + 1)]) {
+        candidate = linear(i, dir);
+      }
+      heights_[static_cast<size_t>(i)] = candidate;
+      positions_[static_cast<size_t>(i)] += dir;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile over the few samples seen so far.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    const double idx = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, static_cast<size_t>(count_ - 1));
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace dcm::metrics

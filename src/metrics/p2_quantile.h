@@ -1,0 +1,37 @@
+// P² streaming quantile estimator (Jain & Chlamtac, 1985).
+//
+// Estimates a single quantile in O(1) memory without storing samples; used
+// by monitoring agents to report per-second p95/p99 latency cheaply.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dcm::metrics {
+
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.95.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate; exact for the first five samples, P²-interpolated
+  /// after. Returns 0 before any sample.
+  double value() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  uint64_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{};  // actual marker positions
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace dcm::metrics

@@ -1,0 +1,68 @@
+#include "metrics/sliding_window.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcm::metrics {
+
+SlidingWindowStat::SlidingWindowStat(sim::SimTime window) : window_(window) {
+  DCM_CHECK(window > 0);
+}
+
+void SlidingWindowStat::add(sim::SimTime now, double value) {
+  DCM_CHECK_MSG(points_.empty() || now >= points_.back().first, "out-of-order sample");
+  points_.emplace_back(now, value);
+}
+
+void SlidingWindowStat::evict(sim::SimTime now) {
+  const sim::SimTime cutoff = now - window_;
+  while (!points_.empty() && points_.front().first <= cutoff) points_.pop_front();
+}
+
+double SlidingWindowStat::mean(sim::SimTime now) {
+  evict(now);
+  if (points_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [t, v] : points_) sum += v;
+  return sum / static_cast<double>(points_.size());
+}
+
+double SlidingWindowStat::max(sim::SimTime now) {
+  evict(now);
+  double best = 0.0;
+  bool first = true;
+  for (const auto& [t, v] : points_) {
+    best = first ? v : std::max(best, v);
+    first = false;
+  }
+  return best;
+}
+
+size_t SlidingWindowStat::count(sim::SimTime now) {
+  evict(now);
+  return points_.size();
+}
+
+SlidingRate::SlidingRate(sim::SimTime window) : window_(window) { DCM_CHECK(window > 0); }
+
+void SlidingRate::add(sim::SimTime now, double weight) {
+  DCM_CHECK_MSG(events_.empty() || now >= events_.back().first, "out-of-order event");
+  events_.emplace_back(now, weight);
+  sum_ += weight;
+}
+
+void SlidingRate::evict(sim::SimTime now) {
+  const sim::SimTime cutoff = now - window_;
+  while (!events_.empty() && events_.front().first <= cutoff) {
+    sum_ -= events_.front().second;
+    events_.pop_front();
+  }
+}
+
+double SlidingRate::rate(sim::SimTime now) {
+  evict(now);
+  return sum_ / sim::to_seconds(window_);
+}
+
+}  // namespace dcm::metrics

@@ -1,0 +1,50 @@
+// Time-windowed aggregates.
+//
+// SlidingWindowStat keeps (time, value) observations and answers mean/max
+// over the trailing window — the controller's view of "utilisation over the
+// last control period". SlidingRate counts events per trailing window —
+// per-server throughput.
+#pragma once
+
+#include <deque>
+
+#include "sim/time.h"
+
+namespace dcm::metrics {
+
+class SlidingWindowStat {
+ public:
+  explicit SlidingWindowStat(sim::SimTime window);
+
+  void add(sim::SimTime now, double value);
+
+  /// Aggregates over observations with time > now - window.
+  double mean(sim::SimTime now);
+  double max(sim::SimTime now);
+  size_t count(sim::SimTime now);
+
+ private:
+  void evict(sim::SimTime now);
+
+  sim::SimTime window_;
+  std::deque<std::pair<sim::SimTime, double>> points_;
+};
+
+class SlidingRate {
+ public:
+  explicit SlidingRate(sim::SimTime window);
+
+  void add(sim::SimTime now, double weight = 1.0);
+
+  /// Events per second over the trailing window.
+  double rate(sim::SimTime now);
+
+ private:
+  void evict(sim::SimTime now);
+
+  sim::SimTime window_;
+  std::deque<std::pair<sim::SimTime, double>> events_;
+  double sum_ = 0.0;
+};
+
+}  // namespace dcm::metrics

@@ -1,0 +1,51 @@
+#include "metrics/timeseries.h"
+
+#include "common/check.h"
+
+namespace dcm::metrics {
+
+TimeSeries::TimeSeries(std::string name, sim::SimTime bucket_width)
+    : name_(std::move(name)), bucket_width_(bucket_width) {
+  DCM_CHECK(bucket_width_ > 0);
+}
+
+size_t TimeSeries::bucket_index(sim::SimTime t) {
+  DCM_CHECK(t >= 0);
+  const auto idx = static_cast<size_t>(t / bucket_width_);
+  while (buckets_.size() <= idx) {
+    buckets_.push_back(BucketStat{static_cast<sim::SimTime>(buckets_.size()) * bucket_width_, {}});
+  }
+  return idx;
+}
+
+void TimeSeries::add(sim::SimTime t, double value) { buckets_[bucket_index(t)].stat.add(value); }
+
+std::vector<std::pair<double, double>> TimeSeries::mean_series() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.emplace_back(sim::to_seconds(b.start), b.stat.mean());
+  return out;
+}
+
+std::vector<std::pair<double, double>> TimeSeries::rate_series() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(buckets_.size());
+  const double width_s = sim::to_seconds(bucket_width_);
+  for (const auto& b : buckets_) out.emplace_back(sim::to_seconds(b.start), b.stat.sum() / width_s);
+  return out;
+}
+
+std::vector<std::pair<double, double>> TimeSeries::max_series() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.emplace_back(sim::to_seconds(b.start), b.stat.max());
+  return out;
+}
+
+Welford TimeSeries::overall() const {
+  Welford total;
+  for (const auto& b : buckets_) total.merge(b.stat);
+  return total;
+}
+
+}  // namespace dcm::metrics

@@ -1,0 +1,49 @@
+// Bucketed time-series recorder.
+//
+// Benches record per-second series (throughput, response time, #VMs, CPU
+// util) exactly as the paper's figures plot them. Samples are aggregated
+// into fixed-width buckets; each bucket reports count/mean/min/max/sum.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/welford.h"
+#include "sim/time.h"
+
+namespace dcm::metrics {
+
+struct BucketStat {
+  sim::SimTime start = 0;
+  Welford stat;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, sim::SimTime bucket_width);
+
+  void add(sim::SimTime t, double value);
+
+  const std::string& name() const { return name_; }
+  sim::SimTime bucket_width() const { return bucket_width_; }
+  const std::vector<BucketStat>& buckets() const { return buckets_; }
+
+  /// (bucket start seconds, bucket mean) pairs — the plottable series.
+  std::vector<std::pair<double, double>> mean_series() const;
+  /// (bucket start seconds, bucket sum / bucket width) — a rate series.
+  std::vector<std::pair<double, double>> rate_series() const;
+  /// (bucket start seconds, bucket max).
+  std::vector<std::pair<double, double>> max_series() const;
+
+  /// Aggregate over the whole recording.
+  Welford overall() const;
+
+ private:
+  size_t bucket_index(sim::SimTime t);
+
+  std::string name_;
+  sim::SimTime bucket_width_;
+  std::vector<BucketStat> buckets_;
+};
+
+}  // namespace dcm::metrics

@@ -1,0 +1,31 @@
+// Streaming mean/variance/extrema via Welford's algorithm.
+#pragma once
+
+#include <cstdint>
+
+namespace dcm::metrics {
+
+class Welford {
+ public:
+  void add(double x);
+  void merge(const Welford& other);
+  void reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dcm::metrics

@@ -1,0 +1,50 @@
+#include "model/bottleneck.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcm::model {
+
+BottleneckReport analyze_bottleneck(const std::vector<TierDemand>& tiers) {
+  DCM_CHECK(!tiers.empty());
+  BottleneckReport report;
+  report.tier_capacity.reserve(tiers.size());
+
+  double min_capacity = 0.0;
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    const TierDemand& t = tiers[i];
+    DCM_CHECK(t.visit_ratio > 0.0);
+    DCM_CHECK(t.service_time > 0.0);
+    DCM_CHECK(t.servers >= 1);
+    DCM_CHECK(t.gamma > 0.0);
+    const double capacity =
+        t.gamma * static_cast<double>(t.servers) / (t.visit_ratio * t.service_time);
+    report.tier_capacity.push_back(capacity);
+    if (report.bottleneck_tier < 0 || capacity < min_capacity) {
+      min_capacity = capacity;
+      report.bottleneck_tier = static_cast<int>(i);
+    }
+  }
+  report.max_throughput = min_capacity;
+
+  report.utilization_at_peak.reserve(tiers.size());
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    report.utilization_at_peak.push_back(min_capacity / report.tier_capacity[i]);
+  }
+  return report;
+}
+
+double throughput_from_utilization(const TierDemand& tier, double utilization) {
+  DCM_CHECK(tier.visit_ratio > 0.0 && tier.service_time > 0.0);
+  return utilization * tier.gamma * static_cast<double>(tier.servers) /
+         (tier.visit_ratio * tier.service_time);
+}
+
+double utilization_at_throughput(const TierDemand& tier, double x) {
+  DCM_CHECK(tier.visit_ratio > 0.0 && tier.service_time > 0.0);
+  return x * tier.visit_ratio * tier.service_time /
+         (tier.gamma * static_cast<double>(tier.servers));
+}
+
+}  // namespace dcm::model

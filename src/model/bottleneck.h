@@ -1,0 +1,40 @@
+// Operational-law bottleneck analysis (paper Sec. III-A, Eq. 1–4).
+//
+// Given per-tier visit ratios V_m, service demands S_m and server counts
+// K_m, computes each tier's total demand, identifies the bottleneck tier,
+// and bounds system throughput (Utilization Law + Forced Flow Law).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dcm::model {
+
+struct TierDemand {
+  std::string name;
+  double visit_ratio = 1.0;    // V_m — sub-requests per HTTP request
+  double service_time = 0.0;   // S_m — seconds per sub-request
+  int servers = 1;             // K_m
+  double gamma = 1.0;          // multi-server correction (Eq. 4)
+};
+
+struct BottleneckReport {
+  int bottleneck_tier = -1;     // index into the input vector
+  double max_throughput = 0.0;  // Eq. 4 at the bottleneck
+  /// Per-tier capacity γ_m·K_m/(V_m·S_m); the system bound is the min.
+  std::vector<double> tier_capacity;
+  /// Predicted utilisation of each tier when running at max_throughput.
+  std::vector<double> utilization_at_peak;
+};
+
+/// Analyzes a fixed configuration. Tiers must be non-empty with positive
+/// demands.
+BottleneckReport analyze_bottleneck(const std::vector<TierDemand>& tiers);
+
+/// Eq. 2 — system throughput implied by observing utilisation U_m at tier m.
+double throughput_from_utilization(const TierDemand& tier, double utilization);
+
+/// Utilization Law inverse: utilisation of `tier` at system throughput x.
+double utilization_at_throughput(const TierDemand& tier, double x);
+
+}  // namespace dcm::model

@@ -1,0 +1,103 @@
+#include "model/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "fit/levenberg_marquardt.h"
+
+namespace dcm::model {
+namespace {
+
+std::pair<std::vector<double>, std::vector<double>> unzip(
+    const std::vector<TrainingSample>& samples) {
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    DCM_CHECK(s.concurrency >= 1.0);
+    DCM_CHECK(s.throughput >= 0.0);
+    x.push_back(s.concurrency);
+    y.push_back(s.throughput);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+double peak_throughput(const std::vector<double>& y) {
+  return *std::max_element(y.begin(), y.end());
+}
+
+}  // namespace
+
+Trainer::Trainer(int servers, double visit_ratio) : servers_(servers), visit_ratio_(visit_ratio) {
+  DCM_CHECK(servers_ >= 1);
+  DCM_CHECK(visit_ratio_ > 0.0);
+}
+
+TrainedModel Trainer::fit_with_known_s0(double s0,
+                                        const std::vector<TrainingSample>& samples) const {
+  DCM_CHECK(s0 > 0.0);
+  DCM_CHECK_MSG(samples.size() >= 4, "need at least 4 samples to fit 3 parameters");
+  auto [x, y] = unzip(samples);
+  const double k = static_cast<double>(servers_);
+  const double v = visit_ratio_;
+
+  // params = {alpha, beta, gamma}
+  const fit::ModelFn fn = [s0, k, v](const std::vector<double>& p, double n) {
+    const double denom = s0 + p[0] * (n - 1.0) + p[1] * n * (n - 1.0);
+    return p[2] * k * n / (v * denom);
+  };
+
+  fit::LmOptions opt;
+  opt.lower_bounds = {0.0, 0.0, 1e-6};
+  opt.upper_bounds = {s0, s0, 1e6};
+  // Initial guess: γ from the single-thread point if present, mild overhead.
+  const double x1 = y.front() > 0 ? y.front() : peak_throughput(y);
+  const double gamma0 = std::max(1e-3, x1 * v * s0 / (k * x.front()));
+  const auto lm = fit::levenberg_marquardt(fn, x, y, {s0 * 0.1, s0 * 1e-3, gamma0}, opt);
+
+  TrainedModel out;
+  out.model.params = {s0, lm.params[0], lm.params[1]};
+  out.model.gamma = lm.params[2];
+  out.model.servers = servers_;
+  out.model.visit_ratio = visit_ratio_;
+  out.r_squared = lm.r_squared;
+  out.samples = static_cast<int>(samples.size());
+  out.converged = lm.converged;
+  return out;
+}
+
+TrainedModel Trainer::fit_normalized(const std::vector<TrainingSample>& samples) const {
+  DCM_CHECK_MSG(samples.size() >= 4, "need at least 4 samples to fit 3 parameters");
+  auto [x, y] = unzip(samples);
+  const double k = static_cast<double>(servers_);
+  const double v = visit_ratio_;
+
+  // params = {s0, alpha, beta}, gamma pinned at 1.
+  const fit::ModelFn fn = [k, v](const std::vector<double>& p, double n) {
+    const double denom = p[0] + p[1] * (n - 1.0) + p[2] * n * (n - 1.0);
+    return k * n / (v * denom);
+  };
+
+  // Initial S0 from the lowest-concurrency sample: X(1) ≈ K/(V·S0).
+  const double x_low = y.front() > 0 ? y.front() : peak_throughput(y);
+  const double s0_guess = std::max(1e-6, k / (v * x_low));
+
+  fit::LmOptions opt;
+  opt.lower_bounds = {1e-9, 0.0, 0.0};
+  opt.upper_bounds = {1e3, 1e3, 1e3};
+  const auto lm = fit::levenberg_marquardt(fn, x, y, {s0_guess, s0_guess * 0.1, s0_guess * 1e-3},
+                                           opt);
+
+  TrainedModel out;
+  out.model.params = {lm.params[0], lm.params[1], lm.params[2]};
+  out.model.gamma = 1.0;
+  out.model.servers = servers_;
+  out.model.visit_ratio = visit_ratio_;
+  out.r_squared = lm.r_squared;
+  out.samples = static_cast<int>(samples.size());
+  out.converged = lm.converged;
+  return out;
+}
+
+}  // namespace dcm::model

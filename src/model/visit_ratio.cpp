@@ -1,0 +1,38 @@
+#include "model/visit_ratio.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcm::model {
+
+VisitRatioEstimator::VisitRatioEstimator(size_t tiers) : throughput_sum_(tiers, 0.0) {
+  DCM_CHECK(tiers >= 1);
+}
+
+void VisitRatioEstimator::observe(size_t tier, double throughput) {
+  if (tier >= throughput_sum_.size() || throughput < 0.0) return;
+  throughput_sum_[tier] += throughput;
+  if (tier == 0 && throughput > 0.0) ++front_samples_;
+}
+
+double VisitRatioEstimator::visit_ratio(size_t tier) const {
+  DCM_CHECK(tier < throughput_sum_.size());
+  const double front = throughput_sum_[0];
+  if (front <= 0.0) return 0.0;
+  return throughput_sum_[tier] / front;
+}
+
+std::vector<double> VisitRatioEstimator::all_ratios() const {
+  std::vector<double> out;
+  out.reserve(throughput_sum_.size());
+  for (size_t i = 0; i < throughput_sum_.size(); ++i) out.push_back(visit_ratio(i));
+  return out;
+}
+
+void VisitRatioEstimator::reset() {
+  std::fill(throughput_sum_.begin(), throughput_sum_.end(), 0.0);
+  front_samples_ = 0;
+}
+
+}  // namespace dcm::model

@@ -1,0 +1,41 @@
+// Visit-ratio estimation from monitoring data (Forced Flow Law, Eq. 1).
+//
+// The paper assumes V_m is known from workload characteristics ("a sample
+// HTTP request … triggers two subsequent queries to MySQL"). In production
+// the mix drifts, so DCM's model inputs should be measured: V_m is simply
+// the ratio of tier-m completion throughput to front-tier (system)
+// throughput over a window. Feed it the per-second per-server throughputs
+// the monitoring bus already carries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcm::model {
+
+class VisitRatioEstimator {
+ public:
+  /// `tiers` = number of tiers; tier 0 (the client-facing tier) defines the
+  /// system-throughput baseline.
+  explicit VisitRatioEstimator(size_t tiers);
+
+  /// Feeds one per-second server throughput observation for a tier.
+  void observe(size_t tier, double throughput);
+
+  /// Estimated V_m = Σ tier-m throughput / Σ front-tier throughput.
+  /// Returns 0 while the front tier has seen no traffic.
+  double visit_ratio(size_t tier) const;
+  std::vector<double> all_ratios() const;
+
+  /// Number of non-zero front-tier observations (confidence proxy).
+  uint64_t observations() const { return front_samples_; }
+
+  void reset();
+
+ private:
+  std::vector<double> throughput_sum_;  // per tier
+  uint64_t front_samples_ = 0;
+};
+
+}  // namespace dcm::model

@@ -1,0 +1,40 @@
+#include "ntier/app.h"
+
+#include "common/check.h"
+
+namespace dcm::ntier {
+
+NTierApp::NTierApp(sim::Engine& engine, AppConfig config) : engine_(&engine), rng_(config.seed) {
+  DCM_CHECK_MSG(!config.tiers.empty(), "app needs at least one tier");
+  tiers_.reserve(config.tiers.size());
+  for (size_t depth = 0; depth < config.tiers.size(); ++depth) {
+    tiers_.push_back(std::make_unique<Tier>(engine, config.tiers[depth],
+                                            static_cast<int>(depth), rng_));
+  }
+  for (size_t depth = 0; depth + 1 < tiers_.size(); ++depth) {
+    tiers_[depth]->set_downstream(tiers_[depth + 1].get());
+  }
+}
+
+void NTierApp::submit(const RequestPtr& request, DoneFn done) {
+  tiers_.front()->dispatch(request, std::move(done));
+}
+
+Tier& NTierApp::tier(size_t index) {
+  DCM_CHECK(index < tiers_.size());
+  return *tiers_[index];
+}
+
+const Tier& NTierApp::tier(size_t index) const {
+  DCM_CHECK(index < tiers_.size());
+  return *tiers_[index];
+}
+
+Tier* NTierApp::find_tier(const std::string& name) {
+  for (auto& t : tiers_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+}  // namespace dcm::ntier

@@ -1,0 +1,47 @@
+// NTierApp — the deployed application: a chain of tiers (e.g. Apache web →
+// Tomcat app → MySQL DB), wired front to back.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ntier/request.h"
+#include "ntier/tier.h"
+#include "sim/engine.h"
+
+namespace dcm::ntier {
+
+struct AppConfig {
+  std::vector<TierConfig> tiers;  // index 0 = front (client-facing) tier
+  uint64_t seed = 1;
+};
+
+class NTierApp {
+ public:
+  NTierApp(sim::Engine& engine, AppConfig config);
+
+  NTierApp(const NTierApp&) = delete;
+  NTierApp& operator=(const NTierApp&) = delete;
+
+  /// Injects one HTTP request at the front tier.
+  void submit(const RequestPtr& request, DoneFn done);
+
+  size_t tier_count() const { return tiers_.size(); }
+  Tier& tier(size_t index);
+  const Tier& tier(size_t index) const;
+  /// Finds a tier by name; nullptr if absent.
+  Tier* find_tier(const std::string& name);
+
+  sim::Engine& engine() { return *engine_; }
+  Rng& rng() { return rng_; }
+  uint64_t next_request_id() { return next_request_id_++; }
+
+ private:
+  sim::Engine* engine_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Tier>> tiers_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace dcm::ntier

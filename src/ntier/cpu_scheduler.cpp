@@ -1,0 +1,118 @@
+#include "ntier/cpu_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcm::ntier {
+
+double CpuModelConfig::inflated_service_time(double n) const {
+  double s = model::inflated_service_time(params, n);
+  if (thrash_factor > 0.0 && n > thrash_threshold) {
+    const double over = n - thrash_threshold;
+    s += thrash_factor * over * over;
+  }
+  return s;
+}
+
+double CpuModelConfig::capacity(double n) const {
+  if (n < 1.0) n = 1.0;
+  return n * params.s0 / inflated_service_time(n);
+}
+
+double CpuModelConfig::throughput_at(double n) const {
+  if (n < 1.0) n = 1.0;
+  return n / inflated_service_time(n);
+}
+
+CpuScheduler::CpuScheduler(sim::Engine& engine, CpuModelConfig config)
+    : engine_(&engine), config_(config) {
+  DCM_CHECK(config_.params.valid());
+  last_advance_ = engine_->now();
+}
+
+double CpuScheduler::per_job_rate() const {
+  if (live_jobs_ == 0) return 0.0;
+  const double n = std::max<double>(thread_count_, static_cast<double>(live_jobs_));
+  const double cap = config_.capacity(n);
+  return std::min(1.0, cap / static_cast<double>(live_jobs_));
+}
+
+double CpuScheduler::instantaneous_util() const {
+  if (live_jobs_ == 0) return 0.0;
+  const double n = std::max<double>(thread_count_, static_cast<double>(live_jobs_));
+  const double cap = config_.capacity(n);
+  return std::min(1.0, static_cast<double>(live_jobs_) / cap);
+}
+
+void CpuScheduler::advance() const {
+  const sim::SimTime now = engine_->now();
+  if (now == last_advance_) return;
+  const double dt = sim::to_seconds(now - last_advance_);
+  const double rate = per_job_rate();
+  virtual_clock_ += rate * dt;
+  util_integral_ += instantaneous_util() * dt;
+  work_done_ += rate * static_cast<double>(live_jobs_) * dt;
+  last_advance_ = now;
+}
+
+double CpuScheduler::util_integral() const {
+  advance();
+  return util_integral_;
+}
+
+void CpuScheduler::reschedule() {
+  pending_completion_.cancel();
+  if (live_jobs_ == 0) return;
+  const double rate = per_job_rate();
+  DCM_CHECK(rate > 0.0);
+  const double remaining = jobs_.top().finish_virtual - virtual_clock_;
+  const double dt_seconds = std::max(0.0, remaining / rate);
+  // Ceil to a whole nanosecond so the virtual clock is guaranteed to have
+  // crossed the finish mark when the event fires.
+  const auto delay = static_cast<sim::SimTime>(
+      std::ceil(dt_seconds * static_cast<double>(sim::kNanosPerSecond)));
+  pending_completion_ = engine_->schedule_after(delay, [this] { on_completion_event(); });
+}
+
+void CpuScheduler::on_completion_event() {
+  advance();
+  constexpr double kEps = 1e-12;
+  std::vector<std::function<void()>> done_fns;
+  while (!jobs_.empty() && jobs_.top().finish_virtual <= virtual_clock_ + kEps) {
+    done_fns.push_back(std::move(const_cast<Job&>(jobs_.top()).done));
+    jobs_.pop();
+    --live_jobs_;
+    ++jobs_completed_;
+  }
+  reschedule();
+  // Run completions after internal state settles — they may re-enter via
+  // submit() or set_thread_count().
+  for (auto& fn : done_fns) fn();
+}
+
+void CpuScheduler::submit(double work, std::function<void()> done) {
+  DCM_CHECK(work >= 0.0);
+  advance();
+  jobs_.push(Job{virtual_clock_ + work, next_seq_++, std::move(done)});
+  ++live_jobs_;
+  reschedule();
+}
+
+void CpuScheduler::abort_all() {
+  advance();
+  while (!jobs_.empty()) jobs_.pop();
+  live_jobs_ = 0;
+  pending_completion_.cancel();
+}
+
+void CpuScheduler::set_thread_count(int n) {
+  DCM_CHECK(n >= 0);
+  if (n == thread_count_) return;
+  advance();
+  thread_count_ = n;
+  if (live_jobs_ > 0) reschedule();
+}
+
+}  // namespace dcm::ntier

@@ -1,0 +1,121 @@
+// State-dependent processor-sharing CPU model.
+//
+// This is where the paper's multi-threading service-time model (Sec. III-B)
+// becomes the simulator's ground truth. With N busy worker threads on the
+// server (including threads blocked on downstream calls — they still incur
+// context/coherency overhead), the inflated per-request service time is
+//
+//   S*(N) = S0 + α(N−1) + βN(N−1) + θ·max(0, N−T)²
+//
+// The first three terms are the paper's Eq. 5; the θ term is a "thrash"
+// extension modelling the sharp collapse a real MySQL exhibits past a memory
+// /lock-contention threshold T (the paper's Fig. 2a shows this cliff; the
+// quadratic alone is too gentle). The aggregate CPU capacity is then
+//
+//   cap(N) = N·S0 / S*(N)   [work-seconds per second]
+//
+// shared equally among the n_c jobs currently executing CPU work, with each
+// job's progress clamped at 1 work-sec/sec (a single thread cannot run
+// faster than real time). For a leaf tier where every thread is CPU-active,
+// the completion rate at concurrency N is exactly N/S*(N) — Eq. 7.
+//
+// Implementation: virtual-time processor sharing. All active jobs progress
+// at the same rate, so each job finishes when the shared virtual-work clock
+// V reaches (V at entry + its work); a min-heap keyed on that finish value
+// yields O(log n) per event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "model/concurrency_model.h"
+#include "sim/engine.h"
+
+namespace dcm::ntier {
+
+struct CpuModelConfig {
+  model::ServiceTimeParams params;  // S0 (reference demand), α, β
+  double thrash_threshold = 1e18;   // T — concurrency where thrashing starts
+  double thrash_factor = 0.0;       // θ — quadratic thrash coefficient
+
+  /// S*(n) including the thrash extension.
+  double inflated_service_time(double n) const;
+  /// cap(n) in work-seconds/second.
+  double capacity(double n) const;
+  /// n / S*(n) — requests/second a leaf server sustains at concurrency n.
+  double throughput_at(double n) const;
+};
+
+class CpuScheduler {
+ public:
+  CpuScheduler(sim::Engine& engine, CpuModelConfig config);
+
+  CpuScheduler(const CpuScheduler&) = delete;
+  CpuScheduler& operator=(const CpuScheduler&) = delete;
+
+  /// Submits `work` seconds of single-threaded CPU work; `done` fires when
+  /// it completes under processor sharing.
+  void submit(double work, std::function<void()> done);
+
+  /// The owning server reports its busy worker-thread count (capacity input).
+  void set_thread_count(int n);
+
+  /// Drops every in-progress job without running its completion callback —
+  /// the CPU side of a server crash. Accounting up to now is preserved.
+  void abort_all();
+
+  int active_jobs() const { return static_cast<int>(live_jobs_); }
+  int thread_count() const { return thread_count_; }
+
+  /// ∫ utilisation dt (seconds); utilisation is 1.0 when the CPU is the
+  /// limiting factor and n_active/cap(N) when jobs are self-limited.
+  double util_integral() const;
+  /// Total work-seconds completed.
+  double work_done() const {
+    advance();
+    return work_done_;
+  }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+
+  const CpuModelConfig& config() const { return config_; }
+
+ private:
+  struct Job {
+    double finish_virtual;
+    uint64_t seq;
+    std::function<void()> done;
+  };
+  struct LaterFinish {
+    bool operator()(const Job& a, const Job& b) const {
+      if (a.finish_virtual != b.finish_virtual) return a.finish_virtual > b.finish_virtual;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Folds elapsed wall time into the virtual clock and the util integral.
+  void advance() const;
+  double per_job_rate() const;  // work-sec/sec each active job receives
+  double instantaneous_util() const;
+  void reschedule();
+  void on_completion_event();
+
+  sim::Engine* engine_;
+  CpuModelConfig config_;
+
+  std::priority_queue<Job, std::vector<Job>, LaterFinish> jobs_;
+  uint64_t live_jobs_ = 0;
+  uint64_t next_seq_ = 0;
+  int thread_count_ = 0;
+
+  mutable double virtual_clock_ = 0.0;
+  mutable double util_integral_ = 0.0;
+  mutable sim::SimTime last_advance_ = 0;
+
+  sim::EventHandle pending_completion_;
+  mutable double work_done_ = 0.0;
+  uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace dcm::ntier

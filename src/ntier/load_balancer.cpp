@@ -1,0 +1,45 @@
+#include "ntier/load_balancer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "ntier/server.h"
+
+namespace dcm::ntier {
+
+void LoadBalancer::add(Server* server) {
+  DCM_CHECK(server != nullptr);
+  DCM_CHECK_MSG(std::find(members_.begin(), members_.end(), server) == members_.end(),
+                "server already registered");
+  members_.push_back(server);
+}
+
+void LoadBalancer::remove(Server* server) {
+  const auto it = std::find(members_.begin(), members_.end(), server);
+  DCM_CHECK_MSG(it != members_.end(), "removing unregistered server");
+  const auto idx = static_cast<size_t>(it - members_.begin());
+  members_.erase(it);
+  if (next_ > idx) --next_;
+  if (!members_.empty()) next_ %= members_.size();
+}
+
+Server* LoadBalancer::pick() {
+  if (members_.empty()) return nullptr;
+  switch (policy_) {
+    case LbPolicy::kRoundRobin: {
+      Server* chosen = members_[next_];
+      next_ = (next_ + 1) % members_.size();
+      return chosen;
+    }
+    case LbPolicy::kLeastConnections: {
+      Server* best = members_.front();
+      for (Server* s : members_) {
+        if (s->in_flight() < best->in_flight()) best = s;
+      }
+      return best;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace dcm::ntier

@@ -1,0 +1,37 @@
+// Tier-front load balancer (the HAProxy substitute).
+//
+// Balances visits across the tier's ACTIVE servers. Round-robin matches
+// HAProxy's default; least-connections is provided for the ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcm::ntier {
+
+class Server;
+
+enum class LbPolicy { kRoundRobin, kLeastConnections };
+
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(LbPolicy policy) : policy_(policy) {}
+
+  void add(Server* server);
+  void remove(Server* server);
+
+  /// Picks a backend, or nullptr when no member is registered.
+  Server* pick();
+
+  size_t member_count() const { return members_.size(); }
+  const std::vector<Server*>& members() const { return members_; }
+  LbPolicy policy() const { return policy_; }
+
+ private:
+  LbPolicy policy_;
+  std::vector<Server*> members_;
+  size_t next_ = 0;
+};
+
+}  // namespace dcm::ntier

@@ -1,0 +1,72 @@
+#include "ntier/metric_sample.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace dcm::ntier {
+
+std::string MetricSample::serialize() const {
+  return str_format(
+      "t=%lld;srv=%s;tier=%s;d=%d;st=%s;x=%.6f;rt=%.6f;n=%.4f;u=%.4f;stp=%d;cp=%d;q=%d",
+      static_cast<long long>(time), server_id.c_str(), tier.c_str(), depth, vm_state.c_str(),
+      throughput, avg_response_time, concurrency, cpu_util, thread_pool_size, conn_pool_size,
+      queue_length);
+}
+
+std::optional<MetricSample> MetricSample::parse(const std::string& payload) {
+  std::map<std::string, std::string> fields;
+  for (const auto& part : split(payload, ';')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    fields[part.substr(0, eq)] = part.substr(eq + 1);
+  }
+  const auto get = [&fields](const char* key) -> std::optional<std::string> {
+    const auto it = fields.find(key);
+    if (it == fields.end()) return std::nullopt;
+    return it->second;
+  };
+
+  MetricSample s;
+  const auto t = get("t");
+  const auto srv = get("srv");
+  const auto tier = get("tier");
+  const auto d = get("d");
+  const auto st = get("st");
+  const auto x = get("x");
+  const auto rt = get("rt");
+  const auto n = get("n");
+  const auto u = get("u");
+  const auto stp = get("stp");
+  const auto cp = get("cp");
+  const auto q = get("q");
+  if (!t || !srv || !tier || !d || !st || !x || !rt || !n || !u || !stp || !cp || !q) {
+    return std::nullopt;
+  }
+  const auto ti = parse_int(*t);
+  const auto di = parse_int(*d);
+  const auto xv = parse_double(*x);
+  const auto rtv = parse_double(*rt);
+  const auto nv = parse_double(*n);
+  const auto uv = parse_double(*u);
+  const auto stpv = parse_int(*stp);
+  const auto cpv = parse_int(*cp);
+  const auto qv = parse_int(*q);
+  if (!ti || !di || !xv || !rtv || !nv || !uv || !stpv || !cpv || !qv) return std::nullopt;
+
+  s.time = *ti;
+  s.server_id = *srv;
+  s.tier = *tier;
+  s.depth = static_cast<int>(*di);
+  s.vm_state = *st;
+  s.throughput = *xv;
+  s.avg_response_time = *rtv;
+  s.concurrency = *nv;
+  s.cpu_util = *uv;
+  s.thread_pool_size = static_cast<int>(*stpv);
+  s.conn_pool_size = static_cast<int>(*cpv);
+  s.queue_length = static_cast<int>(*qv);
+  return s;
+}
+
+}  // namespace dcm::ntier

@@ -1,0 +1,34 @@
+// The per-second monitoring sample shipped from agents to the controller.
+//
+// Serialised to a compact key=value text payload for the bus (agents and
+// the controller are different components; the bus carries bytes, exactly
+// as Kafka does in the paper's deployment).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/time.h"
+
+namespace dcm::ntier {
+
+struct MetricSample {
+  sim::SimTime time = 0;
+  std::string server_id;           // VM id
+  std::string tier;                // tier name
+  int depth = 0;                   // tier index
+  std::string vm_state;            // BOOTING/ACTIVE/DRAINING/STOPPED
+  double throughput = 0.0;         // completions/s over the sample window
+  double avg_response_time = 0.0;  // seconds (0 when nothing completed)
+  double concurrency = 0.0;        // time-weighted busy worker threads
+  double cpu_util = 0.0;           // [0, 1]
+  int thread_pool_size = 0;
+  int conn_pool_size = 0;          // 0 for leaf servers
+  int queue_length = 0;
+
+  std::string serialize() const;
+  /// Strict parse; nullopt on any malformed or missing field.
+  static std::optional<MetricSample> parse(const std::string& payload);
+};
+
+}  // namespace dcm::ntier

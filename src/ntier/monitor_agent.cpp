@@ -1,0 +1,96 @@
+#include "ntier/monitor_agent.h"
+
+#include "common/check.h"
+
+namespace dcm::ntier {
+
+MonitorAgent::MonitorAgent(sim::Engine& engine, Vm& vm, const std::string& tier_name, int depth,
+                           bus::Producer& producer, sim::SimTime period)
+    : engine_(&engine),
+      vm_(&vm),
+      tier_name_(tier_name),
+      depth_(depth),
+      producer_(&producer),
+      period_(period) {
+  DCM_CHECK(period_ > 0);
+  last_time_ = engine_->now();
+  timer_ = engine_->schedule_periodic(period_, [this] { tick(); });
+}
+
+MonitorAgent::~MonitorAgent() { timer_.cancel(); }
+
+MetricSample MonitorAgent::collect() {
+  const Server& server = vm_->server();
+  const sim::SimTime now = engine_->now();
+  const double window = sim::to_seconds(now - last_time_);
+
+  MetricSample s;
+  s.time = now;
+  s.server_id = vm_->id();
+  s.tier = tier_name_;
+  s.depth = depth_;
+  s.vm_state = vm_state_name(vm_->state());
+  s.thread_pool_size = server.thread_pool_size();
+  s.conn_pool_size = server.downstream_connection_limit();
+  s.queue_length = server.queue_length();
+
+  const uint64_t completed = server.completed();
+  const double rt_sum = server.response_time_sum();
+  const double conc_integral = server.concurrency_integral();
+  const double util_integral = server.cpu_util_integral();
+
+  if (window > 0.0) {
+    const uint64_t delta_completed = completed - last_completed_;
+    s.throughput = static_cast<double>(delta_completed) / window;
+    s.avg_response_time =
+        delta_completed > 0
+            ? (rt_sum - last_rt_sum_) / static_cast<double>(delta_completed)
+            : 0.0;
+    s.concurrency = (conc_integral - last_concurrency_integral_) / window;
+    s.cpu_util = (util_integral - last_util_integral_) / window;
+  }
+
+  last_time_ = now;
+  last_completed_ = completed;
+  last_rt_sum_ = rt_sum;
+  last_concurrency_integral_ = conc_integral;
+  last_util_integral_ = util_integral;
+  return s;
+}
+
+void MonitorAgent::tick() {
+  if (vm_->state() == VmState::kStopped || vm_->state() == VmState::kFailed) {
+    return;  // dead VMs report nothing (their agent died with them)
+  }
+  MetricSample sample = collect();
+  producer_->send(kMetricsTopic, sample.server_id, sample.serialize(), sample.time);
+}
+
+MonitorFleet::MonitorFleet(sim::Engine& engine, NTierApp& app, bus::Broker& broker,
+                           sim::SimTime period, sim::SimTime retention)
+    : engine_(&engine), producer_(broker), period_(period) {
+  if (broker.find_topic(kMetricsTopic) == nullptr) {
+    bus::TopicConfig config;
+    config.partitions = 4;
+    config.retention = retention;
+    broker.create_topic(kMetricsTopic, config);
+  }
+  // Periodically expire old metric records, like Kafka's log cleaner.
+  retention_timer_ = engine.schedule_periodic(
+      sim::from_seconds(10.0), [&broker, &engine] { broker.enforce_retention(engine.now()); });
+
+  for (size_t depth = 0; depth < app.tier_count(); ++depth) {
+    Tier& tier = app.tier(depth);
+    for (const auto& vm : tier.vms()) attach(*vm, tier.name(), static_cast<int>(depth));
+    tier.add_vm_activated_callback([this, &tier, depth](Vm& vm) {
+      attach(vm, tier.name(), static_cast<int>(depth));
+    });
+  }
+}
+
+void MonitorFleet::attach(Vm& vm, const std::string& tier_name, int depth) {
+  agents_.push_back(
+      std::make_unique<MonitorAgent>(*engine_, vm, tier_name, depth, producer_, period_));
+}
+
+}  // namespace dcm::ntier

@@ -1,0 +1,35 @@
+// Request-flow records.
+//
+// One RequestContext describes a whole HTTP request's journey through the
+// tiers: how much CPU demand it puts on each tier and how many sub-requests
+// each tier issues downstream (the paper's visit ratios — e.g. one HTTP
+// request → 1 AJP call to Tomcat → 2 queries to MySQL).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dcm::ntier {
+
+struct RequestContext {
+  uint64_t id = 0;
+  int servlet = -1;            // index into the servlet catalog (-1 = generic)
+  sim::SimTime created = 0;
+
+  /// demand_scale[d] multiplies tier d's base CPU demand for this request.
+  std::vector<double> demand_scale;
+  /// downstream_calls[d] = number of sub-requests tier d sends to tier d+1.
+  std::vector<int> downstream_calls;
+};
+
+using RequestPtr = std::shared_ptr<RequestContext>;
+
+/// Completion callback: ok=false means the request was rejected (accept
+/// queue overflow) somewhere along the chain.
+using DoneFn = std::function<void(bool ok)>;
+
+}  // namespace dcm::ntier

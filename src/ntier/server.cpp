@@ -1,0 +1,174 @@
+#include "ntier/server.h"
+
+#include "common/check.h"
+#include "ntier/tier.h"
+
+namespace dcm::ntier {
+
+struct Server::VisitState {
+  uint64_t visit_id = 0;
+  uint64_t epoch = 0;  // crash generation this visit belongs to
+  RequestPtr request;
+  DoneFn done;
+  sim::SimTime arrived = 0;
+  double demand = 0.0;  // sampled total CPU demand for this visit
+  int calls = 0;        // downstream sub-requests still to issue
+  bool finished = false;
+  bool holds_worker = false;
+};
+
+Server::Server(sim::Engine& engine, ServerConfig config, int depth, Rng rng)
+    : engine_(&engine),
+      config_(std::move(config)),
+      depth_(depth),
+      rng_(rng),
+      workers_(engine, config_.name + ".workers", config_.max_threads),
+      cpu_(engine, config_.cpu) {
+  DCM_CHECK(depth_ >= 0);
+  DCM_CHECK(config_.pre_fraction >= 0.0 && config_.pre_fraction <= 1.0);
+  if (config_.downstream_connections > 0) {
+    conns_ = std::make_unique<SlotPool>(engine, config_.name + ".conns",
+                                        config_.downstream_connections);
+  }
+}
+
+void Server::sync_thread_count() { cpu_.set_thread_count(workers_.in_use()); }
+
+bool Server::visit_is_stale(const std::shared_ptr<VisitState>& visit) const {
+  return visit->finished || visit->epoch != epoch_;
+}
+
+void Server::process(const RequestPtr& request, DoneFn done) {
+  DCM_CHECK(request != nullptr);
+  if (workers_.queue_length() >= config_.max_queue) {
+    ++rejected_;
+    done(false);
+    return;
+  }
+  auto visit = std::make_shared<VisitState>();
+  visit->visit_id = next_visit_id_++;
+  visit->epoch = epoch_;
+  visit->request = request;
+  visit->done = std::move(done);
+  visit->arrived = engine_->now();
+  active_visits_.emplace(visit->visit_id, visit);
+  workers_.acquire([this, visit] {
+    if (visit_is_stale(visit)) return;
+    visit->holds_worker = true;
+    sync_thread_count();
+    start_visit(visit);
+  });
+}
+
+void Server::start_visit(const std::shared_ptr<VisitState>& visit) {
+  const auto& req = *visit->request;
+  const double scale =
+      req.demand_scale.size() > static_cast<size_t>(depth_)
+          ? req.demand_scale[static_cast<size_t>(depth_)]
+          : 1.0;
+  const double variability =
+      config_.demand_cv > 0.0 ? rng_.lognormal_mean_cv(1.0, config_.demand_cv) : 1.0;
+  visit->demand = config_.cpu.params.s0 * scale * variability;
+  visit->calls = (downstream_ != nullptr &&
+                  req.downstream_calls.size() > static_cast<size_t>(depth_))
+                     ? req.downstream_calls[static_cast<size_t>(depth_)]
+                     : 0;
+
+  if (visit->calls == 0) {
+    cpu_.submit(visit->demand, [this, visit] { finish_visit(visit, true); });
+    return;
+  }
+  const double pre = visit->demand * config_.pre_fraction;
+  cpu_.submit(pre, [this, visit] { issue_downstream(visit, 0); });
+}
+
+void Server::issue_downstream(const std::shared_ptr<VisitState>& visit, int call_index) {
+  if (visit_is_stale(visit)) return;
+  if (call_index >= visit->calls) {
+    const double post = visit->demand * (1.0 - config_.pre_fraction);
+    cpu_.submit(post, [this, visit] { finish_visit(visit, true); });
+    return;
+  }
+  const auto forward = [this, visit, call_index](bool conn_held) {
+    downstream_->dispatch(visit->request, [this, visit, call_index, conn_held](bool ok) {
+      // The downstream response may arrive after this server crashed; the
+      // visit (and its pool slots) are already gone — drop it.
+      if (visit_is_stale(visit)) return;
+      if (conn_held) conns_->release();
+      if (!ok) {
+        finish_visit(visit, false);
+        return;
+      }
+      issue_downstream(visit, call_index + 1);
+    });
+  };
+  if (conns_) {
+    conns_->acquire([this, visit, forward] {
+      if (visit_is_stale(visit)) return;
+      forward(true);
+    });
+  } else {
+    forward(false);
+  }
+}
+
+void Server::finish_visit(const std::shared_ptr<VisitState>& visit, bool ok) {
+  if (visit_is_stale(visit)) return;
+  visit->finished = true;
+  active_visits_.erase(visit->visit_id);
+  if (ok) {
+    ++completed_;
+    response_time_sum_ += sim::to_seconds(engine_->now() - visit->arrived);
+  } else {
+    ++rejected_;
+  }
+  DoneFn done = std::move(visit->done);
+  if (visit->holds_worker) {
+    visit->holds_worker = false;
+    workers_.release();
+    sync_thread_count();
+  }
+  done(ok);
+  if (workers_.in_use() == 0 && idle_callback_) {
+    // Copy first: the callback may reset idle_callback_ (a draining VM
+    // does), which must not destroy the std::function mid-execution.
+    auto cb = idle_callback_;
+    cb();
+  }
+}
+
+void Server::crash() {
+  ++epoch_;
+  cpu_.abort_all();
+  workers_.reset();
+  if (conns_) conns_->reset();
+  cpu_.set_thread_count(0);
+
+  // Fail every visit that was in flight or queued. Their continuations are
+  // epoch-guarded, so firing done(false) here is the only signal that runs.
+  auto failed = std::move(active_visits_);
+  active_visits_.clear();
+  for (auto& [id, visit] : failed) {
+    if (visit->finished) continue;
+    visit->finished = true;
+    ++rejected_;
+    DoneFn done = std::move(visit->done);
+    if (done) done(false);
+  }
+  if (idle_callback_) {
+    auto cb = idle_callback_;
+    cb();
+  }
+}
+
+void Server::set_thread_pool_size(int size) {
+  workers_.resize(size);
+  sync_thread_count();
+}
+
+void Server::set_downstream_connections(int size) {
+  DCM_CHECK_MSG(conns_ != nullptr, "server has no downstream connection pool");
+  conns_->resize(size);
+}
+
+}  // namespace dcm::ntier

@@ -1,0 +1,110 @@
+// One component server (Apache / Tomcat / MySQL instance).
+//
+// A visit holds a worker-pool slot for its entire lifetime (CPU phases plus
+// downstream waits — a blocked Tomcat thread still occupies maxThreads and
+// still contributes multithreading overhead, which is why over-sized pools
+// hurt). Downstream sub-requests go through this server's connection pool
+// and the downstream tier's load balancer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "metrics/welford.h"
+#include "ntier/request.h"
+#include "ntier/server_config.h"
+#include "ntier/slot_pool.h"
+#include "sim/engine.h"
+
+namespace dcm::ntier {
+
+class Tier;  // downstream dispatch target
+
+class Server {
+ public:
+  Server(sim::Engine& engine, ServerConfig config, int depth, Rng rng);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Wires the tier this server sends sub-requests to (nullptr = leaf).
+  void set_downstream(Tier* tier) { downstream_ = tier; }
+
+  /// Processes one visit; `done(ok)` fires at visit completion (ok=false if
+  /// rejected here or anywhere downstream — a failed sub-request fails the
+  /// whole visit).
+  void process(const RequestPtr& request, DoneFn done);
+
+  // --- soft-resource actuation (APP-agent) ---
+  void set_thread_pool_size(int size);
+  void set_downstream_connections(int size);
+
+  /// Failure injection: abrupt crash. Every in-flight and queued visit
+  /// fails (done(false) fires for each), pools are force-freed, and CPU
+  /// work is dropped. Responses from downstream calls that were pending at
+  /// crash time are ignored when they arrive. The server object remains
+  /// usable (a restarted process) — callers decide whether to re-register
+  /// it with a balancer.
+  void crash();
+  bool crashed_since_start() const { return epoch_ > 0; }
+
+  // --- observability ---
+  const std::string& name() const { return config_.name; }
+  int depth() const { return depth_; }
+  int in_flight() const { return workers_.in_use(); }
+  int queue_length() const { return workers_.queue_length(); }
+  int thread_pool_size() const { return workers_.capacity(); }
+  int downstream_connection_limit() const { return conns_ ? conns_->capacity() : 0; }
+  int downstream_connections_in_use() const { return conns_ ? conns_->in_use() : 0; }
+
+  uint64_t completed() const { return completed_; }
+  uint64_t rejected() const { return rejected_; }
+  /// Sum of visit response times (seconds) — arrival to completion.
+  double response_time_sum() const { return response_time_sum_; }
+  /// ∫ busy-workers dt — time-weighted concurrency.
+  double concurrency_integral() const { return workers_.in_use_integral(); }
+  /// ∫ CPU-utilisation dt.
+  double cpu_util_integral() const { return cpu_.util_integral(); }
+
+  const SlotPool& worker_pool() const { return workers_; }
+  const SlotPool* connection_pool() const { return conns_.get(); }
+  const CpuScheduler& cpu() const { return cpu_; }
+
+  /// Invoked whenever in_flight returns to zero (used by draining VMs).
+  void set_idle_callback(std::function<void()> cb) { idle_callback_ = std::move(cb); }
+
+ private:
+  struct VisitState;
+
+  void start_visit(const std::shared_ptr<VisitState>& visit);
+  void issue_downstream(const std::shared_ptr<VisitState>& visit, int call_index);
+  void finish_visit(const std::shared_ptr<VisitState>& visit, bool ok);
+  void sync_thread_count();
+  bool visit_is_stale(const std::shared_ptr<VisitState>& visit) const;
+
+  sim::Engine* engine_;
+  ServerConfig config_;
+  int depth_;
+  Rng rng_;
+
+  SlotPool workers_;
+  std::unique_ptr<SlotPool> conns_;  // created when downstream_connections>0
+  CpuScheduler cpu_;
+  Tier* downstream_ = nullptr;
+
+  uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+  double response_time_sum_ = 0.0;
+  std::function<void()> idle_callback_;
+
+  // Crash bookkeeping: visits belong to an epoch; crash() bumps the epoch
+  // so continuations created before the crash become no-ops.
+  uint64_t epoch_ = 0;
+  uint64_t next_visit_id_ = 0;
+  std::map<uint64_t, std::shared_ptr<VisitState>> active_visits_;
+};
+
+}  // namespace dcm::ntier

@@ -1,0 +1,68 @@
+#include "ntier/slot_pool.h"
+
+#include "common/check.h"
+
+namespace dcm::ntier {
+
+SlotPool::SlotPool(sim::Engine& engine, std::string name, int capacity)
+    : engine_(&engine), name_(std::move(name)), capacity_(capacity) {
+  DCM_CHECK_MSG(capacity >= 1, "pool needs at least one slot");
+  integral_updated_ = engine_->now();
+}
+
+void SlotPool::accumulate_integral() const {
+  const sim::SimTime now = engine_->now();
+  in_use_integral_ += static_cast<double>(in_use_) * sim::to_seconds(now - integral_updated_);
+  integral_updated_ = now;
+}
+
+double SlotPool::in_use_integral() const {
+  // Fold in the span since the last state change so reads are current.
+  accumulate_integral();
+  return in_use_integral_;
+}
+
+void SlotPool::grant_now(std::function<void()> grant, sim::SimTime enqueued) {
+  accumulate_integral();
+  ++in_use_;
+  ++total_acquired_;
+  wait_stats_.add(sim::to_seconds(engine_->now() - enqueued));
+  grant();
+}
+
+void SlotPool::acquire(std::function<void()> grant) {
+  if (in_use_ < capacity_) {
+    grant_now(std::move(grant), engine_->now());
+  } else {
+    waiters_.push_back(Waiter{std::move(grant), engine_->now()});
+  }
+}
+
+void SlotPool::release() {
+  DCM_CHECK_MSG(in_use_ > 0, "release without acquire");
+  accumulate_integral();
+  --in_use_;
+  if (!waiters_.empty() && in_use_ < capacity_) {
+    Waiter next = std::move(waiters_.front());
+    waiters_.pop_front();
+    grant_now(std::move(next.grant), next.enqueued);
+  }
+}
+
+void SlotPool::reset() {
+  accumulate_integral();
+  in_use_ = 0;
+  waiters_.clear();
+}
+
+void SlotPool::resize(int capacity) {
+  DCM_CHECK_MSG(capacity >= 1, "pool needs at least one slot");
+  capacity_ = capacity;
+  while (!waiters_.empty() && in_use_ < capacity_) {
+    Waiter next = std::move(waiters_.front());
+    waiters_.pop_front();
+    grant_now(std::move(next.grant), next.enqueued);
+  }
+}
+
+}  // namespace dcm::ntier

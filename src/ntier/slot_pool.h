@@ -1,0 +1,80 @@
+// Concurrency-limiting slot pool — the "soft resource" of the paper.
+//
+// One class models both kinds of pools DCM actuates: a server thread pool
+// (Tomcat maxThreads, Apache workers) and a DB connection pool (Tomcat's
+// DBConnP toward MySQL). A holder acquires a slot (waiting FIFO if none is
+// free), does its work, and releases. resize() takes effect immediately when
+// growing; shrinking is lazy — excess holders finish naturally and the pool
+// re-admits only below the new capacity (this is exactly how the paper's
+// APP-agent adjusts pools "on the fly without interrupting the runtime").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "metrics/welford.h"
+#include "sim/engine.h"
+
+namespace dcm::ntier {
+
+class SlotPool {
+ public:
+  /// The engine reference is used only for wait-time accounting.
+  SlotPool(sim::Engine& engine, std::string name, int capacity);
+
+  SlotPool(const SlotPool&) = delete;
+  SlotPool& operator=(const SlotPool&) = delete;
+
+  /// Requests a slot. If one is free the grant callback runs synchronously
+  /// (before acquire returns); otherwise the request joins a FIFO queue.
+  void acquire(std::function<void()> grant);
+
+  /// Returns a slot; dispatches the next waiter if capacity allows.
+  void release();
+
+  /// Live re-allocation (the APP-agent's lever). Growth admits waiters at
+  /// once; shrink never evicts current holders.
+  void resize(int capacity);
+
+  /// Crash support: forcibly frees every slot and drops all waiters
+  /// *without running their grant callbacks*. Occupancy accounting up to
+  /// now is preserved. Callers are responsible for failing the work that
+  /// held/awaited the slots.
+  void reset();
+
+  const std::string& name() const { return name_; }
+  int capacity() const { return capacity_; }
+  int in_use() const { return in_use_; }
+  int queue_length() const { return static_cast<int>(waiters_.size()); }
+
+  /// ∫ in_use dt in seconds — lets a sampler compute the time-weighted mean
+  /// concurrency over any window by differencing.
+  double in_use_integral() const;
+  uint64_t total_acquired() const { return total_acquired_; }
+  /// Wait-time stats across all grants so far (seconds).
+  const metrics::Welford& wait_stats() const { return wait_stats_; }
+
+ private:
+  struct Waiter {
+    std::function<void()> grant;
+    sim::SimTime enqueued;
+  };
+
+  void grant_now(std::function<void()> grant, sim::SimTime enqueued);
+  void accumulate_integral() const;
+
+  sim::Engine* engine_;
+  std::string name_;
+  int capacity_;
+  int in_use_ = 0;
+  std::deque<Waiter> waiters_;
+  uint64_t total_acquired_ = 0;
+  metrics::Welford wait_stats_;
+
+  mutable double in_use_integral_ = 0.0;
+  mutable sim::SimTime integral_updated_ = 0;
+};
+
+}  // namespace dcm::ntier

@@ -1,0 +1,182 @@
+#include "ntier/tier.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dcm::ntier {
+
+Tier::Tier(sim::Engine& engine, TierConfig config, int depth, Rng& rng)
+    : engine_(&engine),
+      config_(std::move(config)),
+      depth_(depth),
+      rng_(rng.fork()),
+      balancer_(config_.lb_policy),
+      current_stp_(config_.server.max_threads),
+      current_conns_(config_.server.downstream_connections) {
+  DCM_CHECK(config_.initial_vms >= 1);
+  DCM_CHECK(config_.min_vms >= 1);
+  DCM_CHECK(config_.max_vms >= config_.initial_vms);
+  DCM_CHECK(config_.min_vms <= config_.initial_vms);
+  for (int i = 0; i < config_.initial_vms; ++i) launch_vm(/*boot_delay=*/0);
+}
+
+void Tier::set_downstream(Tier* tier) {
+  downstream_ = tier;
+  for (auto& vm : vms_) vm->server().set_downstream(tier);
+}
+
+Vm& Tier::launch_vm(sim::SimTime boot_delay) {
+  ServerConfig server_config = config_.server;
+  server_config.name = str_format("%s-%d", config_.name.c_str(), next_vm_index_);
+  // Later-launched VMs inherit the tier's current soft-resource allocation,
+  // not the template's.
+  server_config.max_threads = current_stp_;
+  if (server_config.downstream_connections > 0) {
+    server_config.downstream_connections = current_conns_;
+  }
+  auto server = std::make_unique<Server>(*engine_, std::move(server_config), depth_, rng_.fork());
+  server->set_downstream(downstream_);
+  auto vm = std::make_unique<Vm>(*engine_, str_format("%s-vm%d", config_.name.c_str(),
+                                                      next_vm_index_),
+                                 std::move(server), boot_delay,
+                                 [this](Vm& v) { on_vm_active(v); });
+  ++next_vm_index_;
+  vms_.push_back(std::move(vm));
+  return *vms_.back();
+}
+
+void Tier::on_vm_active(Vm& vm) {
+  // Re-apply the allocation in case the APP-agent changed it while booting.
+  vm.server().set_thread_pool_size(current_stp_);
+  if (vm.server().connection_pool() != nullptr) {
+    vm.server().set_downstream_connections(current_conns_);
+  }
+  balancer_.add(&vm.server());
+  DCM_LOG_DEBUG("tier %s: %s entered service (%zu members)", config_.name.c_str(),
+                vm.id().c_str(), balancer_.member_count());
+  for (const auto& cb : vm_activated_) cb(vm);
+}
+
+void Tier::add_vm_activated_callback(std::function<void(Vm&)> cb) {
+  vm_activated_.push_back(std::move(cb));
+}
+
+void Tier::dispatch(const RequestPtr& request, DoneFn done) {
+  Server* server = balancer_.pick();
+  if (server == nullptr) {
+    done(false);
+    return;
+  }
+  server->process(request, std::move(done));
+}
+
+bool Tier::scale_out() {
+  if (provisioned_vm_count() >= config_.max_vms) return false;
+  launch_vm(config_.vm_boot_time);
+  DCM_LOG_DEBUG("tier %s: scale-out at %s", config_.name.c_str(),
+                sim::format_time(engine_->now()).c_str());
+  return true;
+}
+
+bool Tier::scale_in() {
+  if (active_vm_count() <= config_.min_vms) return false;
+  // Drain the most recently activated VM — keep the tier's seed members.
+  Vm* victim = nullptr;
+  for (auto& vm : vms_) {
+    if (vm->state() != VmState::kActive) continue;
+    if (victim == nullptr || vm->launched_at() >= victim->launched_at()) victim = vm.get();
+  }
+  if (victim == nullptr) return false;
+  balancer_.remove(&victim->server());
+  victim->begin_drain([this](Vm& v) {
+    DCM_LOG_DEBUG("tier %s: %s stopped", config_.name.c_str(), v.id().c_str());
+  });
+  DCM_LOG_DEBUG("tier %s: scale-in (draining %s)", config_.name.c_str(), victim->id().c_str());
+  return true;
+}
+
+bool Tier::fail_vm(const std::string& vm_id) {
+  for (auto& vm : vms_) {
+    if (vm->id() != vm_id) continue;
+    if (vm->state() == VmState::kStopped || vm->state() == VmState::kFailed) return false;
+    if (vm->state() == VmState::kActive) balancer_.remove(&vm->server());
+    vm->fail();
+    DCM_LOG_WARN("tier %s: %s FAILED at %s", config_.name.c_str(), vm->id().c_str(),
+                 sim::format_time(engine_->now()).c_str());
+    return true;
+  }
+  return false;
+}
+
+bool Tier::fail_one() {
+  for (auto& vm : vms_) {
+    if (vm->state() == VmState::kActive) return fail_vm(vm->id());
+  }
+  return false;
+}
+
+int Tier::failed_vm_count() const {
+  int n = 0;
+  for (const auto& vm : vms_) n += vm->state() == VmState::kFailed ? 1 : 0;
+  return n;
+}
+
+int Tier::active_vm_count() const {
+  int n = 0;
+  for (const auto& vm : vms_) n += vm->state() == VmState::kActive ? 1 : 0;
+  return n;
+}
+
+int Tier::booting_vm_count() const {
+  int n = 0;
+  for (const auto& vm : vms_) n += vm->state() == VmState::kBooting ? 1 : 0;
+  return n;
+}
+
+int Tier::draining_vm_count() const {
+  int n = 0;
+  for (const auto& vm : vms_) n += vm->state() == VmState::kDraining ? 1 : 0;
+  return n;
+}
+
+void Tier::set_thread_pool_size(int per_server) {
+  DCM_CHECK(per_server >= 1);
+  current_stp_ = per_server;
+  for (auto& vm : vms_) {
+    if (vm->state() == VmState::kActive || vm->state() == VmState::kBooting) {
+      vm->server().set_thread_pool_size(per_server);
+    }
+  }
+}
+
+void Tier::set_downstream_connections(int per_server) {
+  DCM_CHECK(per_server >= 1);
+  current_conns_ = per_server;
+  for (auto& vm : vms_) {
+    if (vm->server().connection_pool() == nullptr) continue;
+    if (vm->state() == VmState::kActive || vm->state() == VmState::kBooting) {
+      vm->server().set_downstream_connections(per_server);
+    }
+  }
+}
+
+uint64_t Tier::completed() const {
+  uint64_t total = 0;
+  for (const auto& vm : vms_) total += vm->server().completed();
+  return total;
+}
+
+uint64_t Tier::rejected() const {
+  uint64_t total = 0;
+  for (const auto& vm : vms_) total += vm->server().rejected();
+  return total;
+}
+
+int Tier::total_in_flight() const {
+  int total = 0;
+  for (const auto& vm : vms_) total += vm->server().in_flight();
+  return total;
+}
+
+}  // namespace dcm::ntier

@@ -1,0 +1,110 @@
+// A tier: a scalable group of identical servers behind a load balancer.
+//
+// Owns the VM lifecycle (scale_out boots a VM that joins the balancer after
+// the preparation period; scale_in drains the most recent ACTIVE VM) and
+// fans soft-resource re-allocations out to every server, remembering the
+// current allocation so later-booting VMs inherit it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ntier/load_balancer.h"
+#include "ntier/request.h"
+#include "ntier/server_config.h"
+#include "ntier/vm.h"
+#include "sim/engine.h"
+
+namespace dcm::ntier {
+
+struct TierConfig {
+  std::string name = "tier";
+  ServerConfig server;                 // template for every VM in the tier
+  int initial_vms = 1;
+  int min_vms = 1;
+  int max_vms = 8;
+  sim::SimTime vm_boot_time = sim::from_seconds(15.0);  // the paper's 15 s
+  LbPolicy lb_policy = LbPolicy::kRoundRobin;
+};
+
+class Tier {
+ public:
+  /// Initial VMs come up ACTIVE immediately (the experiment starts with a
+  /// running system). `rng` seeds per-server demand-variability streams.
+  Tier(sim::Engine& engine, TierConfig config, int depth, Rng& rng);
+
+  Tier(const Tier&) = delete;
+  Tier& operator=(const Tier&) = delete;
+
+  void set_downstream(Tier* tier);
+  Tier* downstream() const { return downstream_; }
+
+  /// Routes one visit through the load balancer. done(false) if no server
+  /// is in service.
+  void dispatch(const RequestPtr& request, DoneFn done);
+
+  /// Launches a VM (BOOTING → ACTIVE after vm_boot_time). Returns false at
+  /// max_vms (counting booting VMs).
+  bool scale_out();
+  /// Drains the most recently activated VM. Returns false at min_vms.
+  bool scale_in();
+
+  /// Failure injection: crashes the VM with the given id (must be ACTIVE,
+  /// BOOTING, or DRAINING). Active VMs are pulled from the balancer first
+  /// so no new work routes to the corpse. Returns false if no such VM.
+  bool fail_vm(const std::string& vm_id);
+  /// Crashes the oldest ACTIVE VM (convenience for chaos tests).
+  bool fail_one();
+  int failed_vm_count() const;
+
+  // --- state ---
+  const std::string& name() const { return config_.name; }
+  int depth() const { return depth_; }
+  int active_vm_count() const;
+  int booting_vm_count() const;
+  int draining_vm_count() const;
+  /// Active + booting — the "provisioned" count the paper's Fig. 5 plots.
+  int provisioned_vm_count() const { return active_vm_count() + booting_vm_count(); }
+  const TierConfig& config() const { return config_; }
+
+  /// All VMs ever launched (including stopped ones, for bookkeeping).
+  const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
+
+  /// Registers an observer invoked whenever a VM enters service. Initial
+  /// VMs activate during construction, before any observer can register —
+  /// callers iterate vms() for those and use this for later additions.
+  /// Multiple observers are supported (monitoring and control both listen).
+  void add_vm_activated_callback(std::function<void(Vm&)> cb);
+
+  // --- soft-resource actuation (APP-agent) ---
+  void set_thread_pool_size(int per_server);
+  void set_downstream_connections(int per_server);
+  int current_thread_pool_size() const { return current_stp_; }
+  int current_downstream_connections() const { return current_conns_; }
+
+  // --- aggregates ---
+  uint64_t completed() const;
+  uint64_t rejected() const;
+  int total_in_flight() const;
+
+ private:
+  Vm& launch_vm(sim::SimTime boot_delay);
+  void on_vm_active(Vm& vm);
+
+  sim::Engine* engine_;
+  TierConfig config_;
+  int depth_;
+  Rng rng_;
+  LoadBalancer balancer_;
+  Tier* downstream_ = nullptr;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  int next_vm_index_ = 0;
+  int current_stp_;
+  int current_conns_;
+  std::vector<std::function<void(Vm&)>> vm_activated_;
+};
+
+}  // namespace dcm::ntier

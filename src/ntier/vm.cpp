@@ -1,0 +1,64 @@
+#include "ntier/vm.h"
+
+#include "common/check.h"
+
+namespace dcm::ntier {
+
+const char* vm_state_name(VmState state) {
+  switch (state) {
+    case VmState::kBooting:
+      return "BOOTING";
+    case VmState::kActive:
+      return "ACTIVE";
+    case VmState::kDraining:
+      return "DRAINING";
+    case VmState::kStopped:
+      return "STOPPED";
+    case VmState::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+Vm::Vm(sim::Engine& engine, std::string id, std::unique_ptr<Server> server,
+       sim::SimTime boot_delay, std::function<void(Vm&)> on_active)
+    : engine_(&engine), id_(std::move(id)), server_(std::move(server)) {
+  DCM_CHECK(server_ != nullptr);
+  DCM_CHECK(boot_delay >= 0);
+  launched_at_ = engine_->now();
+  auto activate = [this, cb = std::move(on_active)]() mutable {
+    state_ = VmState::kActive;
+    if (cb) cb(*this);
+  };
+  if (boot_delay == 0) {
+    activate();
+  } else {
+    boot_event_ = engine_->schedule_after(boot_delay, activate);
+  }
+}
+
+void Vm::fail() {
+  DCM_CHECK_MSG(state_ != VmState::kStopped && state_ != VmState::kFailed,
+                "failing a dead VM");
+  boot_event_.cancel();  // a booting VM never activates
+  server_->set_idle_callback(nullptr);
+  state_ = VmState::kFailed;
+  server_->crash();
+}
+
+void Vm::begin_drain(std::function<void(Vm&)> on_stopped) {
+  DCM_CHECK_MSG(state_ == VmState::kActive, "can only drain an active VM");
+  state_ = VmState::kDraining;
+  auto stop = [this, cb = std::move(on_stopped)]() mutable {
+    server_->set_idle_callback(nullptr);
+    state_ = VmState::kStopped;
+    if (cb) cb(*this);
+  };
+  if (server_->in_flight() == 0) {
+    stop();
+  } else {
+    server_->set_idle_callback(stop);
+  }
+}
+
+}  // namespace dcm::ntier

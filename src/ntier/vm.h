@@ -1,0 +1,56 @@
+// VM lifecycle wrapper around a Server.
+//
+// Mirrors the paper's scaling mechanics: a newly launched VM spends a
+// preparation period (15 s in the paper) before entering service; a removed
+// VM first drains in-flight requests (deregistered from the load balancer),
+// then stops.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ntier/server.h"
+#include "sim/engine.h"
+
+namespace dcm::ntier {
+
+enum class VmState { kBooting, kActive, kDraining, kStopped, kFailed };
+
+const char* vm_state_name(VmState state);
+
+class Vm {
+ public:
+  /// `on_active` fires when the preparation period elapses (synchronously if
+  /// boot_delay == 0).
+  Vm(sim::Engine& engine, std::string id, std::unique_ptr<Server> server,
+     sim::SimTime boot_delay, std::function<void(Vm&)> on_active);
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  /// Stops accepting work and fires `on_stopped` once in-flight requests
+  /// drain (immediately if already idle). Only valid when ACTIVE.
+  void begin_drain(std::function<void(Vm&)> on_stopped);
+
+  /// Failure injection: abrupt crash of the VM. All in-flight requests fail
+  /// immediately (Server::crash()). Valid in any live state; a booting VM
+  /// simply never comes up.
+  void fail();
+
+  const std::string& id() const { return id_; }
+  VmState state() const { return state_; }
+  Server& server() { return *server_; }
+  const Server& server() const { return *server_; }
+  sim::SimTime launched_at() const { return launched_at_; }
+
+ private:
+  sim::Engine* engine_;
+  std::string id_;
+  std::unique_ptr<Server> server_;
+  VmState state_ = VmState::kBooting;
+  sim::SimTime launched_at_ = 0;
+  sim::EventHandle boot_event_;
+};
+
+}  // namespace dcm::ntier

@@ -1,0 +1,113 @@
+#include "sim/distributions.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dcm::sim {
+namespace {
+
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value) : value_(value) { DCM_CHECK(value >= 0.0); }
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Deterministic>(value_);
+  }
+
+ private:
+  double value_;
+};
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean) : mean_(mean) { DCM_CHECK(mean > 0.0); }
+  double sample(Rng& rng) const override { return rng.exponential(mean_); }
+  double mean() const override { return mean_; }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Exponential>(mean_);
+  }
+
+ private:
+  double mean_;
+};
+
+class UniformDist final : public Distribution {
+ public:
+  UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {
+    DCM_CHECK(lo >= 0.0);
+    DCM_CHECK(hi >= lo);
+  }
+  double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<UniformDist>(lo_, hi_);
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mean, double cv) : mean_(mean), cv_(cv) {
+    DCM_CHECK(mean > 0.0);
+    DCM_CHECK(cv > 0.0);
+  }
+  double sample(Rng& rng) const override { return rng.lognormal_mean_cv(mean_, cv_); }
+  double mean() const override { return mean_; }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<LogNormal>(mean_, cv_);
+  }
+
+ private:
+  double mean_, cv_;
+};
+
+class Empirical final : public Distribution {
+ public:
+  explicit Empirical(std::vector<double> samples) : samples_(std::move(samples)) {
+    DCM_CHECK_MSG(!samples_.empty(), "empirical distribution needs samples");
+    for (double s : samples_) DCM_CHECK(s >= 0.0);
+    mean_ = std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+            static_cast<double>(samples_.size());
+  }
+  double sample(Rng& rng) const override {
+    const auto idx =
+        static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(samples_.size()) - 1));
+    return samples_[idx];
+  }
+  double mean() const override { return mean_; }
+  std::unique_ptr<Distribution> clone() const override {
+    return std::make_unique<Empirical>(samples_);
+  }
+
+ private:
+  std::vector<double> samples_;
+  double mean_;
+};
+
+}  // namespace
+
+std::unique_ptr<Distribution> make_deterministic(double value) {
+  return std::make_unique<Deterministic>(value);
+}
+
+std::unique_ptr<Distribution> make_exponential(double mean) {
+  return std::make_unique<Exponential>(mean);
+}
+
+std::unique_ptr<Distribution> make_uniform(double lo, double hi) {
+  return std::make_unique<UniformDist>(lo, hi);
+}
+
+std::unique_ptr<Distribution> make_lognormal(double mean, double cv) {
+  return std::make_unique<LogNormal>(mean, cv);
+}
+
+std::unique_ptr<Distribution> make_empirical(std::vector<double> samples) {
+  return std::make_unique<Empirical>(std::move(samples));
+}
+
+}  // namespace dcm::sim

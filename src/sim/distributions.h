@@ -1,0 +1,40 @@
+// Random-variate distributions for service demands and think times.
+//
+// A Distribution is a value-semantic sampler: sample(rng) returns a
+// non-negative duration in seconds. Factories cover the shapes the
+// reproduction needs; Empirical resamples a measured set.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dcm::sim {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Draws one variate (seconds, >= 0).
+  virtual double sample(Rng& rng) const = 0;
+  /// Analytic (or empirical) mean of the distribution.
+  virtual double mean() const = 0;
+  virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+/// Always returns `value`.
+std::unique_ptr<Distribution> make_deterministic(double value);
+
+/// Exponential with the given mean.
+std::unique_ptr<Distribution> make_exponential(double mean);
+
+/// Uniform on [lo, hi].
+std::unique_ptr<Distribution> make_uniform(double lo, double hi);
+
+/// Lognormal with the given mean and coefficient of variation.
+std::unique_ptr<Distribution> make_lognormal(double mean, double cv);
+
+/// Resamples uniformly from `samples` (must be non-empty, all >= 0).
+std::unique_ptr<Distribution> make_empirical(std::vector<double> samples);
+
+}  // namespace dcm::sim

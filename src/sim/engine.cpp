@@ -1,0 +1,69 @@
+#include "sim/engine.h"
+
+#include <memory>
+
+#include "common/check.h"
+#include "sim/time.h"
+
+namespace dcm::sim {
+
+std::string format_time(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(t));
+  return buf;
+}
+
+EventHandle Engine::schedule_after(SimTime delay, EventFn fn) {
+  DCM_CHECK_MSG(delay >= 0, "negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventHandle Engine::schedule_at(SimTime at, EventFn fn) {
+  DCM_CHECK_MSG(at >= now_, "scheduling into the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+EventHandle Engine::schedule_periodic(SimTime period, std::function<void()> fn) {
+  DCM_CHECK_MSG(period > 0, "periodic task needs positive period");
+  // The chain re-arms itself; all links share one cancellation flag so a
+  // single cancel() stops the whole chain.
+  auto flag = std::make_shared<bool>(false);
+  auto arm = std::make_shared<std::function<void()>>();
+  *arm = [this, flag, arm, period, fn = std::move(fn)]() {
+    if (*flag) return;
+    fn();
+    if (*flag) return;  // fn may have cancelled the chain
+    schedule_after(period, *arm);
+  };
+  schedule_after(period, *arm);
+
+  // The handle's only job is flipping the shared flag that every link in
+  // the chain checks before re-arming.
+  return EventHandle(std::move(flag));
+}
+
+void Engine::run_until(SimTime end) {
+  DCM_CHECK_MSG(end >= now_, "run_until into the past");
+  while (!queue_.empty() && queue_.next_time() <= end) {
+    auto [time, fn] = queue_.pop();
+    DCM_CHECK(time >= now_);
+    now_ = time;
+    ++dispatched_;
+    fn();
+  }
+  now_ = end;
+}
+
+void Engine::run_for(SimTime duration) { run_until(now_ + duration); }
+
+void Engine::run_to_completion() {
+  while (!queue_.empty()) {
+    auto [time, fn] = queue_.pop();
+    DCM_CHECK(time >= now_);
+    now_ = time;
+    ++dispatched_;
+    fn();
+  }
+}
+
+}  // namespace dcm::sim

@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include "common/check.h"
+
+namespace dcm::sim {
+
+EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(Entry{at, next_seq_++, std::move(fn), flag});
+  return EventHandle(std::move(flag));
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled();
+  DCM_CHECK_MSG(!heap_.empty(), "next_time on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  DCM_CHECK_MSG(!heap_.empty(), "pop on empty queue");
+  // priority_queue::top() is const; the entry is move-extracted via a
+  // const_cast that is safe because pop() immediately removes it.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.fn)};
+  *top.cancelled = true;  // mark consumed so a late cancel() is a no-op
+  heap_.pop();
+  return out;
+}
+
+}  // namespace dcm::sim

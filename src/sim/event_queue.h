@@ -1,0 +1,84 @@
+// Pending-event set for the discrete-event engine.
+//
+// Events at equal timestamps fire in scheduling order (FIFO), which the
+// engine relies on for deterministic replay. Cancellation is O(1) lazy: a
+// cancelled event stays in the heap until it surfaces, then is skipped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dcm::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event. Default-constructed handles are
+/// inert. Copying shares the cancellation flag.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing; idempotent, safe after the event fired.
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+  bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class EventQueue;
+  friend class Engine;  // periodic chains hand out a shared cancel flag
+  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
+  EventHandle schedule(SimTime at, EventFn fn);
+
+  /// True iff no live (non-cancelled) event remains. Purges dead entries at
+  /// the front as a side effect, hence non-const.
+  bool empty();
+
+  /// Number of entries still in the heap — an upper bound on live events
+  /// (cancelled entries buried below the front are counted until they
+  /// surface).
+  size_t pending_upper_bound() const { return heap_.size(); }
+
+  /// Timestamp of the earliest live event; requires !empty().
+  SimTime next_time();
+
+  /// Pops and returns the earliest live event. Requires !empty().
+  struct Popped {
+    SimTime time;
+    EventFn fn;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace dcm::sim

@@ -1,0 +1,38 @@
+// Simulation time.
+//
+// Time is an integer count of nanoseconds since experiment start. Integer
+// time makes event ordering exact and replayable; doubles are used only for
+// durations produced by samplers and converted at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcm::sim {
+
+using SimTime = int64_t;  // nanoseconds
+
+inline constexpr SimTime kNanosPerMicro = 1'000;
+inline constexpr SimTime kNanosPerMilli = 1'000'000;
+inline constexpr SimTime kNanosPerSecond = 1'000'000'000;
+
+constexpr SimTime from_seconds(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kNanosPerSecond) + 0.5);
+}
+
+constexpr SimTime from_millis(double millis) {
+  return static_cast<SimTime>(millis * static_cast<double>(kNanosPerMilli) + 0.5);
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerSecond);
+}
+
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerMilli);
+}
+
+/// "12.345s" style rendering for logs.
+std::string format_time(SimTime t);
+
+}  // namespace dcm::sim

@@ -1,0 +1,36 @@
+#include "workload/client_stats.h"
+
+#include "common/check.h"
+
+namespace dcm::workload {
+
+ClientStats::ClientStats()
+    : rt_series_("response_time", sim::kNanosPerSecond),
+      tp_series_("throughput", sim::kNanosPerSecond),
+      rt_histogram_(metrics::Histogram::logarithmic(1e-4, 100.0)) {}
+
+void ClientStats::record_completion(sim::SimTime now, double response_time_seconds,
+                                    int servlet) {
+  ++completed_;
+  rt_series_.add(now, response_time_seconds);
+  tp_series_.add(now, 1.0);
+  rt_stats_.add(response_time_seconds);
+  rt_histogram_.add(response_time_seconds);
+  if (servlet >= 0) per_servlet_rt_[servlet].add(response_time_seconds);
+}
+
+void ClientStats::record_error(sim::SimTime now) {
+  ++errors_;
+  tp_series_.add(now, 0.0);  // marks the bucket without counting a completion
+}
+
+double ClientStats::mean_throughput(sim::SimTime from, sim::SimTime to) const {
+  DCM_CHECK(to > from);
+  double count = 0.0;
+  for (const auto& b : tp_series_.buckets()) {
+    if (b.start >= from && b.start < to) count += b.stat.sum();
+  }
+  return count / sim::to_seconds(to - from);
+}
+
+}  // namespace dcm::workload

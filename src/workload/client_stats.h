@@ -1,0 +1,56 @@
+// Client-side measurement: what the paper's workload generators report.
+//
+// Records every completed request's end-to-end response time into per-second
+// series (the Fig. 5 plots), an overall histogram (percentiles) and running
+// aggregates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "metrics/histogram.h"
+#include "metrics/timeseries.h"
+#include "metrics/welford.h"
+#include "sim/time.h"
+
+namespace dcm::workload {
+
+class ClientStats {
+ public:
+  ClientStats();
+
+  /// `servlet` < 0 means "untyped" (no per-servlet attribution).
+  void record_completion(sim::SimTime now, double response_time_seconds, int servlet = -1);
+  void record_error(sim::SimTime now);
+
+  uint64_t completed() const { return completed_; }
+  uint64_t errors() const { return errors_; }
+
+  /// Per-second mean response time (seconds).
+  const metrics::TimeSeries& response_time_series() const { return rt_series_; }
+  /// Per-second completions; read with rate_series().
+  const metrics::TimeSeries& throughput_series() const { return tp_series_; }
+
+  const metrics::Welford& response_time_stats() const { return rt_stats_; }
+  const metrics::Histogram& response_time_histogram() const { return rt_histogram_; }
+
+  /// Mean throughput (req/s) between two instants, from completion counts.
+  double mean_throughput(sim::SimTime from, sim::SimTime to) const;
+
+  /// Per-servlet response-time breakdown (RUBBoS reports per-interaction
+  /// statistics); keyed by servlet index, untyped requests excluded.
+  const std::map<int, metrics::Welford>& per_servlet_response_times() const {
+    return per_servlet_rt_;
+  }
+
+ private:
+  uint64_t completed_ = 0;
+  uint64_t errors_ = 0;
+  metrics::TimeSeries rt_series_;
+  metrics::TimeSeries tp_series_;
+  metrics::Welford rt_stats_;
+  metrics::Histogram rt_histogram_;
+  std::map<int, metrics::Welford> per_servlet_rt_;
+};
+
+}  // namespace dcm::workload

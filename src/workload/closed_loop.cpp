@@ -1,0 +1,101 @@
+#include "workload/closed_loop.h"
+
+#include "common/check.h"
+
+namespace dcm::workload {
+
+RequestFactory catalog_factory(const ServletCatalog& catalog) {
+  return [&catalog](uint64_t id, Rng& rng, sim::SimTime now) {
+    return catalog.make_request(id, catalog.sample(rng), now);
+  };
+}
+
+ClosedLoopGenerator::ClosedLoopGenerator(sim::Engine& engine, ntier::NTierApp& app,
+                                         RequestFactory factory, ClosedLoopConfig config)
+    : engine_(&engine),
+      app_(&app),
+      factory_(std::move(factory)),
+      think_time_(std::move(config.think_time)),
+      start_stagger_(config.start_stagger),
+      rng_(config.seed),
+      target_users_(config.users) {
+  DCM_CHECK(config.users >= 0);
+  DCM_CHECK(start_stagger_ >= 0);
+  DCM_CHECK(factory_ != nullptr);
+}
+
+void ClosedLoopGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  while (live_users_ < target_users_) {
+    spawn_user(next_user_id_++, rng_.uniform_int(0, start_stagger_));
+  }
+}
+
+void ClosedLoopGenerator::stop() { running_ = false; }
+
+void ClosedLoopGenerator::set_user_count(int users) {
+  DCM_CHECK(users >= 0);
+  target_users_ = users;
+  if (!running_) return;
+  // Deficit: spawn staggered newcomers. Excess: loops park themselves at
+  // their next cycle boundary (see user_cycle).
+  while (live_users_ < target_users_) {
+    spawn_user(next_user_id_++, rng_.uniform_int(0, start_stagger_));
+  }
+}
+
+void ClosedLoopGenerator::spawn_user(int user_index, sim::SimTime initial_delay) {
+  ++live_users_;
+  engine_->schedule_after(initial_delay, [this, user_index] { user_cycle(user_index); });
+}
+
+void ClosedLoopGenerator::user_cycle(int user_index) {
+  if (!running_ || live_users_ > target_users_) {
+    --live_users_;
+    return;
+  }
+  const sim::SimTime issued = engine_->now();
+  auto request = factory_(app_->next_request_id(), rng_, issued);
+  const int servlet = request->servlet;
+  app_->submit(request, [this, user_index, issued, servlet](bool ok) {
+    const sim::SimTime now = engine_->now();
+    if (ok) {
+      stats_.record_completion(now, sim::to_seconds(now - issued), servlet);
+    } else {
+      stats_.record_error(now);
+    }
+    const double think = think_time_ ? think_time_->sample(rng_) : 0.0;
+    // Always reschedule through the engine — a zero think time must not
+    // recurse synchronously.
+    engine_->schedule_after(sim::from_seconds(think), [this, user_index] {
+      user_cycle(user_index);
+    });
+  });
+}
+
+std::unique_ptr<ClosedLoopGenerator> make_jmeter(sim::Engine& engine, ntier::NTierApp& app,
+                                                 const ServletCatalog& catalog, int users,
+                                                 uint64_t seed) {
+  ClosedLoopConfig config;
+  config.users = users;
+  config.think_time = nullptr;
+  config.seed = seed;
+  return std::make_unique<ClosedLoopGenerator>(engine, app, catalog_factory(catalog),
+                                               std::move(config));
+}
+
+std::unique_ptr<ClosedLoopGenerator> make_rubbos_clients(sim::Engine& engine,
+                                                         ntier::NTierApp& app,
+                                                         const ServletCatalog& catalog, int users,
+                                                         double mean_think_seconds,
+                                                         uint64_t seed) {
+  ClosedLoopConfig config;
+  config.users = users;
+  config.think_time = sim::make_exponential(mean_think_seconds);
+  config.seed = seed;
+  return std::make_unique<ClosedLoopGenerator>(engine, app, catalog_factory(catalog),
+                                               std::move(config));
+}
+
+}  // namespace dcm::workload

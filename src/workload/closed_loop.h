@@ -1,0 +1,94 @@
+// Closed-loop workload generators.
+//
+// Both of the paper's generators are closed loops over emulated users:
+//   * JMeter training mode — zero think time, so the number of users *is*
+//     the request-processing concurrency offered to the system (Sec. V-A).
+//   * RUBBoS client mode — ~3 s mean think time between consecutive
+//     requests of the same user (Sec. II-A).
+// make_jmeter()/make_rubbos_clients() build the two against a servlet
+// catalog; a custom RequestFactory supports non-standard targets (e.g.
+// stressing a MySQL-only deployment with raw queries, Fig. 2a). The user
+// count can be changed at runtime (set_user_count), which is what the trace
+// player uses to emulate the revised RUBBoS client.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ntier/app.h"
+#include "sim/distributions.h"
+#include "workload/client_stats.h"
+#include "workload/servlet.h"
+
+namespace dcm::workload {
+
+/// Builds the next request a user issues.
+using RequestFactory =
+    std::function<ntier::RequestPtr(uint64_t id, Rng& rng, sim::SimTime now)>;
+
+/// Factory drawing servlets from a catalog (the standard 3-tier workload).
+/// The catalog must outlive the returned factory.
+RequestFactory catalog_factory(const ServletCatalog& catalog);
+
+struct ClosedLoopConfig {
+  int users = 1;
+  /// Think time between a user's consecutive requests; nullptr = zero.
+  std::unique_ptr<sim::Distribution> think_time;
+  /// New users start staggered uniformly over this span (avoids an
+  /// artificial synchronised burst when ramping).
+  sim::SimTime start_stagger = sim::kNanosPerSecond;
+  uint64_t seed = 42;
+};
+
+class ClosedLoopGenerator {
+ public:
+  ClosedLoopGenerator(sim::Engine& engine, ntier::NTierApp& app, RequestFactory factory,
+                      ClosedLoopConfig config);
+
+  ClosedLoopGenerator(const ClosedLoopGenerator&) = delete;
+  ClosedLoopGenerator& operator=(const ClosedLoopGenerator&) = delete;
+
+  /// Begins issuing requests. Idempotent.
+  void start();
+  /// Parks all users after their in-flight request completes.
+  void stop();
+
+  /// Ramp the emulated user population up or down at runtime.
+  void set_user_count(int users);
+  int user_count() const { return target_users_; }
+  int live_users() const { return live_users_; }
+
+  ClientStats& stats() { return stats_; }
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  void spawn_user(int user_index, sim::SimTime initial_delay);
+  void user_cycle(int user_index);
+
+  sim::Engine* engine_;
+  ntier::NTierApp* app_;
+  RequestFactory factory_;
+  std::unique_ptr<sim::Distribution> think_time_;
+  sim::SimTime start_stagger_;
+  Rng rng_;
+
+  bool running_ = false;
+  int target_users_ = 0;
+  int live_users_ = 0;  // users currently looping (in-flight or thinking)
+  int next_user_id_ = 0;
+  ClientStats stats_;
+};
+
+/// Zero-think-time generator: `users` == offered concurrency.
+std::unique_ptr<ClosedLoopGenerator> make_jmeter(sim::Engine& engine, ntier::NTierApp& app,
+                                                 const ServletCatalog& catalog, int users,
+                                                 uint64_t seed = 42);
+
+/// Realistic RUBBoS clients with exponential think time (default mean 3 s).
+std::unique_ptr<ClosedLoopGenerator> make_rubbos_clients(sim::Engine& engine,
+                                                         ntier::NTierApp& app,
+                                                         const ServletCatalog& catalog, int users,
+                                                         double mean_think_seconds = 3.0,
+                                                         uint64_t seed = 42);
+
+}  // namespace dcm::workload

@@ -1,0 +1,61 @@
+#include "workload/open_loop.h"
+
+#include "common/check.h"
+
+namespace dcm::workload {
+
+OpenLoopGenerator::OpenLoopGenerator(sim::Engine& engine, ntier::NTierApp& app,
+                                     RequestFactory factory, double arrival_rate, uint64_t seed)
+    : engine_(&engine), app_(&app), factory_(std::move(factory)), rate_(arrival_rate),
+      rng_(seed) {
+  DCM_CHECK(rate_ >= 0.0);
+  DCM_CHECK(factory_ != nullptr);
+}
+
+void OpenLoopGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  arm_next_arrival();
+}
+
+void OpenLoopGenerator::stop() {
+  running_ = false;
+  next_arrival_.cancel();
+}
+
+void OpenLoopGenerator::set_arrival_rate(double rate) {
+  DCM_CHECK(rate >= 0.0);
+  rate_ = rate;
+  if (running_) {
+    // Re-draw the next gap under the new rate (memorylessness makes this
+    // statistically clean).
+    next_arrival_.cancel();
+    arm_next_arrival();
+  }
+}
+
+void OpenLoopGenerator::arm_next_arrival() {
+  if (!running_ || rate_ <= 0.0) return;
+  const double gap = rng_.exponential(1.0 / rate_);
+  next_arrival_ = engine_->schedule_after(sim::from_seconds(gap), [this] { on_arrival(); });
+}
+
+void OpenLoopGenerator::on_arrival() {
+  if (!running_) return;
+  const sim::SimTime issued = engine_->now();
+  auto request = factory_(app_->next_request_id(), rng_, issued);
+  const int servlet = request->servlet;
+  ++outstanding_;
+  app_->submit(request, [this, issued, servlet](bool ok) {
+    --outstanding_;
+    const sim::SimTime now = engine_->now();
+    if (ok) {
+      stats_.record_completion(now, sim::to_seconds(now - issued), servlet);
+    } else {
+      stats_.record_error(now);
+    }
+  });
+  arm_next_arrival();
+}
+
+}  // namespace dcm::workload

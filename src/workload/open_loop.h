@@ -1,0 +1,55 @@
+// Open-loop (Poisson-arrival) workload generator.
+//
+// The paper's generators are all closed loops (a fixed user population);
+// open-loop arrivals complement them: arrival rate is independent of system
+// state, so overload manifests as unbounded queueing instead of self-
+// throttling — the harsher regime autoscalers face with internet traffic.
+#pragma once
+
+#include <memory>
+
+#include "ntier/app.h"
+#include "sim/engine.h"
+#include "workload/client_stats.h"
+#include "workload/closed_loop.h"  // RequestFactory
+#include "workload/servlet.h"
+
+namespace dcm::workload {
+
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(sim::Engine& engine, ntier::NTierApp& app, RequestFactory factory,
+                    double arrival_rate, uint64_t seed = 42);
+
+  OpenLoopGenerator(const OpenLoopGenerator&) = delete;
+  OpenLoopGenerator& operator=(const OpenLoopGenerator&) = delete;
+
+  void start();
+  void stop();
+
+  /// Re-targets the Poisson arrival rate (requests/second) at runtime.
+  void set_arrival_rate(double rate);
+  double arrival_rate() const { return rate_; }
+
+  /// Requests issued but not yet completed.
+  int outstanding() const { return outstanding_; }
+
+  ClientStats& stats() { return stats_; }
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  void arm_next_arrival();
+  void on_arrival();
+
+  sim::Engine* engine_;
+  ntier::NTierApp* app_;
+  RequestFactory factory_;
+  double rate_;
+  Rng rng_;
+  bool running_ = false;
+  int outstanding_ = 0;
+  sim::EventHandle next_arrival_;
+  ClientStats stats_;
+};
+
+}  // namespace dcm::workload

@@ -1,0 +1,122 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace dcm::workload {
+
+Trace::Trace(std::vector<int> users_per_step, sim::SimTime step)
+    : users_(std::move(users_per_step)), step_(step) {
+  DCM_CHECK(step_ > 0);
+  for (int u : users_) DCM_CHECK(u >= 0);
+}
+
+int Trace::users_at(sim::SimTime t) const {
+  if (users_.empty()) return 0;
+  if (t < 0) return users_.front();
+  const auto idx = static_cast<size_t>(t / step_);
+  return users_[std::min(idx, users_.size() - 1)];
+}
+
+int Trace::max_users() const {
+  return users_.empty() ? 0 : *std::max_element(users_.begin(), users_.end());
+}
+
+double Trace::mean_users() const {
+  if (users_.empty()) return 0.0;
+  return std::accumulate(users_.begin(), users_.end(), 0.0) / static_cast<double>(users_.size());
+}
+
+Trace Trace::scaled(double factor) const {
+  DCM_CHECK(factor > 0.0);
+  std::vector<int> scaled_users;
+  scaled_users.reserve(users_.size());
+  for (int u : users_) {
+    scaled_users.push_back(static_cast<int>(std::lround(u * factor)));
+  }
+  return Trace(std::move(scaled_users), step_);
+}
+
+void Trace::save_csv(const std::string& path) const {
+  CsvWriter writer(path);
+  writer.write_header({"time_s", "users"});
+  for (size_t i = 0; i < users_.size(); ++i) {
+    writer.write_row({format_number(sim::to_seconds(static_cast<sim::SimTime>(i) * step_)),
+                      std::to_string(users_[i])});
+  }
+}
+
+Trace Trace::load_csv(const std::string& path) {
+  const CsvTable table = read_csv(path);
+  const int users_col = table.column("users");
+  DCM_CHECK_MSG(users_col >= 0, "trace CSV needs a 'users' column");
+  std::vector<int> users;
+  users.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    const auto value = parse_int(row[static_cast<size_t>(users_col)]);
+    DCM_CHECK_MSG(value.has_value(), "malformed user count in trace CSV");
+    users.push_back(static_cast<int>(*value));
+  }
+  return Trace(std::move(users));
+}
+
+Trace Trace::large_variation(uint64_t seed, double scale) {
+  DCM_CHECK(scale > 0.0);
+  // Piecewise-linear skeleton: (second, users). Bursts at ~50–90, ~220–260
+  // and ~520–560 with a deep trough at 420–520.
+  const std::vector<std::pair<int, int>> knots = {
+      {0, 80},    {40, 100},  {50, 160},  {62, 300},  {90, 290},  {110, 170}, {130, 140},
+      {200, 175}, {220, 240}, {232, 350}, {258, 330}, {280, 210}, {320, 150}, {380, 135},
+      {420, 90},  {440, 65},  {520, 60},  {528, 170}, {538, 300}, {560, 285}, {590, 190},
+      {620, 130}, {700, 100},
+  };
+  Rng rng(seed);
+  std::vector<int> users;
+  users.reserve(static_cast<size_t>(knots.back().first) + 1);
+  for (size_t k = 0; k + 1 < knots.size(); ++k) {
+    const auto [t0, u0] = knots[k];
+    const auto [t1, u1] = knots[k + 1];
+    for (int t = t0; t < t1; ++t) {
+      const double frac = static_cast<double>(t - t0) / static_cast<double>(t1 - t0);
+      const double base = u0 + frac * (u1 - u0);
+      const double noisy = base * (1.0 + 0.05 * rng.normal());
+      users.push_back(std::max(1, static_cast<int>(std::lround(noisy * scale))));
+    }
+  }
+  users.push_back(std::max(1, static_cast<int>(std::lround(knots.back().second * scale))));
+  return Trace(std::move(users));
+}
+
+Trace Trace::flat(int users, int seconds) {
+  DCM_CHECK(users >= 0 && seconds >= 1);
+  return Trace(std::vector<int>(static_cast<size_t>(seconds), users));
+}
+
+Trace Trace::square(int lo, int hi, int period_seconds, int seconds) {
+  DCM_CHECK(period_seconds >= 2 && seconds >= 1);
+  std::vector<int> users(static_cast<size_t>(seconds));
+  for (int t = 0; t < seconds; ++t) {
+    users[static_cast<size_t>(t)] = (t % period_seconds) < period_seconds / 2 ? lo : hi;
+  }
+  return Trace(std::move(users));
+}
+
+Trace Trace::sine(int lo, int hi, int period_seconds, int seconds) {
+  DCM_CHECK(period_seconds >= 1 && seconds >= 1);
+  std::vector<int> users(static_cast<size_t>(seconds));
+  const double mid = 0.5 * (lo + hi);
+  const double amp = 0.5 * (hi - lo);
+  for (int t = 0; t < seconds; ++t) {
+    const double phase = 2.0 * M_PI * static_cast<double>(t) / period_seconds;
+    users[static_cast<size_t>(t)] = static_cast<int>(std::lround(mid + amp * std::sin(phase)));
+  }
+  return Trace(std::move(users));
+}
+
+}  // namespace dcm::workload

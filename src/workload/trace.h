@@ -1,0 +1,60 @@
+// Workload traces: a time series of concurrent-user counts.
+//
+// The paper's Fig. 5 drives the system with the "Large Variation" trace
+// published by Gandhi et al. (AutoScale, TOCS 2012). That trace is not
+// redistributable, so large_variation() synthesizes a reproducible stand-in
+// with the burst structure the paper narrates: three overload bursts around
+// 50–90 s, 220–260 s and 530–560 s, with a long trough before the third
+// burst (which is what lures the baseline into scaling in too far).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace dcm::workload {
+
+class Trace {
+ public:
+  Trace() = default;
+  /// One entry per step; entry i applies during [i*step, (i+1)*step).
+  Trace(std::vector<int> users_per_step, sim::SimTime step = sim::kNanosPerSecond);
+
+  size_t step_count() const { return users_.size(); }
+  sim::SimTime step() const { return step_; }
+  sim::SimTime duration() const { return static_cast<sim::SimTime>(users_.size()) * step_; }
+
+  /// User count at absolute time t (clamped to the last step beyond the
+  /// end, 0 for an empty trace).
+  int users_at(sim::SimTime t) const;
+  const std::vector<int>& values() const { return users_; }
+
+  int max_users() const;
+  double mean_users() const;
+
+  /// Uniformly scales every step (rounding), e.g. to re-target a trace at a
+  /// differently-sized deployment.
+  Trace scaled(double factor) const;
+
+  // --- I/O: CSV with columns time_s,users ---
+  void save_csv(const std::string& path) const;
+  static Trace load_csv(const std::string& path);
+
+  // --- synthesizers ---
+  /// The Fig. 5 stand-in described above (~700 s, 1 s steps).
+  static Trace large_variation(uint64_t seed = 7, double scale = 1.0);
+  /// Constant level.
+  static Trace flat(int users, int seconds);
+  /// Square wave between lo and hi.
+  static Trace square(int lo, int hi, int period_seconds, int seconds);
+  /// Sinusoid between lo and hi.
+  static Trace sine(int lo, int hi, int period_seconds, int seconds);
+
+ private:
+  std::vector<int> users_;
+  sim::SimTime step_ = sim::kNanosPerSecond;
+};
+
+}  // namespace dcm::workload

@@ -1,0 +1,32 @@
+#include "workload/trace_player.h"
+
+#include "common/check.h"
+
+namespace dcm::workload {
+
+TracePlayer::TracePlayer(sim::Engine& engine, ClosedLoopGenerator& generator, const Trace& trace)
+    : engine_(&engine), generator_(&generator), trace_(&trace) {
+  DCM_CHECK(trace.step_count() > 0);
+}
+
+void TracePlayer::start() {
+  if (running_) return;
+  running_ = true;
+  start_time_ = engine_->now();
+  generator_->set_user_count(trace_->users_at(0));
+  generator_->start();
+  timer_ = engine_->schedule_periodic(trace_->step(), [this] { apply(engine_->now()); });
+}
+
+void TracePlayer::apply(sim::SimTime now) {
+  if (!running_) return;
+  generator_->set_user_count(trace_->users_at(now - start_time_));
+}
+
+void TracePlayer::stop() {
+  running_ = false;
+  timer_.cancel();
+  generator_->stop();
+}
+
+}  // namespace dcm::workload

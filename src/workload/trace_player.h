@@ -1,0 +1,39 @@
+// Trace player — the "revised RUBBoS client emulator" (paper Sec. II-A):
+// drives a ClosedLoopGenerator's user population along a workload trace.
+#pragma once
+
+#include "sim/engine.h"
+#include "workload/closed_loop.h"
+#include "workload/trace.h"
+
+namespace dcm::workload {
+
+class TracePlayer {
+ public:
+  /// Takes a reference to the generator and the trace; both must outlive
+  /// the player.
+  TracePlayer(sim::Engine& engine, ClosedLoopGenerator& generator, const Trace& trace);
+
+  TracePlayer(const TracePlayer&) = delete;
+  TracePlayer& operator=(const TracePlayer&) = delete;
+
+  /// Starts the generator at the trace's first level and re-targets the
+  /// user population every trace step. After the trace ends the last level
+  /// holds until stop().
+  void start();
+  void stop();
+
+  bool finished(sim::SimTime now) const { return now >= start_time_ + trace_->duration(); }
+
+ private:
+  void apply(sim::SimTime now);
+
+  sim::Engine* engine_;
+  ClosedLoopGenerator* generator_;
+  const Trace* trace_;
+  sim::SimTime start_time_ = 0;
+  sim::EventHandle timer_;
+  bool running_ = false;
+};
+
+}  // namespace dcm::workload

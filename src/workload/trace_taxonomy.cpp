@@ -1,0 +1,117 @@
+#include "workload/trace_taxonomy.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dcm::workload {
+namespace {
+
+constexpr int kSeconds = 700;
+
+/// Builds a trace from a normalised shape function f(t) ∈ (0, 1], scaled so
+/// max(f)·peak = peak_users, with 4% multiplicative noise.
+template <typename ShapeFn>
+Trace from_shape(ShapeFn&& shape, int peak_users, uint64_t seed) {
+  double peak_shape = 0.0;
+  for (int t = 0; t < kSeconds; ++t) peak_shape = std::max(peak_shape, shape(t));
+  DCM_CHECK(peak_shape > 0.0);
+
+  Rng rng(seed);
+  std::vector<int> users(kSeconds);
+  for (int t = 0; t < kSeconds; ++t) {
+    const double base = shape(t) / peak_shape * peak_users;
+    const double noisy = base * (1.0 + 0.04 * rng.normal());
+    users[static_cast<size_t>(t)] = std::max(1, static_cast<int>(std::lround(noisy)));
+  }
+  return Trace(std::move(users));
+}
+
+}  // namespace
+
+const char* trace_pattern_name(TracePattern pattern) {
+  switch (pattern) {
+    case TracePattern::kSlowlyVarying:
+      return "slowly-varying";
+    case TracePattern::kQuicklyVarying:
+      return "quickly-varying";
+    case TracePattern::kBigSpike:
+      return "big-spike";
+    case TracePattern::kDualPhase:
+      return "dual-phase";
+    case TracePattern::kLargeVariation:
+      return "large-variation";
+    case TracePattern::kSteepTriPhase:
+      return "steep-tri-phase";
+  }
+  return "?";
+}
+
+std::vector<TracePattern> all_trace_patterns() {
+  return {TracePattern::kSlowlyVarying, TracePattern::kQuicklyVarying,
+          TracePattern::kBigSpike,      TracePattern::kDualPhase,
+          TracePattern::kLargeVariation, TracePattern::kSteepTriPhase};
+}
+
+Trace make_trace(TracePattern pattern, int peak_users, uint64_t seed) {
+  DCM_CHECK(peak_users >= 1);
+  switch (pattern) {
+    case TracePattern::kSlowlyVarying:
+      // One slow swell over the whole window.
+      return from_shape(
+          [](int t) {
+            return 0.45 + 0.55 * std::sin(M_PI * t / static_cast<double>(kSeconds));
+          },
+          peak_users, seed);
+
+    case TracePattern::kQuicklyVarying:
+      // 80 s oscillation around a mid level.
+      return from_shape(
+          [](int t) { return 0.6 + 0.4 * std::sin(2.0 * M_PI * t / 80.0); }, peak_users,
+          seed);
+
+    case TracePattern::kBigSpike: {
+      // Calm 35% baseline, one violent spike at 300-360 s.
+      return from_shape(
+          [](int t) {
+            double level = 0.35;
+            if (t >= 300 && t < 312) level = 0.35 + 0.65 * (t - 300) / 12.0;  // sharp rise
+            else if (t >= 312 && t < 348) level = 1.0;
+            else if (t >= 348 && t < 372) level = 1.0 - 0.65 * (t - 348) / 24.0;
+            return level;
+          },
+          peak_users, seed);
+    }
+
+    case TracePattern::kDualPhase:
+      // Low plateau, 60 s transition, high plateau (a diurnal shoulder).
+      return from_shape(
+          [](int t) {
+            if (t < 280) return 0.40;
+            if (t < 340) return 0.40 + 0.60 * (t - 280) / 60.0;
+            return 1.0;
+          },
+          peak_users, seed);
+
+    case TracePattern::kLargeVariation:
+      return Trace::large_variation(seed, static_cast<double>(peak_users) / 350.0);
+
+    case TracePattern::kSteepTriPhase:
+      // Three ramps, each steeper than the last, with resets between.
+      return from_shape(
+          [](int t) {
+            if (t < 200) return 0.30 + 0.25 * t / 200.0;          // gentle
+            if (t < 230) return 0.35;                             // reset
+            if (t < 400) return 0.35 + 0.40 * (t - 230) / 170.0;  // medium
+            if (t < 430) return 0.40;                             // reset
+            if (t < 560) return 0.40 + 0.60 * (t - 430) / 130.0;  // steep
+            return 0.55;
+          },
+          peak_users, seed);
+  }
+  DCM_CHECK_MSG(false, "unknown trace pattern");
+  return Trace();
+}
+
+}  // namespace dcm::workload

@@ -1,0 +1,67 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dcm {
+namespace {
+
+TEST(CsvTest, WriterProducesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_header({"a", "b"});
+  writer.write_row({std::vector<std::string>{"1", "2"}});
+  writer.write_row(std::vector<double>{3.5, 4.0});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3.5,4\n");
+}
+
+TEST(CsvTest, ParseWithHeader) {
+  const CsvTable table = parse_csv("x,y\n1,2\n3,4\n");
+  EXPECT_EQ(table.header, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][0], "3");
+}
+
+TEST(CsvTest, ParseWithoutHeader) {
+  const CsvTable table = parse_csv("1,2\n3,4\n", /*has_header=*/false);
+  EXPECT_TRUE(table.header.empty());
+  EXPECT_EQ(table.rows.size(), 2u);
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  const CsvTable table = parse_csv("# comment\nx,y\n\n1,2\n# more\n3,4\n");
+  EXPECT_EQ(table.header[0], "x");
+  EXPECT_EQ(table.rows.size(), 2u);
+}
+
+TEST(CsvTest, TrimsFieldWhitespace) {
+  const CsvTable table = parse_csv("x, y\n 1 , 2 \n");
+  EXPECT_EQ(table.header[1], "y");
+  EXPECT_EQ(table.rows[0][0], "1");
+}
+
+TEST(CsvTest, ColumnLookup) {
+  const CsvTable table = parse_csv("time,users\n0,5\n");
+  EXPECT_EQ(table.column("users"), 1);
+  EXPECT_EQ(table.column("absent"), -1);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/dcm_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    writer.write_header({"k", "v"});
+    writer.write_row({std::vector<std::string>{"a", "1"}});
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "a");
+}
+
+TEST(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely/missing.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dcm

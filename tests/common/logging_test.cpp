@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcm {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_level(LogLevel::kTrace);
+    set_log_sink([this](LogLevel level, const std::string& message) {
+      captured_.emplace_back(level, message);
+    });
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kInfo);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, FormatsPrintfStyle) {
+  DCM_LOG_INFO("x=%d y=%s", 3, "abc");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "x=3 y=abc");
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, LevelFiltersBelowThreshold) {
+  set_log_level(LogLevel::kWarn);
+  DCM_LOG_DEBUG("dropped");
+  DCM_LOG_INFO("dropped too");
+  DCM_LOG_WARN("kept");
+  DCM_LOG_ERROR("kept too");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "kept");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  DCM_LOG_ERROR("nope");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace dcm

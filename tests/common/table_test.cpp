@@ -1,0 +1,44 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dcm {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({std::vector<std::string>{"x", "1"}});
+  table.add_row({std::vector<std::string>{"longer", "22"}});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowsFormatted) {
+  TextTable table({"a", "b"});
+  table.add_row(std::vector<double>{1.5, 2.0}, 2);
+  EXPECT_EQ(table.row_count(), 1u);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(FormatNumberTest, TrimsTrailingZeros) {
+  EXPECT_EQ(format_number(3.0), "3");
+  EXPECT_EQ(format_number(3.1400, 4), "3.14");
+  EXPECT_EQ(format_number(0.5, 2), "0.5");
+}
+
+TEST(FormatNumberTest, RespectsPrecision) {
+  EXPECT_EQ(format_number(1.23456, 2), "1.23");
+  EXPECT_EQ(format_number(1.23456, 0), "1");
+}
+
+TEST(FormatNumberTest, NegativeNumbers) {
+  EXPECT_EQ(format_number(-2.50, 2), "-2.5");
+}
+
+}  // namespace
+}  // namespace dcm

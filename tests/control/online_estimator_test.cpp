@@ -1,0 +1,87 @@
+#include "control/online_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "model/concurrency_model.h"
+
+namespace dcm::control {
+namespace {
+
+const model::ServiceTimeParams kMysql{7.19e-3, 5.04e-3, 1.65e-6};
+
+void feed_curve(OnlineModelEstimator& estimator, int max_n, double noise_cv, uint64_t seed,
+                int repeats = 3) {
+  Rng rng(seed);
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (int n = 1; n <= max_n; n += 2) {
+      const double x = model::server_throughput(kMysql, n);
+      const double noisy = noise_cv > 0 ? x * (1.0 + noise_cv * rng.normal()) : x;
+      estimator.observe(n, std::max(0.0, noisy));
+    }
+  }
+}
+
+TEST(OnlineEstimatorTest, NotReadyWithoutSpread) {
+  OnlineModelEstimator estimator;
+  for (int i = 0; i < 100; ++i) estimator.observe(10.0, 50.0);
+  EXPECT_FALSE(estimator.ready());
+  EXPECT_FALSE(estimator.fit(1, 1.0).has_value());
+}
+
+TEST(OnlineEstimatorTest, ReadyAfterWideObservations) {
+  OnlineModelEstimator estimator;
+  feed_curve(estimator, 60, 0.0, 1);
+  EXPECT_TRUE(estimator.ready());
+  EXPECT_GE(estimator.bin_count(), 8u);
+}
+
+TEST(OnlineEstimatorTest, RecoversKneeFromCleanData) {
+  OnlineModelEstimator estimator;
+  feed_curve(estimator, 120, 0.0, 2);
+  const auto fitted = estimator.fit(1, 1.0);
+  ASSERT_TRUE(fitted.has_value());
+  EXPECT_GT(fitted->r_squared, 0.99);
+  EXPECT_NEAR(fitted->optimal_concurrency(), 36.1, 3.0);
+}
+
+TEST(OnlineEstimatorTest, ToleratesModerateNoise) {
+  OnlineModelEstimator estimator;
+  feed_curve(estimator, 120, 0.02, 3, /*repeats=*/10);
+  const auto fitted = estimator.fit(1, 1.0);
+  ASSERT_TRUE(fitted.has_value());
+  // Flat plateau ⇒ loose N_b bounds, but the fitted curve must be sane.
+  EXPECT_GT(fitted->optimal_concurrency(), 10.0);
+  EXPECT_LT(fitted->optimal_concurrency(), 120.0);
+}
+
+TEST(OnlineEstimatorTest, RejectsPoorFits) {
+  EstimatorConfig config;
+  config.min_r_squared = 0.99;
+  OnlineModelEstimator estimator(config);
+  // Feed pure wide-spectrum noise over a wide concurrency range.
+  Rng rng(4);
+  for (int rep = 0; rep < 20; ++rep) {
+    for (int n = 1; n <= 60; n += 3) estimator.observe(n, rng.uniform(10.0, 500.0));
+  }
+  EXPECT_TRUE(estimator.ready());
+  EXPECT_FALSE(estimator.fit(1, 1.0).has_value());
+}
+
+TEST(OnlineEstimatorTest, IgnoresIdleSamples) {
+  OnlineModelEstimator estimator;
+  for (int i = 0; i < 1000; ++i) estimator.observe(0.0, 0.0);  // idle seconds
+  EXPECT_EQ(estimator.bin_count(), 0u);
+}
+
+TEST(OnlineEstimatorTest, MinSamplesPerBinEnforced) {
+  EstimatorConfig config;
+  config.min_samples_per_bin = 5;
+  OnlineModelEstimator estimator(config);
+  feed_curve(estimator, 60, 0.0, 5, /*repeats=*/1);  // only 1 sample per bin
+  EXPECT_EQ(estimator.bin_count(), 0u);
+  EXPECT_FALSE(estimator.ready());
+}
+
+}  // namespace
+}  // namespace dcm::control

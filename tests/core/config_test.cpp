@@ -1,0 +1,134 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config_loader.h"
+
+namespace dcm {
+namespace {
+
+TEST(ConfigTest, ParsesSectionsAndKeys) {
+  const Config config = Config::parse(
+      "[hardware]\n"
+      "web = 2\n"
+      "app=3\n"
+      "\n"
+      "[run]\n"
+      "duration = 42.5\n");
+  EXPECT_EQ(config.get_int("hardware", "web", 0), 2);
+  EXPECT_EQ(config.get_int("hardware", "app", 0), 3);
+  EXPECT_DOUBLE_EQ(config.get_double("run", "duration", 0.0), 42.5);
+}
+
+TEST(ConfigTest, CommentsAndWhitespace) {
+  const Config config = Config::parse(
+      "# full line comment\n"
+      "[s]  \n"
+      "key = value   ; trailing comment\n"
+      "other = x # another\n");
+  EXPECT_EQ(config.get_string("s", "key"), "value");
+  EXPECT_EQ(config.get_string("s", "other"), "x");
+}
+
+TEST(ConfigTest, FallbacksForMissingKeys) {
+  const Config config = Config::parse("[a]\nx = 1\n");
+  EXPECT_EQ(config.get_int("a", "missing", 9), 9);
+  EXPECT_EQ(config.get_string("nope", "x", "d"), "d");
+  EXPECT_TRUE(config.get_bool("a", "missing", true));
+  EXPECT_FALSE(config.has("a", "missing"));
+  EXPECT_TRUE(config.has("a", "x"));
+}
+
+TEST(ConfigTest, BooleanSpellings) {
+  const Config config = Config::parse(
+      "[b]\nt1=true\nt2=Yes\nt3=ON\nt4=1\nf1=false\nf2=no\nf3=Off\nf4=0\n");
+  for (const char* key : {"t1", "t2", "t3", "t4"}) {
+    EXPECT_TRUE(config.get_bool("b", key, false)) << key;
+  }
+  for (const char* key : {"f1", "f2", "f3", "f4"}) {
+    EXPECT_FALSE(config.get_bool("b", key, true)) << key;
+  }
+}
+
+TEST(ConfigTest, MalformedInputsThrow) {
+  EXPECT_THROW(Config::parse("[unclosed\nx=1\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse("[s]\nno_equals_here\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse("[s]\n= value\n"), std::runtime_error);
+  const Config config = Config::parse("[s]\nx = notanumber\n");
+  EXPECT_THROW(config.get_int("s", "x", 0), std::runtime_error);
+  EXPECT_THROW(config.get_double("s", "x", 0.0), std::runtime_error);
+  EXPECT_THROW(config.get_bool("s", "x", false), std::runtime_error);
+}
+
+TEST(ConfigTest, SetOverrides) {
+  Config config = Config::parse("[s]\nx = 1\n");
+  config.set("s", "x", "2");
+  config.set("new", "y", "3");
+  EXPECT_EQ(config.get_int("s", "x", 0), 2);
+  EXPECT_EQ(config.get_int("new", "y", 0), 3);
+}
+
+TEST(ConfigLoaderTest, DefaultsWhenEmpty) {
+  const auto experiment = core::experiment_from_config(Config::parse(""));
+  EXPECT_EQ(experiment.hardware.app, 1);
+  EXPECT_EQ(experiment.soft.db_connections, 80);
+  EXPECT_EQ(experiment.workload.kind, core::WorkloadSpec::Kind::kRubbosClients);
+  EXPECT_EQ(experiment.controller.kind, core::ControllerSpec::Kind::kNone);
+  EXPECT_DOUBLE_EQ(experiment.duration_seconds, 300.0);
+}
+
+TEST(ConfigLoaderTest, FullExperimentTranslation) {
+  const auto experiment = core::experiment_from_config(Config::parse(
+      "[hardware]\nweb=1\napp=2\ndb=2\n"
+      "[soft]\napp_threads=20\ndb_connections=18\n"
+      "[workload]\nkind=jmeter\nusers=64\nseed=9\n"
+      "[controller]\nkind=ec2\nscale_out_util=0.7\npredictive=true\nsla_rt=0.8\n"
+      "[run]\nduration=120\nwarmup=10\nmax_vms=6\n"));
+  EXPECT_EQ(experiment.hardware.app, 2);
+  EXPECT_EQ(experiment.soft.app_threads, 20);
+  EXPECT_EQ(experiment.workload.kind, core::WorkloadSpec::Kind::kJmeter);
+  EXPECT_EQ(experiment.workload.users, 64);
+  EXPECT_EQ(experiment.controller.kind, core::ControllerSpec::Kind::kEc2AutoScale);
+  EXPECT_DOUBLE_EQ(experiment.controller.policy.scale_out_util, 0.7);
+  EXPECT_TRUE(experiment.controller.policy.predictive);
+  EXPECT_DOUBLE_EQ(experiment.controller.policy.scale_out_response_time, 0.8);
+  EXPECT_EQ(experiment.max_vms_per_tier, 6);
+}
+
+TEST(ConfigLoaderTest, TaxonomyTraceByName) {
+  const auto experiment = core::experiment_from_config(Config::parse(
+      "[workload]\nkind=trace\ntrace=big-spike\npeak_users=200\n"));
+  EXPECT_EQ(experiment.workload.kind, core::WorkloadSpec::Kind::kTrace);
+  EXPECT_GE(experiment.workload.trace.max_users(), 170);
+  EXPECT_LE(experiment.workload.trace.max_users(), 230);
+}
+
+TEST(ConfigLoaderTest, DcmControllerGetsReferenceModels) {
+  const auto experiment =
+      core::experiment_from_config(Config::parse("[controller]\nkind=dcm\nheadroom=1.5\n"));
+  EXPECT_EQ(experiment.controller.kind, core::ControllerSpec::Kind::kDcm);
+  EXPECT_DOUBLE_EQ(experiment.controller.dcm.stp_headroom, 1.5);
+  EXPECT_NEAR(experiment.controller.dcm.db_tier_model.optimal_concurrency(), 36.0, 1.0);
+}
+
+TEST(ConfigLoaderTest, UnknownKindsThrow) {
+  EXPECT_THROW(core::experiment_from_config(Config::parse("[workload]\nkind=weird\n")),
+               std::runtime_error);
+  EXPECT_THROW(core::experiment_from_config(Config::parse("[controller]\nkind=weird\n")),
+               std::runtime_error);
+  EXPECT_THROW(core::experiment_from_config(
+                   Config::parse("[workload]\nkind=trace\ntrace=/no/such/file.csv\n")),
+               std::runtime_error);
+}
+
+TEST(ConfigLoaderTest, ConfigDrivenRunExecutes) {
+  const auto experiment = core::experiment_from_config(Config::parse(
+      "[workload]\nkind=rubbos\nusers=50\n"
+      "[run]\nduration=40\nwarmup=10\n"));
+  const auto result = core::run_experiment(experiment);
+  EXPECT_GT(result.completed, 100u);
+  EXPECT_EQ(result.errors, 0u);
+}
+
+}  // namespace
+}  // namespace dcm

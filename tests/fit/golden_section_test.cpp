@@ -1,0 +1,67 @@
+#include "fit/golden_section.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcm::fit {
+namespace {
+
+TEST(GoldenSectionTest, QuadraticMinimum) {
+  const auto result = golden_section_minimize([](double x) { return (x - 3.0) * (x - 3.0); },
+                                              0.0, 10.0);
+  EXPECT_NEAR(result.x, 3.0, 1e-6);
+  EXPECT_NEAR(result.value, 0.0, 1e-10);
+}
+
+TEST(GoldenSectionTest, MinimumAtBoundary) {
+  const auto result = golden_section_minimize([](double x) { return x; }, 2.0, 5.0);
+  EXPECT_NEAR(result.x, 2.0, 1e-6);
+}
+
+TEST(GoldenSectionTest, NonSymmetricUnimodal) {
+  // Minimize S(N) = (S0-α)/N + βN (the paper's Sec. III-C form).
+  const double s0 = 7.19e-3, alpha = 5.04e-3, beta = 1.65e-6;
+  const auto result = golden_section_minimize(
+      [&](double n) { return (s0 - alpha) / n + beta * n; }, 1.0, 500.0, 1e-9, 300);
+  EXPECT_NEAR(result.x, std::sqrt((s0 - alpha) / beta), 0.01);
+}
+
+TEST(GoldenSectionTest, CountsEvaluations) {
+  int calls = 0;
+  golden_section_minimize(
+      [&](double x) {
+        ++calls;
+        return x * x;
+      },
+      -1.0, 1.0);
+  EXPECT_GT(calls, 10);
+  EXPECT_LT(calls, 200);
+}
+
+TEST(IntegerArgminTest, FindsExactInteger) {
+  EXPECT_EQ(integer_argmin([](int n) { return (n - 17) * (n - 17); }, 1, 100), 17);
+}
+
+TEST(IntegerArgminTest, TieBreaksToSmaller) {
+  // f(3) == f(4) minimum plateau.
+  EXPECT_EQ(integer_argmin([](int n) { return std::abs(2 * n - 7); }, 1, 10), 3);
+}
+
+TEST(IntegerArgminTest, SinglePointDomain) {
+  EXPECT_EQ(integer_argmin([](int) { return 1.0; }, 5, 5), 5);
+}
+
+TEST(IntegerArgminTest, MatchesEq7Knee) {
+  const double s0 = 2.84e-2, alpha = 9.87e-3, beta = 4.54e-5;
+  const int knee = integer_argmin(
+      [&](int n) {
+        const double s = s0 + alpha * (n - 1.0) + beta * n * (n - 1.0);
+        return -(n / s);
+      },
+      1, 500);
+  EXPECT_NEAR(knee, 20, 1);  // Table I: Tomcat N_b = 20
+}
+
+}  // namespace
+}  // namespace dcm::fit

@@ -1,0 +1,96 @@
+#include "fit/levenberg_marquardt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/concurrency_model.h"
+
+namespace dcm::fit {
+namespace {
+
+TEST(LmTest, ExponentialDecayRecovered) {
+  // y = a·exp(-b·x), truth a=3, b=0.7.
+  const ModelFn fn = [](const std::vector<double>& p, double x) {
+    return p[0] * std::exp(-p[1] * x);
+  };
+  std::vector<double> x, y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(0.2 * i);
+    y.push_back(3.0 * std::exp(-0.7 * 0.2 * i));
+  }
+  const auto result = levenberg_marquardt(fn, x, y, {1.0, 1.0});
+  EXPECT_NEAR(result.params[0], 3.0, 1e-4);
+  EXPECT_NEAR(result.params[1], 0.7, 1e-4);
+  EXPECT_GT(result.r_squared, 0.9999);
+}
+
+TEST(LmTest, NoisyFitStillClose) {
+  const ModelFn fn = [](const std::vector<double>& p, double x) {
+    return p[0] * x / (p[1] + x);  // Michaelis–Menten
+  };
+  Rng rng(21);
+  std::vector<double> x, y;
+  for (int i = 1; i <= 100; ++i) {
+    const double xi = 0.1 * i;
+    x.push_back(xi);
+    y.push_back(5.0 * xi / (2.0 + xi) + rng.normal(0.0, 0.02));
+  }
+  const auto result = levenberg_marquardt(fn, x, y, {1.0, 1.0});
+  EXPECT_NEAR(result.params[0], 5.0, 0.1);
+  EXPECT_NEAR(result.params[1], 2.0, 0.1);
+  EXPECT_GT(result.r_squared, 0.99);
+}
+
+TEST(LmTest, RecoversEq7Parameters) {
+  // The paper's throughput model with Table I MySQL truth.
+  const model::ServiceTimeParams truth{7.19e-3, 5.04e-3, 1.65e-6};
+  const ModelFn fn = [](const std::vector<double>& p, double n) {
+    return n / (p[0] + p[1] * (n - 1.0) + p[2] * n * (n - 1.0));
+  };
+  std::vector<double> x, y;
+  for (int n = 1; n <= 200; n += 3) {
+    x.push_back(n);
+    y.push_back(model::server_throughput(truth, n));
+  }
+  LmOptions options;
+  options.lower_bounds = {1e-9, 0.0, 0.0};
+  options.upper_bounds = {1.0, 1.0, 1.0};
+  const auto result = levenberg_marquardt(fn, x, y, {1e-2, 1e-3, 1e-5}, options);
+  EXPECT_NEAR(result.params[0], truth.s0, truth.s0 * 0.02);
+  EXPECT_NEAR(result.params[1], truth.alpha, truth.alpha * 0.02);
+  EXPECT_NEAR(result.params[2], truth.beta, truth.beta * 0.10);
+  // The derived optimum is the control-relevant output.
+  const double nb = std::sqrt((result.params[0] - result.params[1]) / result.params[2]);
+  EXPECT_NEAR(nb, 36.1, 1.5);
+}
+
+TEST(LmTest, BoundsAreRespected) {
+  const ModelFn fn = [](const std::vector<double>& p, double x) { return p[0] * x; };
+  LmOptions options;
+  options.lower_bounds = {2.0};
+  options.upper_bounds = {10.0};
+  // Truth slope 1.0 is below the lower bound; fit must clamp at 2.0.
+  const auto result = levenberg_marquardt(fn, {1, 2, 3}, {1, 2, 3}, {5.0}, options);
+  EXPECT_DOUBLE_EQ(result.params[0], 2.0);
+}
+
+TEST(LmTest, AlreadyOptimalConvergesImmediately) {
+  const ModelFn fn = [](const std::vector<double>& p, double x) { return p[0] + x; };
+  const auto result = levenberg_marquardt(fn, {0, 1, 2}, {5, 6, 7}, {5.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.sse, 0.0, 1e-18);
+  EXPECT_LE(result.iterations, 3);
+}
+
+TEST(LmTest, ReportsIterationsAndSse) {
+  const ModelFn fn = [](const std::vector<double>& p, double x) { return p[0] * x * x; };
+  const auto result = levenberg_marquardt(fn, {1, 2, 3}, {2, 8, 18}, {0.1});
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_NEAR(result.params[0], 2.0, 1e-6);
+  EXPECT_LT(result.sse, 1e-10);
+}
+
+}  // namespace
+}  // namespace dcm::fit

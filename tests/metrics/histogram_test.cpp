@@ -1,0 +1,73 @@
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace dcm::metrics {
+namespace {
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h = Histogram::linear(0.0, 10.0, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, UniformFillQuantiles) {
+  Histogram h = Histogram::linear(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.p50(), 50.0, 1.5);
+  EXPECT_NEAR(h.p95(), 95.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.25), 25.0, 1.5);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h = Histogram::linear(0.0, 10.0, 10);
+  h.add(1.0, 99);
+  h.add(9.0, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LT(h.p50(), 2.0);
+  EXPECT_GT(h.p99(), 1.0);
+}
+
+TEST(HistogramTest, UnderflowAndOverflowClampToEdges) {
+  Histogram h = Histogram::linear(1.0, 2.0, 4);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(HistogramTest, LogarithmicSpansDecades) {
+  Histogram h = Histogram::logarithmic(1e-4, 100.0);
+  h.add(0.001);
+  h.add(0.01);
+  h.add(0.1);
+  h.add(1.0);
+  EXPECT_EQ(h.count(), 4u);
+  // Median between 0.01 and 0.1.
+  const double p50 = h.p50();
+  EXPECT_GT(p50, 0.005);
+  EXPECT_LT(p50, 0.2);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h = Histogram::linear(0.0, 1.0, 4);
+  h.add(0.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.p95(), 0.0);
+}
+
+TEST(HistogramTest, MonotoneQuantiles) {
+  Histogram h = Histogram::logarithmic(1e-3, 10.0);
+  for (int i = 1; i <= 1000; ++i) h.add(0.001 * i);
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace dcm::metrics

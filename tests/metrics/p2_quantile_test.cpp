@@ -1,0 +1,81 @@
+#include "metrics/p2_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dcm::metrics {
+namespace {
+
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const double idx = q * (xs.size() - 1);
+  const auto lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - lo;
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+TEST(P2QuantileTest, NoSamplesIsZero) {
+  P2Quantile q(0.95);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+}
+
+TEST(P2QuantileTest, FewSamplesExact) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);  // exact median of {1,2,3}
+}
+
+TEST(P2QuantileTest, MedianOfUniformStream) {
+  P2Quantile q(0.5);
+  Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    q.add(x);
+  }
+  EXPECT_NEAR(q.value(), exact_quantile(xs, 0.5), 0.15);
+}
+
+TEST(P2QuantileTest, P95OfExponentialStream) {
+  P2Quantile q(0.95);
+  Rng rng(43);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.exponential(1.0);
+    xs.push_back(x);
+    q.add(x);
+  }
+  const double exact = exact_quantile(xs, 0.95);
+  EXPECT_NEAR(q.value(), exact, exact * 0.05);
+}
+
+TEST(P2QuantileTest, P99OfLognormalStream) {
+  P2Quantile q(0.99);
+  Rng rng(44);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal_mean_cv(0.1, 1.0);
+    xs.push_back(x);
+    q.add(x);
+  }
+  const double exact = exact_quantile(xs, 0.99);
+  EXPECT_NEAR(q.value(), exact, exact * 0.15);
+}
+
+TEST(P2QuantileTest, CountTracksSamples) {
+  P2Quantile q(0.9);
+  for (int i = 0; i < 123; ++i) q.add(i);
+  EXPECT_EQ(q.count(), 123u);
+}
+
+}  // namespace
+}  // namespace dcm::metrics

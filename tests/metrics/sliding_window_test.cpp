@@ -1,0 +1,63 @@
+#include "metrics/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+namespace dcm::metrics {
+namespace {
+
+using sim::from_seconds;
+
+TEST(SlidingWindowStatTest, EmptyWindowIsZero) {
+  SlidingWindowStat w(from_seconds(10.0));
+  EXPECT_DOUBLE_EQ(w.mean(from_seconds(100.0)), 0.0);
+  EXPECT_DOUBLE_EQ(w.max(from_seconds(100.0)), 0.0);
+  EXPECT_EQ(w.count(from_seconds(100.0)), 0u);
+}
+
+TEST(SlidingWindowStatTest, MeanOverRecentPoints) {
+  SlidingWindowStat w(from_seconds(10.0));
+  w.add(from_seconds(1.0), 2.0);
+  w.add(from_seconds(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(w.mean(from_seconds(3.0)), 3.0);
+  EXPECT_DOUBLE_EQ(w.max(from_seconds(3.0)), 4.0);
+}
+
+TEST(SlidingWindowStatTest, OldPointsEvicted) {
+  SlidingWindowStat w(from_seconds(10.0));
+  w.add(from_seconds(1.0), 100.0);
+  w.add(from_seconds(9.0), 2.0);
+  // At t=12, the t=1 point is outside (12-10=2 cutoff, 1 <= 2 evicted).
+  EXPECT_DOUBLE_EQ(w.mean(from_seconds(12.0)), 2.0);
+  EXPECT_EQ(w.count(from_seconds(12.0)), 1u);
+}
+
+TEST(SlidingWindowStatTest, AllEvictedReturnsZero) {
+  SlidingWindowStat w(from_seconds(5.0));
+  w.add(from_seconds(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(w.mean(from_seconds(100.0)), 0.0);
+}
+
+TEST(SlidingRateTest, CountsEventsPerSecond) {
+  SlidingRate r(from_seconds(10.0));
+  for (int i = 0; i < 50; ++i) r.add(from_seconds(0.1 * i));
+  // 50 events in ~5 s, window 10 s → 5 events/s.
+  EXPECT_NEAR(r.rate(from_seconds(5.0)), 5.0, 1e-9);
+}
+
+TEST(SlidingRateTest, RateDecaysAsEventsAge) {
+  SlidingRate r(from_seconds(10.0));
+  for (int i = 0; i < 10; ++i) r.add(from_seconds(i));
+  EXPECT_NEAR(r.rate(from_seconds(9.0)), 1.0, 1e-9);
+  // After 25 s everything is out of the window.
+  EXPECT_DOUBLE_EQ(r.rate(from_seconds(25.0)), 0.0);
+}
+
+TEST(SlidingRateTest, WeightedEvents) {
+  SlidingRate r(from_seconds(10.0));
+  r.add(from_seconds(1.0), 5.0);
+  r.add(from_seconds(2.0), 5.0);
+  EXPECT_NEAR(r.rate(from_seconds(3.0)), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcm::metrics

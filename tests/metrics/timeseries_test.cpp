@@ -1,0 +1,74 @@
+#include "metrics/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace dcm::metrics {
+namespace {
+
+using sim::from_seconds;
+using sim::kNanosPerSecond;
+
+TEST(TimeSeriesTest, BucketsByTime) {
+  TimeSeries ts("test", kNanosPerSecond);
+  ts.add(from_seconds(0.5), 1.0);
+  ts.add(from_seconds(0.9), 3.0);
+  ts.add(from_seconds(1.5), 10.0);
+  const auto& buckets = ts.buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].stat.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(buckets[1].stat.mean(), 10.0);
+}
+
+TEST(TimeSeriesTest, GapsLeaveEmptyBuckets) {
+  TimeSeries ts("test", kNanosPerSecond);
+  ts.add(from_seconds(0.0), 1.0);
+  ts.add(from_seconds(3.5), 2.0);
+  ASSERT_EQ(ts.buckets().size(), 4u);
+  EXPECT_EQ(ts.buckets()[1].stat.count(), 0u);
+  EXPECT_EQ(ts.buckets()[2].stat.count(), 0u);
+}
+
+TEST(TimeSeriesTest, MeanSeries) {
+  TimeSeries ts("test", kNanosPerSecond);
+  ts.add(from_seconds(0.1), 2.0);
+  ts.add(from_seconds(0.2), 4.0);
+  const auto series = ts.mean_series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].first, 0.0);
+  EXPECT_DOUBLE_EQ(series[0].second, 3.0);
+}
+
+TEST(TimeSeriesTest, RateSeriesDividesByWidth) {
+  TimeSeries ts("test", from_seconds(2.0));
+  for (int i = 0; i < 10; ++i) ts.add(from_seconds(0.1 * i), 1.0);
+  const auto series = ts.rate_series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].second, 5.0);  // 10 events / 2 s
+}
+
+TEST(TimeSeriesTest, MaxSeries) {
+  TimeSeries ts("test", kNanosPerSecond);
+  ts.add(from_seconds(0.1), 1.0);
+  ts.add(from_seconds(0.2), 9.0);
+  ts.add(from_seconds(1.5), 4.0);
+  const auto series = ts.max_series();
+  EXPECT_DOUBLE_EQ(series[0].second, 9.0);
+  EXPECT_DOUBLE_EQ(series[1].second, 4.0);
+}
+
+TEST(TimeSeriesTest, OverallMergesAllBuckets) {
+  TimeSeries ts("test", kNanosPerSecond);
+  for (int i = 0; i < 10; ++i) ts.add(from_seconds(i), static_cast<double>(i));
+  const Welford overall = ts.overall();
+  EXPECT_EQ(overall.count(), 10u);
+  EXPECT_DOUBLE_EQ(overall.mean(), 4.5);
+}
+
+TEST(TimeSeriesTest, NameAndWidthAccessors) {
+  TimeSeries ts("throughput", from_seconds(5.0));
+  EXPECT_EQ(ts.name(), "throughput");
+  EXPECT_EQ(ts.bucket_width(), from_seconds(5.0));
+}
+
+}  // namespace
+}  // namespace dcm::metrics

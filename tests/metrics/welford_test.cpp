@@ -1,0 +1,83 @@
+#include "metrics/welford.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcm::metrics {
+namespace {
+
+TEST(WelfordTest, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 0.0);
+  EXPECT_DOUBLE_EQ(w.max(), 0.0);
+}
+
+TEST(WelfordTest, SingleSample) {
+  Welford w;
+  w.add(4.0);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 4.0);
+  EXPECT_DOUBLE_EQ(w.max(), 4.0);
+}
+
+TEST(WelfordTest, KnownMoments) {
+  Welford w;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(w.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+  EXPECT_DOUBLE_EQ(w.sum(), 40.0);
+}
+
+TEST(WelfordTest, MergeEqualsCombinedStream) {
+  Welford all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 3.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(WelfordTest, MergeWithEmptySides) {
+  Welford a, b;
+  a.add(1.0);
+  a.merge(b);  // empty rhs
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(WelfordTest, ResetClears) {
+  Welford w;
+  w.add(10.0);
+  w.reset();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(WelfordTest, NumericallyStableForLargeOffsets) {
+  Welford w;
+  const double offset = 1e9;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) w.add(x);
+  EXPECT_NEAR(w.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(w.variance(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace dcm::metrics

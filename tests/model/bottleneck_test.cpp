@@ -1,0 +1,72 @@
+#include "model/bottleneck.h"
+
+#include <gtest/gtest.h>
+
+namespace dcm::model {
+namespace {
+
+std::vector<TierDemand> paper_example() {
+  // Sec. III-A: one HTTP request → 1 Apache visit, 1 Tomcat visit, 2 MySQL
+  // queries. Demands chosen so Tomcat is the bottleneck (as in 1/1/1).
+  return {
+      {"apache", 1.0, 1.0e-3, 1, 1.0},
+      {"tomcat", 1.0, 2.84e-2, 1, 1.0},
+      {"mysql", 2.0, 7.19e-3, 1, 1.0},
+  };
+}
+
+TEST(BottleneckTest, IdentifiesLongestDemandTier) {
+  const auto report = analyze_bottleneck(paper_example());
+  EXPECT_EQ(report.bottleneck_tier, 1);  // tomcat: 28.4ms > 2·7.19ms > 1ms
+}
+
+TEST(BottleneckTest, MaxThroughputIsEq3) {
+  const auto report = analyze_bottleneck(paper_example());
+  EXPECT_NEAR(report.max_throughput, 1.0 / 2.84e-2, 1e-9);
+}
+
+TEST(BottleneckTest, AddingServersShiftsBottleneck) {
+  auto tiers = paper_example();
+  tiers[1].servers = 2;  // 1/2/1: tomcat demand halves per Eq. 4
+  const auto report = analyze_bottleneck(tiers);
+  EXPECT_EQ(report.bottleneck_tier, 2);  // mysql becomes the constraint
+  EXPECT_NEAR(report.max_throughput, 1.0 / (2.0 * 7.19e-3), 1e-9);
+}
+
+TEST(BottleneckTest, GammaCorrectsLinearScaling) {
+  auto tiers = paper_example();
+  tiers[1].servers = 2;
+  tiers[1].gamma = 0.8;  // imperfect scaling
+  const auto report = analyze_bottleneck(tiers);
+  EXPECT_NEAR(report.tier_capacity[1], 0.8 * 2.0 / 2.84e-2, 1e-9);
+}
+
+TEST(BottleneckTest, UtilizationAtPeak) {
+  const auto report = analyze_bottleneck(paper_example());
+  EXPECT_NEAR(report.utilization_at_peak[1], 1.0, 1e-12);  // bottleneck at 100%
+  // Other tiers below 100%.
+  EXPECT_LT(report.utilization_at_peak[0], 0.1);
+  EXPECT_LT(report.utilization_at_peak[2], 1.0);
+}
+
+TEST(BottleneckTest, UtilizationLawInverses) {
+  const TierDemand tier{"mysql", 2.0, 7.19e-3, 1, 1.0};
+  const double x = throughput_from_utilization(tier, 0.5);
+  EXPECT_NEAR(utilization_at_throughput(tier, x), 0.5, 1e-12);
+}
+
+TEST(BottleneckTest, ForcedFlowLawScalesWithVisitRatio) {
+  const TierDemand v1{"db", 1.0, 0.01, 1, 1.0};
+  const TierDemand v3{"db", 3.0, 0.01, 1, 1.0};
+  EXPECT_NEAR(throughput_from_utilization(v1, 1.0), 3.0 * throughput_from_utilization(v3, 1.0),
+              1e-9);
+}
+
+TEST(BottleneckTest, SingleTierSystem) {
+  const auto report = analyze_bottleneck({{"only", 1.0, 0.02, 1, 1.0}});
+  EXPECT_EQ(report.bottleneck_tier, 0);
+  EXPECT_NEAR(report.max_throughput, 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcm::model

@@ -1,0 +1,89 @@
+#include "ntier/load_balancer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ntier/server.h"
+#include "sim/engine.h"
+
+namespace dcm::ntier {
+namespace {
+
+ServerConfig tiny(const std::string& name) {
+  ServerConfig config;
+  config.name = name;
+  config.cpu.params = {0.01, 0.0, 0.0};
+  config.max_threads = 100;
+  config.downstream_connections = 0;
+  return config;
+}
+
+class LoadBalancerTest : public ::testing::Test {
+ protected:
+  LoadBalancerTest() {
+    for (int i = 0; i < 3; ++i) {
+      servers_.push_back(std::make_unique<Server>(engine_, tiny("s" + std::to_string(i)), 0,
+                                                  Rng(static_cast<uint64_t>(i))));
+    }
+  }
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<Server>> servers_;
+};
+
+TEST_F(LoadBalancerTest, EmptyReturnsNull) {
+  LoadBalancer lb(LbPolicy::kRoundRobin);
+  EXPECT_EQ(lb.pick(), nullptr);
+}
+
+TEST_F(LoadBalancerTest, RoundRobinCyclesEvenly) {
+  LoadBalancer lb(LbPolicy::kRoundRobin);
+  for (auto& s : servers_) lb.add(s.get());
+  std::map<Server*, int> hits;
+  for (int i = 0; i < 30; ++i) ++hits[lb.pick()];
+  for (auto& s : servers_) EXPECT_EQ(hits[s.get()], 10);
+}
+
+TEST_F(LoadBalancerTest, RemoveKeepsRotationValid) {
+  LoadBalancer lb(LbPolicy::kRoundRobin);
+  for (auto& s : servers_) lb.add(s.get());
+  lb.pick();
+  lb.remove(servers_[1].get());
+  std::map<Server*, int> hits;
+  for (int i = 0; i < 20; ++i) ++hits[lb.pick()];
+  EXPECT_EQ(hits[servers_[1].get()], 0);
+  EXPECT_EQ(hits[servers_[0].get()] + hits[servers_[2].get()], 20);
+  EXPECT_EQ(hits[servers_[0].get()], 10);
+}
+
+TEST_F(LoadBalancerTest, RemoveLastThenPickIsNull) {
+  LoadBalancer lb(LbPolicy::kRoundRobin);
+  lb.add(servers_[0].get());
+  lb.remove(servers_[0].get());
+  EXPECT_EQ(lb.pick(), nullptr);
+}
+
+TEST_F(LoadBalancerTest, LeastConnectionsPrefersIdleServer) {
+  LoadBalancer lb(LbPolicy::kLeastConnections);
+  for (auto& s : servers_) lb.add(s.get());
+  // Load server 0 and 1 with in-flight work.
+  auto req = std::make_shared<RequestContext>();
+  req->demand_scale = {1.0};
+  req->downstream_calls = {0};
+  servers_[0]->process(req, [](bool) {});
+  servers_[1]->process(req, [](bool) {});
+  EXPECT_EQ(lb.pick(), servers_[2].get());
+}
+
+TEST_F(LoadBalancerTest, MemberCountTracksMembership) {
+  LoadBalancer lb(LbPolicy::kRoundRobin);
+  EXPECT_EQ(lb.member_count(), 0u);
+  lb.add(servers_[0].get());
+  lb.add(servers_[1].get());
+  EXPECT_EQ(lb.member_count(), 2u);
+  lb.remove(servers_[0].get());
+  EXPECT_EQ(lb.member_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dcm::ntier

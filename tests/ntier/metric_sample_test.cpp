@@ -1,0 +1,75 @@
+#include "ntier/metric_sample.h"
+
+#include <gtest/gtest.h>
+
+namespace dcm::ntier {
+namespace {
+
+MetricSample sample_fixture() {
+  MetricSample s;
+  s.time = 12'000'000'000;
+  s.server_id = "tomcat-vm2";
+  s.tier = "tomcat";
+  s.depth = 1;
+  s.vm_state = "ACTIVE";
+  s.throughput = 87.25;
+  s.avg_response_time = 0.042;
+  s.concurrency = 19.5;
+  s.cpu_util = 0.931;
+  s.thread_pool_size = 20;
+  s.conn_pool_size = 18;
+  s.queue_length = 5;
+  return s;
+}
+
+TEST(MetricSampleTest, RoundTripPreservesFields) {
+  const MetricSample original = sample_fixture();
+  const auto parsed = MetricSample::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time, original.time);
+  EXPECT_EQ(parsed->server_id, original.server_id);
+  EXPECT_EQ(parsed->tier, original.tier);
+  EXPECT_EQ(parsed->depth, original.depth);
+  EXPECT_EQ(parsed->vm_state, original.vm_state);
+  EXPECT_NEAR(parsed->throughput, original.throughput, 1e-5);
+  EXPECT_NEAR(parsed->avg_response_time, original.avg_response_time, 1e-5);
+  EXPECT_NEAR(parsed->concurrency, original.concurrency, 1e-3);
+  EXPECT_NEAR(parsed->cpu_util, original.cpu_util, 1e-3);
+  EXPECT_EQ(parsed->thread_pool_size, original.thread_pool_size);
+  EXPECT_EQ(parsed->conn_pool_size, original.conn_pool_size);
+  EXPECT_EQ(parsed->queue_length, original.queue_length);
+}
+
+TEST(MetricSampleTest, DefaultSampleRoundTrips) {
+  MetricSample s;
+  s.server_id = "x";
+  s.tier = "y";
+  s.vm_state = "BOOTING";
+  const auto parsed = MetricSample::parse(s.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->vm_state, "BOOTING");
+  EXPECT_DOUBLE_EQ(parsed->throughput, 0.0);
+}
+
+TEST(MetricSampleTest, RejectsMissingField) {
+  std::string payload = sample_fixture().serialize();
+  // Drop the last field entirely.
+  payload = payload.substr(0, payload.rfind(";q="));
+  EXPECT_FALSE(MetricSample::parse(payload).has_value());
+}
+
+TEST(MetricSampleTest, RejectsMalformedNumbers) {
+  std::string payload = sample_fixture().serialize();
+  const auto pos = payload.find("u=");
+  payload.replace(pos, 3, "u=zz");
+  EXPECT_FALSE(MetricSample::parse(payload).has_value());
+}
+
+TEST(MetricSampleTest, RejectsGarbage) {
+  EXPECT_FALSE(MetricSample::parse("").has_value());
+  EXPECT_FALSE(MetricSample::parse("not a sample").has_value());
+  EXPECT_FALSE(MetricSample::parse("a=b;c=d").has_value());
+}
+
+}  // namespace
+}  // namespace dcm::ntier

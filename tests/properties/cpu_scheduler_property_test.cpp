@@ -1,0 +1,97 @@
+// Property sweep of the processor-sharing CPU model across parameter sets:
+// for ANY valid (S0, α, β, thrash), a leaf server held at constant
+// concurrency must complete work at exactly the Eq. 5/7 rate, conserve
+// work, and never exceed 100% utilisation.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ntier/cpu_scheduler.h"
+#include "sim/engine.h"
+
+namespace dcm::ntier {
+namespace {
+
+struct CpuParamCase {
+  const char* name;
+  double s0, alpha, beta, thrash_threshold, thrash_factor;
+};
+
+class CpuPropertyTest : public ::testing::TestWithParam<std::tuple<CpuParamCase, int>> {};
+
+TEST_P(CpuPropertyTest, SteadyStateThroughputMatchesEq7) {
+  const auto& [params, concurrency] = GetParam();
+  CpuModelConfig config;
+  config.params = {params.s0, params.alpha, params.beta};
+  config.thrash_threshold = params.thrash_threshold;
+  config.thrash_factor = params.thrash_factor;
+
+  sim::Engine engine;
+  CpuScheduler cpu(engine, config);
+  cpu.set_thread_count(concurrency);
+  uint64_t completed = 0;
+  std::function<void()> spawn = [&] {
+    cpu.submit(config.params.s0, [&] {
+      ++completed;
+      spawn();
+    });
+  };
+  for (int i = 0; i < concurrency; ++i) spawn();
+
+  const double horizon = 60.0;
+  engine.run_until(sim::from_seconds(horizon));
+  const double measured = static_cast<double>(completed) / horizon;
+  const double predicted = config.throughput_at(concurrency);
+  // Equal deterministic demands complete in synchronized batches, so a
+  // finite horizon can undercount by up to one batch (one inflated service
+  // time's worth) — include that quantization in the tolerance.
+  const double batch_fraction = config.inflated_service_time(concurrency) / horizon;
+  EXPECT_NEAR(measured, predicted, predicted * (0.02 + batch_fraction) + 0.2)
+      << params.name << " @" << concurrency;
+}
+
+TEST_P(CpuPropertyTest, WorkConservationAndUtilBound) {
+  const auto& [params, concurrency] = GetParam();
+  CpuModelConfig config;
+  config.params = {params.s0, params.alpha, params.beta};
+  config.thrash_threshold = params.thrash_threshold;
+  config.thrash_factor = params.thrash_factor;
+
+  sim::Engine engine;
+  CpuScheduler cpu(engine, config);
+  cpu.set_thread_count(concurrency);
+  std::function<void()> spawn = [&] { cpu.submit(config.params.s0, [&] { spawn(); }); };
+  for (int i = 0; i < concurrency; ++i) spawn();
+
+  const double horizon = 30.0;
+  engine.run_until(sim::from_seconds(horizon));
+  // Work completed equals jobs completed × per-job demand plus in-progress
+  // remainder (bounded by concurrency × demand).
+  const double accounted =
+      static_cast<double>(cpu.jobs_completed()) * config.params.s0;
+  EXPECT_GE(cpu.work_done() + 1e-9, accounted);
+  EXPECT_LE(cpu.work_done(), accounted + concurrency * config.params.s0 + 1e-9);
+  // Utilisation can never exceed wall time.
+  EXPECT_LE(cpu.util_integral(), horizon + 1e-9);
+  EXPECT_GT(cpu.util_integral(), 0.0);
+}
+
+const CpuParamCase kCases[] = {
+    {"ideal", 0.010, 0.0, 0.0, 1e18, 0.0},
+    {"serial", 0.010, 0.010, 0.0, 1e18, 0.0},
+    {"tomcat_like", 2.84e-2, 9.87e-3, 4.54e-5, 300.0, 1e-4},
+    {"mysql_like", 7.19e-3, 5.04e-3, 1.65e-6, 64.0, 1e-4},
+    {"fast_heavy_crosstalk", 1e-3, 1e-4, 1e-5, 1e18, 0.0},
+    {"slow_light", 0.2, 0.01, 1e-6, 1e18, 0.0},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamsByConcurrency, CpuPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(kCases), ::testing::Values(1, 7, 40, 150)),
+    [](const ::testing::TestParamInfo<std::tuple<CpuParamCase, int>>& param_info) {
+      return std::string(std::get<0>(param_info.param).name) + "_n" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace dcm::ntier

@@ -1,0 +1,76 @@
+// Property sweep of the Eq. 7 fitting pipeline over randomly drawn
+// parameter sets: for any valid (S0, α, β) with a genuine interior optimum,
+// the normalized trainer must recover a curve that reproduces the truth and
+// an N_b whose deployed throughput is at the plateau.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/trainer.h"
+
+namespace dcm::model {
+namespace {
+
+class FitPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FitPropertyTest, RecoversRandomCurves) {
+  Rng rng(GetParam());
+  // Draw parameters with a real interior knee in [5, 200].
+  const double s0 = rng.uniform(1e-3, 5e-2);
+  const double nb_true = rng.uniform(5.0, 200.0);
+  const double alpha = rng.uniform(0.0, 0.8) * s0;
+  const double beta = (s0 - alpha) / (nb_true * nb_true);
+  const ServiceTimeParams truth{s0, alpha, beta};
+
+  std::vector<TrainingSample> samples;
+  const int max_n = static_cast<int>(nb_true * 3.0) + 10;
+  for (int n = 1; n <= max_n; n += std::max(1, max_n / 60)) {
+    samples.push_back({static_cast<double>(n), server_throughput(truth, n)});
+  }
+
+  const Trainer trainer(1, 1.0);
+  const auto trained = trainer.fit_normalized(samples);
+  ASSERT_GT(trained.r_squared, 0.999) << "s0=" << s0 << " nb=" << nb_true;
+
+  // Curve agreement everywhere sampled.
+  for (const auto& s : samples) {
+    const double predicted = trained.model.throughput(s.concurrency);
+    EXPECT_NEAR(predicted, s.throughput, s.throughput * 0.02 + 1e-6);
+  }
+  // Deploying the fitted optimum achieves ≥ 99% of the true peak.
+  const double true_peak = server_throughput(truth, nb_true);
+  const double at_fitted = server_throughput(truth, trained.optimal_concurrency());
+  EXPECT_GT(at_fitted, 0.99 * true_peak) << "fitted N_b=" << trained.optimal_concurrency()
+                                         << " true N_b=" << nb_true;
+}
+
+TEST_P(FitPropertyTest, KnownS0FitRecoversGammaForRandomScales) {
+  Rng rng(GetParam() + 1000);
+  const double s0 = rng.uniform(5e-3, 3e-2);
+  const double nb_true = rng.uniform(10.0, 80.0);
+  const double alpha = rng.uniform(0.1, 0.7) * s0;
+  const double beta = (s0 - alpha) / (nb_true * nb_true);
+  const double gamma_true = rng.uniform(0.5, 12.0);
+  const ConcurrencyModel truth{{s0, alpha, beta}, gamma_true, 1, 1.0};
+
+  std::vector<TrainingSample> samples;
+  for (int n = 1; n <= 160; n += 3) {
+    samples.push_back({static_cast<double>(n), truth.throughput(n)});
+  }
+  const Trainer trainer(1, 1.0);
+  const auto trained = trainer.fit_with_known_s0(s0, samples);
+  EXPECT_NEAR(trained.model.gamma, gamma_true, gamma_true * 0.05);
+  const double at_fitted =
+      truth.throughput(std::max(1.0, trained.optimal_concurrency()));
+  EXPECT_GT(at_fitted, 0.98 * truth.max_throughput());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitPropertyTest,
+                         ::testing::Values(3, 7, 11, 19, 23, 31, 41, 53, 61, 71),
+                         [](const ::testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed_" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace dcm::model

@@ -1,0 +1,98 @@
+// Randomized operation sequences against SlotPool, checked against a
+// straightforward reference model. Invariants:
+//   * in_use never exceeds capacity at grant time
+//   * grants happen in strict FIFO order
+//   * no grant is lost and none duplicated
+//   * after draining, every acquire was granted exactly once
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "ntier/slot_pool.h"
+#include "sim/engine.h"
+
+namespace dcm::ntier {
+namespace {
+
+class PoolFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PoolFuzzTest, RandomOpSequenceKeepsInvariants) {
+  Rng rng(GetParam());
+  sim::Engine engine;
+  const int initial_capacity = static_cast<int>(rng.uniform_int(1, 8));
+  SlotPool pool(engine, "fuzz", initial_capacity);
+
+  std::vector<int> grant_order;      // acquire ids in grant order
+  std::deque<int> expected_waiting;  // reference FIFO of ungranted ids
+  int next_id = 0;
+  int holders = 0;
+
+  // Reconciles grants that happened during the last pool call against the
+  // reference FIFO.
+  const auto absorb_grants = [&](size_t grants_before) {
+    while (grant_order.size() > grants_before) {
+      const int granted = grant_order[grants_before];
+      ASSERT_FALSE(expected_waiting.empty());
+      ASSERT_EQ(granted, expected_waiting.front()) << "FIFO violated";
+      expected_waiting.pop_front();
+      ++holders;
+      ++grants_before;
+    }
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    if (rng.bernoulli(0.1)) engine.run_for(sim::from_millis(rng.uniform(0.1, 5.0)));
+
+    const double roll = rng.next_double();
+    if (roll < 0.45) {
+      const int id = next_id++;
+      const size_t grants_before = grant_order.size();
+      expected_waiting.push_back(id);
+      pool.acquire([&grant_order, id] { grant_order.push_back(id); });
+      absorb_grants(grants_before);
+    } else if (roll < 0.85) {
+      if (holders > 0) {
+        const size_t grants_before = grant_order.size();
+        pool.release();
+        --holders;
+        absorb_grants(grants_before);
+      }
+    } else {
+      const size_t grants_before = grant_order.size();
+      pool.resize(static_cast<int>(rng.uniform_int(1, 10)));
+      absorb_grants(grants_before);
+    }
+
+    // Global invariants after every step.
+    ASSERT_EQ(pool.in_use(), holders);
+    ASSERT_EQ(pool.queue_length(), static_cast<int>(expected_waiting.size()));
+    ASSERT_LE(pool.in_use(), std::max(pool.capacity(), holders));
+    ASSERT_GE(pool.in_use(), 0);
+  }
+
+  // Drain: release everything; every queued acquire must eventually grant.
+  while (holders > 0) {
+    const size_t grants_before = grant_order.size();
+    pool.release();
+    --holders;
+    absorb_grants(grants_before);
+  }
+  EXPECT_EQ(pool.queue_length(), 0);
+  EXPECT_EQ(static_cast<int>(grant_order.size()), next_id);
+  for (size_t i = 0; i < grant_order.size(); ++i) {
+    EXPECT_EQ(grant_order[i], static_cast<int>(i)) << "grant lost or reordered";
+  }
+  // Occupancy accounting stayed sane.
+  EXPECT_GE(pool.in_use_integral(), 0.0);
+  EXPECT_EQ(pool.total_acquired(), static_cast<uint64_t>(next_id));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolFuzzTest, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34),
+                         [](const ::testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed_" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace dcm::ntier

@@ -1,0 +1,80 @@
+#include "sim/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace dcm::sim {
+namespace {
+
+double sample_mean(const Distribution& dist, int n = 100000, uint64_t seed = 5) {
+  Rng rng(seed);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += dist.sample(rng);
+  return sum / n;
+}
+
+TEST(DistributionsTest, DeterministicAlwaysSameValue) {
+  auto d = make_deterministic(0.25);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d->sample(rng), 0.25);
+  EXPECT_DOUBLE_EQ(d->mean(), 0.25);
+}
+
+TEST(DistributionsTest, ExponentialMean) {
+  auto d = make_exponential(2.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+  EXPECT_NEAR(sample_mean(*d), 2.0, 0.05);
+}
+
+TEST(DistributionsTest, UniformMeanAndBounds) {
+  auto d = make_uniform(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d->sample(rng);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(DistributionsTest, LognormalMean) {
+  auto d = make_lognormal(0.5, 0.3);
+  EXPECT_DOUBLE_EQ(d->mean(), 0.5);
+  EXPECT_NEAR(sample_mean(*d), 0.5, 0.01);
+}
+
+TEST(DistributionsTest, EmpiricalResamples) {
+  auto d = make_empirical({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d->sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+  }
+}
+
+TEST(DistributionsTest, CloneIsIndependentButEquivalent) {
+  auto d = make_exponential(1.5);
+  auto c = d->clone();
+  EXPECT_DOUBLE_EQ(c->mean(), 1.5);
+  // Same rng stream → identical draws from original and clone.
+  Rng a(4), b(4);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d->sample(a), c->sample(b));
+}
+
+TEST(DistributionsTest, AllSamplesNonNegative) {
+  std::vector<std::unique_ptr<Distribution>> dists;
+  dists.push_back(make_deterministic(0.0));
+  dists.push_back(make_exponential(1.0));
+  dists.push_back(make_uniform(0.0, 1.0));
+  dists.push_back(make_lognormal(1.0, 1.0));
+  dists.push_back(make_empirical({0.0, 0.5}));
+  Rng rng(6);
+  for (const auto& d : dists) {
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(d->sample(rng), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dcm::sim

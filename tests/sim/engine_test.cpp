@@ -1,0 +1,129 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcm::sim {
+namespace {
+
+TEST(EngineTest, ClockStartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+}
+
+TEST(EngineTest, RunUntilAdvancesClockToEnd) {
+  Engine engine;
+  engine.run_until(from_seconds(5.0));
+  EXPECT_EQ(engine.now(), from_seconds(5.0));
+}
+
+TEST(EngineTest, EventSeesItsOwnTimestamp) {
+  Engine engine;
+  SimTime seen = -1;
+  engine.schedule_after(from_seconds(2.0), [&] { seen = engine.now(); });
+  engine.run_until(from_seconds(10.0));
+  EXPECT_EQ(seen, from_seconds(2.0));
+}
+
+TEST(EngineTest, EventsBeyondHorizonDoNotFire) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_after(from_seconds(5.0), [&] { fired = true; });
+  engine.run_until(from_seconds(4.0));
+  EXPECT_FALSE(fired);
+  engine.run_until(from_seconds(6.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, ScheduleAtAbsoluteTime) {
+  Engine engine;
+  engine.run_until(from_seconds(1.0));
+  SimTime seen = -1;
+  engine.schedule_at(from_seconds(3.0), [&] { seen = engine.now(); });
+  engine.run_until(from_seconds(4.0));
+  EXPECT_EQ(seen, from_seconds(3.0));
+}
+
+TEST(EngineTest, NestedSchedulingWorks) {
+  Engine engine;
+  std::vector<double> times;
+  engine.schedule_after(from_seconds(1.0), [&] {
+    times.push_back(to_seconds(engine.now()));
+    engine.schedule_after(from_seconds(1.0), [&] {
+      times.push_back(to_seconds(engine.now()));
+    });
+  });
+  engine.run_until(from_seconds(5.0));
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(EngineTest, PeriodicFiresAtEveryPeriod) {
+  Engine engine;
+  std::vector<double> times;
+  engine.schedule_periodic(from_seconds(1.0), [&] { times.push_back(to_seconds(engine.now())); });
+  engine.run_until(from_seconds(4.5));
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[3], 4.0);
+}
+
+TEST(EngineTest, PeriodicCancelStopsChain) {
+  Engine engine;
+  int count = 0;
+  auto handle = engine.schedule_periodic(from_seconds(1.0), [&] { ++count; });
+  engine.run_until(from_seconds(2.5));
+  handle.cancel();
+  engine.run_until(from_seconds(10.0));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EngineTest, PeriodicCanCancelItselfFromInside) {
+  Engine engine;
+  int count = 0;
+  EventHandle handle;
+  handle = engine.schedule_periodic(from_seconds(1.0), [&] {
+    ++count;
+    if (count == 3) handle.cancel();
+  });
+  engine.run_until(from_seconds(10.0));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EngineTest, RunForIsRelative) {
+  Engine engine;
+  engine.run_for(from_seconds(2.0));
+  engine.run_for(from_seconds(3.0));
+  EXPECT_EQ(engine.now(), from_seconds(5.0));
+}
+
+TEST(EngineTest, RunToCompletionDrainsEverything) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_after(from_seconds(1.0), [&] {
+    ++fired;
+    engine.schedule_after(from_seconds(1.0), [&] { ++fired; });
+  });
+  engine.run_to_completion();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), from_seconds(2.0));
+}
+
+TEST(EngineTest, DispatchCountIncrements) {
+  Engine engine;
+  engine.schedule_after(1, [] {});
+  engine.schedule_after(2, [] {});
+  engine.run_until(10);
+  EXPECT_EQ(engine.events_dispatched(), 2u);
+}
+
+TEST(TimeTest, ConversionsRoundTrip) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(12.25)), 12.25);
+  EXPECT_DOUBLE_EQ(to_millis(from_millis(3.5)), 3.5);
+}
+
+}  // namespace
+}  // namespace dcm::sim

@@ -1,0 +1,99 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcm::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending_upper_bound(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliestLiveEvent) {
+  EventQueue q;
+  q.schedule(50, [] {});
+  q.schedule(5, [] {});
+  EXPECT_EQ(q.next_time(), 5);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  auto handle = q.schedule(10, [&] { fired = true; });
+  handle.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelMiddleEventSkipsOnlyIt) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(1); });
+  auto handle = q.schedule(20, [&] { order.push_back(2); });
+  q.schedule(30, [&] { order.push_back(3); });
+  handle.cancel();
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelAfterFireIsHarmless) {
+  EventQueue q;
+  int fires = 0;
+  auto handle = q.schedule(1, [&] { ++fires; });
+  q.pop().fn();
+  handle.cancel();  // must not crash or affect anything
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.valid());
+  handle.cancel();  // no-op
+}
+
+TEST(EventQueueTest, CopiedHandlesShareCancellation) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle a = q.schedule(10, [&] { fired = true; });
+  EventHandle b = a;
+  b.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, EmptyAfterAllCancelled) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 5; ++i) handles.push_back(q.schedule(i, [] {}));
+  for (auto& h : handles) h.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace dcm::sim

@@ -1,0 +1,80 @@
+#include "workload/servlet.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dcm::workload {
+namespace {
+
+TEST(ServletCatalogTest, HasTwentyFourInteractions) {
+  const ServletCatalog catalog = ServletCatalog::browse_only_mix();
+  EXPECT_EQ(catalog.size(), 24u);
+}
+
+TEST(ServletCatalogTest, BrowseOnlyMixWeightsOnlyReadServlets) {
+  const ServletCatalog catalog = ServletCatalog::browse_only_mix();
+  int weighted = 0;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const Servlet& s = catalog.servlet(i);
+    if (s.weight > 0.0) {
+      ++weighted;
+      // All browse-only interactions are reads.
+      EXPECT_EQ(s.name.find("Store"), std::string::npos) << s.name;
+      EXPECT_EQ(s.name.find("Post"), std::string::npos) << s.name;
+    }
+  }
+  EXPECT_EQ(weighted, 9);
+}
+
+TEST(ServletCatalogTest, NormalizedMeanScalesAreUnity) {
+  const ServletCatalog catalog = ServletCatalog::browse_only_mix();
+  EXPECT_NEAR(catalog.mean_scale(0), 1.0, 1e-9);
+  EXPECT_NEAR(catalog.mean_scale(1), 1.0, 1e-9);
+}
+
+TEST(ServletCatalogTest, MeanDbQueriesNearVisitRatio) {
+  const ServletCatalog catalog = ServletCatalog::browse_only_mix(2.0);
+  EXPECT_NEAR(catalog.mean_db_queries(), 2.0, 0.15);
+}
+
+TEST(ServletCatalogTest, SamplingFollowsWeights) {
+  const ServletCatalog catalog = ServletCatalog::browse_only_mix();
+  Rng rng(99);
+  std::map<size_t, int> hits;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hits[catalog.sample(rng)];
+  // Zero-weight servlets never drawn.
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog.servlet(i).weight == 0.0) EXPECT_EQ(hits.count(i), 0u) << i;
+  }
+  // ViewStory (weight .25) drawn about 25% of the time.
+  size_t view_story = 0;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog.servlet(i).name == "ViewStory") view_story = i;
+  }
+  EXPECT_NEAR(static_cast<double>(hits[view_story]) / n, 0.25, 0.01);
+}
+
+TEST(ServletCatalogTest, MakeRequestBuildsThreeTierPlan) {
+  const ServletCatalog catalog = ServletCatalog::browse_only_mix();
+  const auto req = catalog.make_request(42, 0, sim::from_seconds(1.0));
+  EXPECT_EQ(req->id, 42u);
+  EXPECT_EQ(req->servlet, 0);
+  ASSERT_EQ(req->demand_scale.size(), 3u);
+  ASSERT_EQ(req->downstream_calls.size(), 3u);
+  EXPECT_EQ(req->downstream_calls[0], 1);  // web → app
+  EXPECT_EQ(req->downstream_calls[1], catalog.servlet(0).db_queries);
+  EXPECT_EQ(req->downstream_calls[2], 0);  // leaf
+}
+
+TEST(ServletCatalogTest, CustomCatalogValidation) {
+  // A one-servlet catalog works.
+  ServletCatalog single({{"Only", 1.0, 1.0, 1.0, 1.0, 2}});
+  Rng rng(1);
+  EXPECT_EQ(single.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(single.mean_db_queries(), 2.0);
+}
+
+}  // namespace
+}  // namespace dcm::workload

@@ -1,0 +1,89 @@
+#include "workload/trace_taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace dcm::workload {
+namespace {
+
+class TraceTaxonomyTest : public ::testing::TestWithParam<TracePattern> {};
+
+TEST_P(TraceTaxonomyTest, ProducesValidTrace) {
+  const Trace trace = make_trace(GetParam(), 350, 7);
+  EXPECT_GE(trace.step_count(), 690u);
+  EXPECT_LE(trace.step_count(), 710u);
+  for (int u : trace.values()) {
+    EXPECT_GE(u, 1);
+    EXPECT_LE(u, 400);  // peak 350 + noise margin
+  }
+}
+
+TEST_P(TraceTaxonomyTest, PeakNearRequestedLevel) {
+  const Trace trace = make_trace(GetParam(), 350, 7);
+  EXPECT_GE(trace.max_users(), 320);
+  EXPECT_LE(trace.max_users(), 400);
+}
+
+TEST_P(TraceTaxonomyTest, DeterministicPerSeed) {
+  EXPECT_EQ(make_trace(GetParam(), 350, 3).values(), make_trace(GetParam(), 350, 3).values());
+}
+
+TEST_P(TraceTaxonomyTest, ScalesWithPeakParameter) {
+  const Trace small = make_trace(GetParam(), 100, 7);
+  EXPECT_LE(small.max_users(), 120);
+  EXPECT_GE(small.max_users(), 85);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, TraceTaxonomyTest,
+                         ::testing::ValuesIn(all_trace_patterns()),
+                         [](const ::testing::TestParamInfo<TracePattern>& param_info) {
+                           std::string name = trace_pattern_name(param_info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(TraceTaxonomyShapeTest, BigSpikeIsCalmOutsideTheSpike) {
+  const Trace trace = make_trace(TracePattern::kBigSpike);
+  EXPECT_LT(trace.users_at(sim::from_seconds(100.0)), 160);
+  EXPECT_GT(trace.users_at(sim::from_seconds(330.0)), 300);
+  EXPECT_LT(trace.users_at(sim::from_seconds(500.0)), 160);
+}
+
+TEST(TraceTaxonomyShapeTest, DualPhaseHasTwoPlateaus) {
+  const Trace trace = make_trace(TracePattern::kDualPhase);
+  const int low = trace.users_at(sim::from_seconds(100.0));
+  const int high = trace.users_at(sim::from_seconds(500.0));
+  EXPECT_GT(high, 2 * low - 40);
+}
+
+TEST(TraceTaxonomyShapeTest, QuicklyVaryingOscillates) {
+  const Trace trace = make_trace(TracePattern::kQuicklyVarying);
+  // Peak-to-trough within one 80 s period.
+  const int peak = trace.users_at(sim::from_seconds(20.0));
+  const int trough = trace.users_at(sim::from_seconds(60.0));
+  EXPECT_GT(peak, trough + 100);
+}
+
+TEST(TraceTaxonomyShapeTest, SteepTriPhaseRampsGetSteeper) {
+  const Trace trace = make_trace(TracePattern::kSteepTriPhase);
+  const auto slope = [&](int from, int to) {
+    return static_cast<double>(trace.users_at(sim::from_seconds(static_cast<double>(to))) -
+                               trace.users_at(sim::from_seconds(static_cast<double>(from)))) /
+           (to - from);
+  };
+  const double s1 = slope(20, 180);
+  const double s2 = slope(250, 380);
+  const double s3 = slope(450, 540);
+  EXPECT_GT(s2, s1);
+  EXPECT_GT(s3, s2);
+}
+
+TEST(TraceTaxonomyShapeTest, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (const auto pattern : all_trace_patterns()) names.insert(trace_pattern_name(pattern));
+  EXPECT_EQ(names.size(), 6u);
+}
+
+}  // namespace
+}  // namespace dcm::workload
