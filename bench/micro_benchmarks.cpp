@@ -1,6 +1,14 @@
 // Microbenchmarks of the simulator's hot paths (google-benchmark).
+//
+// In addition to the console output, every run writes BENCH_micro.json
+// (override the path with DCM_BENCH_JSON) so CI can archive the trajectory
+// and PRs can be compared against the committed baseline.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <vector>
+
+#include "bench_json_reporter.h"
 #include "bus/consumer.h"
 #include "bus/producer.h"
 #include "common/rng.h"
@@ -37,6 +45,49 @@ void BM_EnginePendingHeap(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * depth);
 }
 BENCHMARK(BM_EnginePendingHeap)->Arg(1024)->Arg(16384);
+
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  // Timeout-style workload: every event gets scheduled with a handle and
+  // half are cancelled before they fire — the generation-counted slab must
+  // absorb the churn without allocating.
+  constexpr int kBatch = 64;
+  dcm::sim::Engine engine;
+  std::vector<dcm::sim::EventHandle> handles;
+  handles.reserve(kBatch);
+  int64_t t = 0;
+  for (auto _ : state) {
+    handles.clear();
+    for (int i = 0; i < kBatch; ++i) {
+      handles.push_back(engine.schedule_at(t + i + 1, [] {}));
+    }
+    for (int i = 0; i < kBatch; i += 2) handles[static_cast<size_t>(i)].cancel();
+    t += kBatch;
+    engine.run_until(t);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_EngineCancelHeavy);
+
+void BM_EnginePeriodicTimers(benchmark::State& state) {
+  // Monitoring-agent-style load: many staggered periodic timers re-arming
+  // forever. Items are timer ticks.
+  const int timers = static_cast<int>(state.range(0));
+  dcm::sim::Engine engine;
+  uint64_t ticks = 0;
+  uint64_t* ticks_ptr = &ticks;
+  std::vector<dcm::sim::EventHandle> handles;
+  handles.reserve(static_cast<size_t>(timers));
+  for (int i = 0; i < timers; ++i) {
+    handles.push_back(engine.schedule_periodic(1000 + i, [ticks_ptr] { ++*ticks_ptr; }));
+  }
+  int64_t horizon = 0;
+  for (auto _ : state) {
+    horizon += 100000;
+    engine.run_until(horizon);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ticks));
+}
+BENCHMARK(BM_EnginePeriodicTimers)->Arg(16)->Arg(256);
 
 void BM_SlotPoolAcquireRelease(benchmark::State& state) {
   dcm::sim::Engine engine;
@@ -142,4 +193,12 @@ BENCHMARK(BM_LevenbergMarquardtEq7);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* out = std::getenv("DCM_BENCH_JSON");
+  dcm::bench::JsonTrajectoryReporter reporter(out != nullptr ? out : "BENCH_micro.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,15 +1,46 @@
 #include "control/online_estimator.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace dcm::control {
+
+WindowedMeanBin::WindowedMeanBin(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void WindowedMeanBin::add(double x) {
+  if (size_ < capacity_) {
+    ring_.push_back(x);
+    sum_ += x;
+    ++size_;
+    head_ = size_ % capacity_;
+    return;
+  }
+  sum_ += x - ring_[head_];
+  ring_[head_] = x;
+  head_ = (head_ + 1) % capacity_;
+  if (head_ == 0) {
+    // Re-accumulate once per wrap so incremental float error cannot drift.
+    sum_ = 0.0;
+    for (const double v : ring_) sum_ += v;
+  }
+}
+
+double WindowedMeanBin::mean() const {
+  return size_ == 0 ? 0.0 : sum_ / static_cast<double>(size_);
+}
 
 OnlineModelEstimator::OnlineModelEstimator(EstimatorConfig config) : config_(config) {}
 
 void OnlineModelEstimator::observe(double concurrency, double throughput) {
-  if (concurrency < 0.5 || throughput < 0.0) return;  // idle seconds carry no signal
+  if (concurrency < 0.5) return;   // idle seconds carry no signal
+  if (throughput <= 0.0) return;   // stalled interval, not a throughput sample
   const int bin = static_cast<int>(std::lround(concurrency));
-  bins_[std::max(1, bin)].add(throughput);
+  bins_.try_emplace(std::max(1, bin), static_cast<size_t>(config_.window_per_bin))
+      .first->second.add(throughput);
 }
 
 size_t OnlineModelEstimator::bin_count() const {

@@ -7,12 +7,18 @@
 // concurrency and, once the bins span a wide enough concurrency range,
 // refits Eq. 7 in normalized form (γ = 1 — the optimum N_b is invariant to
 // the γ/(S0,α,β) scaling, see model::Trainer).
+//
+// Bins are sliding windows over the most recent samples rather than
+// unbounded accumulators: after a regime change (VM flavor swap, cache
+// warmup, co-tenant interference) stale pre-change samples age out of the
+// window instead of permanently biasing the fit.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
-#include "metrics/welford.h"
 #include "model/trainer.h"
 
 namespace dcm::control {
@@ -22,13 +28,35 @@ struct EstimatorConfig {
   double min_spread = 3.0;     // max/min concurrency ratio required
   int min_samples_per_bin = 2;
   double min_r_squared = 0.80;  // reject fits worse than this
+  int window_per_bin = 64;      // most-recent samples a bin remembers
+};
+
+/// Mean over a fixed-capacity ring of the most recent samples.
+class WindowedMeanBin {
+ public:
+  explicit WindowedMeanBin(size_t capacity);
+
+  void add(double x);
+  double mean() const;
+  /// Samples currently inside the window.
+  uint64_t count() const { return size_; }
+
+ private:
+  std::vector<double> ring_;
+  size_t capacity_;
+  size_t size_ = 0;
+  size_t head_ = 0;  // next write position
+  double sum_ = 0.0;
 };
 
 class OnlineModelEstimator {
  public:
   explicit OnlineModelEstimator(EstimatorConfig config = {});
 
-  /// Feeds one per-second server sample (concurrency >= ~1 to count).
+  /// Feeds one per-second server sample. Idle samples (concurrency < ~1) and
+  /// zero-throughput samples at nonzero concurrency (stalled measurement
+  /// intervals — no completions is not a throughput observation) are
+  /// rejected: neither carries signal about the concurrency-throughput curve.
   void observe(double concurrency, double throughput);
 
   bool ready() const;
@@ -41,7 +69,7 @@ class OnlineModelEstimator {
 
  private:
   EstimatorConfig config_;
-  std::map<int, metrics::Welford> bins_;  // rounded concurrency -> throughput
+  std::map<int, WindowedMeanBin> bins_;  // rounded concurrency -> recent throughput
 };
 
 }  // namespace dcm::control

@@ -95,7 +95,20 @@ double P2Quantile::value() const {
     const double frac = idx - static_cast<double>(lo);
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
   }
-  return heights_[2];
+  // The classic P² estimate is the middle marker's height, but its actual
+  // position positions_[2] lags the desired rank 1 + q·(n-1) by up to one
+  // sample-step between marker adjustments, which systematically understates
+  // tail quantiles on skewed streams. Interpolate linearly between the
+  // markers bracketing the desired rank instead.
+  const double target = 1.0 + q_ * static_cast<double>(count_ - 1);
+  if (target <= positions_[0]) return heights_[0];
+  if (target >= positions_[4]) return heights_[4];
+  size_t i = 3;
+  while (i > 0 && positions_[i] > target) --i;
+  const double span = positions_[i + 1] - positions_[i];
+  if (span <= 0.0) return heights_[i];
+  const double frac = (target - positions_[i]) / span;
+  return heights_[i] + frac * (heights_[i + 1] - heights_[i]);
 }
 
 }  // namespace dcm::metrics

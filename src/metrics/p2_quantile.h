@@ -16,8 +16,11 @@ class P2Quantile {
 
   void add(double x);
 
-  /// Current estimate; exact for the first five samples, P²-interpolated
-  /// after. Returns 0 before any sample.
+  /// Current estimate; exact for the first five samples. After that the
+  /// P² markers are interpolated to the desired rank 1 + q·(n-1) rather
+  /// than read off the middle marker directly, which would understate tail
+  /// quantiles on skewed streams whenever the marker position lags the
+  /// desired position. Returns 0 before any sample.
   double value() const;
 
   uint64_t count() const { return count_; }

@@ -1,6 +1,6 @@
 #include "sim/engine.h"
 
-#include <memory>
+#include <cstdio>
 
 #include "common/check.h"
 #include "sim/time.h"
@@ -13,6 +13,19 @@ std::string format_time(SimTime t) {
   return buf;
 }
 
+void EventHandle::cancel() {
+  switch (kind_) {
+    case Kind::kNone:
+      return;
+    case Kind::kEvent:
+      static_cast<EventQueue*>(owner_)->cancel(slot_, generation_);
+      return;
+    case Kind::kPeriodic:
+      static_cast<Engine*>(owner_)->cancel_periodic(slot_, generation_);
+      return;
+  }
+}
+
 EventHandle Engine::schedule_after(SimTime delay, EventFn fn) {
   DCM_CHECK_MSG(delay >= 0, "negative delay");
   return queue_.schedule(now_ + delay, std::move(fn));
@@ -23,33 +36,71 @@ EventHandle Engine::schedule_at(SimTime at, EventFn fn) {
   return queue_.schedule(at, std::move(fn));
 }
 
-EventHandle Engine::schedule_periodic(SimTime period, std::function<void()> fn) {
-  DCM_CHECK_MSG(period > 0, "periodic task needs positive period");
-  // The chain re-arms itself; all links share one cancellation flag so a
-  // single cancel() stops the whole chain.
-  auto flag = std::make_shared<bool>(false);
-  auto arm = std::make_shared<std::function<void()>>();
-  *arm = [this, flag, arm, period, fn = std::move(fn)]() {
-    if (*flag) return;
-    fn();
-    if (*flag) return;  // fn may have cancelled the chain
-    schedule_after(period, *arm);
-  };
-  schedule_after(period, *arm);
+uint32_t Engine::alloc_periodic_slot() {
+  if (periodic_free_head_ != kNilSlot) {
+    const uint32_t slot = periodic_free_head_;
+    periodic_free_head_ = periodics_[slot].next_free;
+    periodics_[slot].next_free = kNilSlot;
+    return slot;
+  }
+  DCM_CHECK_MSG(periodics_.size() < kNilSlot, "periodic slab exhausted");
+  periodics_.emplace_back();
+  return static_cast<uint32_t>(periodics_.size() - 1);
+}
 
-  // The handle's only job is flipping the shared flag that every link in
-  // the chain checks before re-arming.
-  return EventHandle(std::move(flag));
+EventHandle Engine::schedule_periodic(SimTime period, EventFn fn) {
+  DCM_CHECK_MSG(period > 0, "periodic task needs positive period");
+  const uint32_t slot = alloc_periodic_slot();
+  PeriodicTask& task = periodics_[slot];
+  task.fn = std::move(fn);
+  task.period = period;
+  task.live = true;
+  const uint32_t generation = task.generation;
+  task.pending =
+      schedule_after(period, [this, slot, generation] { fire_periodic(slot, generation); });
+  return EventHandle(this, slot, generation, EventHandle::Kind::kPeriodic);
+}
+
+void Engine::fire_periodic(uint32_t slot, uint32_t generation) {
+  {
+    const PeriodicTask& task = periodics_[slot];
+    if (!task.live || task.generation != generation) return;
+  }
+  // The callable is moved out for the duration of the call so that a
+  // cancel() from inside it (or a slab growth it triggers) cannot destroy
+  // or relocate it mid-invocation.
+  EventFn body = std::move(periodics_[slot].fn);
+  body();
+  PeriodicTask& task = periodics_[slot];  // re-lookup: body() may grow the slab
+  if (task.live && task.generation == generation) {
+    task.fn = std::move(body);
+    task.pending =
+        schedule_after(task.period, [this, slot, generation] { fire_periodic(slot, generation); });
+  }
+  // else: cancelled from inside body(); captured state dies with `body` here.
+}
+
+void Engine::cancel_periodic(uint32_t slot, uint32_t generation) {
+  if (slot >= periodics_.size()) return;
+  PeriodicTask& task = periodics_[slot];
+  if (!task.live || task.generation != generation) return;
+  task.live = false;
+  ++task.generation;
+  task.pending.cancel();
+  task.pending = EventHandle();
+  task.fn.reset();  // empty if we are inside fire_periodic; the moved-out body cleans up
+  task.next_free = periodic_free_head_;
+  periodic_free_head_ = slot;
 }
 
 void Engine::run_until(SimTime end) {
   DCM_CHECK_MSG(end >= now_, "run_until into the past");
-  while (!queue_.empty() && queue_.next_time() <= end) {
-    auto [time, fn] = queue_.pop();
-    DCM_CHECK(time >= now_);
-    now_ = time;
+  EventQueue::Popped event;
+  while (queue_.pop_until(end, event)) {
+    DCM_CHECK(event.time >= now_);
+    now_ = event.time;
     ++dispatched_;
-    fn();
+    event.fn();
   }
   now_ = end;
 }
@@ -57,12 +108,12 @@ void Engine::run_until(SimTime end) {
 void Engine::run_for(SimTime duration) { run_until(now_ + duration); }
 
 void Engine::run_to_completion() {
-  while (!queue_.empty()) {
-    auto [time, fn] = queue_.pop();
-    DCM_CHECK(time >= now_);
-    now_ = time;
+  EventQueue::Popped event;
+  while (queue_.pop_until(kMaxSimTime, event)) {
+    DCM_CHECK(event.time >= now_);
+    now_ = event.time;
     ++dispatched_;
-    fn();
+    event.fn();
   }
 }
 

@@ -5,7 +5,8 @@
 // read the clock via now().
 #pragma once
 
-#include <functional>
+#include <cstdint>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -28,8 +29,9 @@ class Engine {
   EventHandle schedule_at(SimTime at, EventFn fn);
 
   /// Schedules `fn` every `period` starting at now()+period, until the
-  /// returned handle is cancelled or the run ends.
-  EventHandle schedule_periodic(SimTime period, std::function<void()> fn);
+  /// returned handle is cancelled or the run ends. The engine owns the
+  /// callable; cancelling destroys it (and everything it captures).
+  EventHandle schedule_periodic(SimTime period, EventFn fn);
 
   /// Runs until the queue drains or the clock would pass `end`; the clock is
   /// left at min(end, last-event-time... ) — precisely: events with time <=
@@ -46,9 +48,32 @@ class Engine {
   uint64_t events_dispatched() const { return dispatched_; }
 
  private:
+  friend class EventHandle;
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+
+  // Periodic chains live in an engine-owned slab: the callable is stored
+  // once here (never copied into the queue) and each tick schedules a thin
+  // (slot, generation) trampoline. This is what breaks the old
+  // shared_ptr<function> self-capture cycle — cancel_periodic() destroys
+  // the callable deterministically.
+  struct PeriodicTask {
+    EventFn fn;
+    SimTime period = 0;
+    EventHandle pending;  // the currently scheduled tick
+    uint32_t generation = 0;
+    uint32_t next_free = kNilSlot;
+    bool live = false;
+  };
+
+  void fire_periodic(uint32_t slot, uint32_t generation);
+  void cancel_periodic(uint32_t slot, uint32_t generation);
+  uint32_t alloc_periodic_slot();
+
   EventQueue queue_;
   SimTime now_ = 0;
   uint64_t dispatched_ = 0;
+  std::vector<PeriodicTask> periodics_;
+  uint32_t periodic_free_head_ = kNilSlot;
 };
 
 }  // namespace dcm::sim

@@ -4,16 +4,24 @@
 
 namespace dcm::sim {
 
-EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
-  auto flag = std::make_shared<bool>(false);
-  heap_.push(Entry{at, next_seq_++, std::move(fn), flag});
-  return EventHandle(std::move(flag));
+uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != kNilSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNilSlot;
+    return slot;
+  }
+  DCM_CHECK_MSG(slots_.size() < kNilSlot, "event slab exhausted");
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
 }
 
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && *heap_.top().cancelled) {
-    heap_.pop();
-  }
+void EventQueue::cancel(uint32_t slot, uint32_t generation) {
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.generation != generation) return;  // already fired, cancelled, or reused
+  s.fn.reset();  // release captured state eagerly; the heap entry dies lazily
+  free_slot(slot);
 }
 
 bool EventQueue::empty() {
@@ -24,18 +32,16 @@ bool EventQueue::empty() {
 SimTime EventQueue::next_time() {
   drop_cancelled();
   DCM_CHECK_MSG(!heap_.empty(), "next_time on empty queue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_cancelled();
   DCM_CHECK_MSG(!heap_.empty(), "pop on empty queue");
-  // priority_queue::top() is const; the entry is move-extracted via a
-  // const_cast that is safe because pop() immediately removes it.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Popped out{top.time, std::move(top.fn)};
-  *top.cancelled = true;  // mark consumed so a late cancel() is a no-op
-  heap_.pop();
+  const Entry top = heap_.front();
+  Popped out{top.time, std::move(slots_[top.slot].fn)};
+  free_slot(top.slot);  // generation bump makes a late cancel() a no-op
+  remove_front();
   return out;
 }
 

@@ -3,44 +3,186 @@
 // Events at equal timestamps fire in scheduling order (FIFO), which the
 // engine relies on for deterministic replay. Cancellation is O(1) lazy: a
 // cancelled event stays in the heap until it surfaces, then is skipped.
+//
+// Hot-path design (the simulator spends most of its time here):
+//  - EventFn is a small-buffer-optimized move-only callable: captures up to
+//    kInlineCapacity bytes live inline, larger ones fall back to the heap.
+//  - Cancellation is generation-counted: each scheduled event borrows a slot
+//    from a slab; the handle remembers (slot, generation) and a stale
+//    generation makes cancel() a no-op. No per-event shared_ptr.
+//  - The pending set is an owned vector-backed 4-ary min-heap whose entries
+//    are 24-byte PODs (the callable stays in the slab), so sift operations
+//    are plain copies and pop() moves the callable out exactly once.
+// Steady-state schedule/pop/cancel therefore performs zero heap allocations
+// once the heap vector and slab have grown to the working-set size.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace dcm::sim {
 
-using EventFn = std::function<void()>;
+/// Move-only callable with small-buffer optimization. Replaces
+/// std::function<void()> on the scheduling hot path: captures of up to
+/// kInlineCapacity bytes are stored inline (no allocation); larger callables
+/// are boxed on the heap. Invocable repeatedly until destroyed or moved-from.
+class EventFn {
+ public:
+  /// Captures at or below this size (and max_align_t alignment) live inline.
+  static constexpr size_t kInlineCapacity = 48;
 
-/// Handle for cancelling a scheduled event. Default-constructed handles are
-/// inert. Copying shares the cancellation flag.
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_.inline_buf)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      storage_.heap = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial_destroy) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  union Storage {
+    alignas(alignof(std::max_align_t)) std::byte inline_buf[kInlineCapacity];
+    void* heap;
+  };
+  struct Ops {
+    void (*invoke)(Storage&);
+    void (*relocate)(Storage& dst, Storage& src) noexcept;  // move-construct + destroy src
+    void (*destroy)(Storage&) noexcept;
+    // Fast-path flags: relocation-by-memcpy (all heap-boxed callables and
+    // trivially copyable inline ones) and no-op destruction. They let the
+    // per-event move/destroy churn skip the indirect calls entirely for the
+    // common small-POD-capture lambdas.
+    bool trivial_relocate;
+    bool trivial_destroy;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= kInlineCapacity && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  static F& inline_ref(Storage& s) {
+    return *std::launder(reinterpret_cast<F*>(s.inline_buf));
+  }
+
+  template <typename F>
+  static constexpr Ops kInlineOps{
+      [](Storage& s) { inline_ref<F>(s)(); },
+      [](Storage& dst, Storage& src) noexcept {
+        ::new (static_cast<void*>(dst.inline_buf)) F(std::move(inline_ref<F>(src)));
+        inline_ref<F>(src).~F();
+      },
+      [](Storage& s) noexcept { inline_ref<F>(s).~F(); },
+      std::is_trivially_copyable_v<F>,
+      std::is_trivially_destructible_v<F>,
+  };
+
+  template <typename F>
+  static constexpr Ops kHeapOps{
+      [](Storage& s) { (*static_cast<F*>(s.heap))(); },
+      [](Storage& dst, Storage& src) noexcept { dst.heap = src.heap; },
+      [](Storage& s) noexcept { delete static_cast<F*>(s.heap); },
+      /*trivial_relocate=*/true,  // relocation is a pointer copy
+      /*trivial_destroy=*/false,
+  };
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->trivial_relocate) {
+      storage_ = other.storage_;  // branchless fixed-size copy
+    } else {
+      ops_->relocate(storage_, other.storage_);
+    }
+    other.ops_ = nullptr;
+  }
+
+  const Ops* ops_ = nullptr;
+  Storage storage_;
+};
+
+class EventQueue;
+class Engine;
+
+/// Handle for cancelling a scheduled event or periodic chain.
+/// Default-constructed handles are inert. Copies share the underlying
+/// (slot, generation) identity, so cancelling any copy cancels the event.
+/// A handle that outlives its owner (EventQueue or Engine) must not be
+/// cancelled — all current components hold a reference to an engine that
+/// outlives them, matching that rule by construction.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Prevents the event from firing; idempotent, safe after the event fired.
-  void cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
+  /// Prevents the event (or periodic chain) from firing; idempotent, safe
+  /// after the event fired — generation counting makes stale cancels no-ops.
+  void cancel();
 
-  bool valid() const { return cancelled_ != nullptr; }
+  bool valid() const { return owner_ != nullptr; }
 
  private:
   friend class EventQueue;
-  friend class Engine;  // periodic chains hand out a shared cancel flag
-  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
+  friend class Engine;
+  enum class Kind : uint8_t { kNone, kEvent, kPeriodic };
+  EventHandle(void* owner, uint32_t slot, uint32_t generation, Kind kind)
+      : owner_(owner), slot_(slot), generation_(generation), kind_(kind) {}
+
+  void* owner_ = nullptr;
+  uint32_t slot_ = 0;
+  uint32_t generation_ = 0;
+  Kind kind_ = Kind::kNone;
 };
 
 class EventQueue {
  public:
   /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
-  EventHandle schedule(SimTime at, EventFn fn);
+  EventHandle schedule(SimTime at, EventFn fn) {
+    const uint32_t slot = alloc_slot();
+    Slot& s = slots_[slot];
+    s.fn = std::move(fn);
+    heap_.push_back(Entry{at, next_seq_++, slot, s.generation});
+    sift_up(heap_.size() - 1);
+    return EventHandle(this, slot, s.generation, EventHandle::Kind::kEvent);
+  }
 
   /// True iff no live (non-cancelled) event remains. Purges dead entries at
   /// the front as a side effect, hence non-const.
@@ -61,23 +203,107 @@ class EventQueue {
   };
   Popped pop();
 
+  /// Hot-path combination of empty()/next_time()/pop(): pops the earliest
+  /// live event into `out` iff its time is <= `horizon`. Returns false when
+  /// the queue is empty or the next event is beyond the horizon. Does the
+  /// lazy-cancellation purge exactly once.
+  bool pop_until(SimTime horizon, Popped& out) {
+    drop_cancelled();
+    if (heap_.empty() || heap_.front().time > horizon) return false;
+    const Entry top = heap_.front();
+    out.time = top.time;
+    out.fn = std::move(slots_[top.slot].fn);
+    free_slot(top.slot);
+    remove_front();
+    return true;
+  }
+
+  /// Cancels the event identified by (slot, generation); stale identities
+  /// are ignored. Destroys the captured state eagerly.
+  void cancel(uint32_t slot, uint32_t generation);
+
  private:
+  static constexpr size_t kArity = 4;  // 4-ary heap: shallower, cache-friendlier
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+
+  // POD heap entry; the callable stays in the slab so sifts copy 24 bytes.
   struct Entry {
     SimTime time;
     uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
+  };
+  struct Slot {
     EventFn fn;
-    std::shared_ptr<bool> cancelled;
+    uint32_t generation = 0;
+    uint32_t next_free = kNilSlot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  bool live(const Entry& e) const { return slots_[e.slot].generation == e.generation; }
+
+  // The helpers below are defined inline: they sit on the per-event hot path
+  // and the simulator's throughput is bounded by how fast they run.
+
+  uint32_t alloc_slot();  // out-of-line: grows the slab on a cold miss
+
+  void free_slot(uint32_t slot) {
+    Slot& s = slots_[slot];
+    // Bumping the generation invalidates every outstanding handle and every
+    // heap entry that still references this slot.
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  void sift_up(size_t i) {
+    const Entry e = heap_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / kArity;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
     }
-  };
+    heap_[i] = e;
+  }
 
-  void drop_cancelled();
+  void sift_down(size_t i) {
+    const size_t n = heap_.size();
+    const Entry e = heap_[i];
+    for (;;) {
+      const size_t first = i * kArity + 1;
+      if (first >= n) break;
+      size_t best = first;
+      const size_t last = first + kArity < n ? first + kArity : n;
+      for (size_t c = first + 1; c < last; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  void remove_front() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  void drop_cancelled() {
+    while (!heap_.empty() && !live(heap_.front())) {
+      remove_front();
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNilSlot;
   uint64_t next_seq_ = 0;
 };
 

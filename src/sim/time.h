@@ -12,6 +12,8 @@ namespace dcm::sim {
 
 using SimTime = int64_t;  // nanoseconds
 
+inline constexpr SimTime kMaxSimTime = INT64_MAX;
+
 inline constexpr SimTime kNanosPerMicro = 1'000;
 inline constexpr SimTime kNanosPerMilli = 1'000'000;
 inline constexpr SimTime kNanosPerSecond = 1'000'000'000;

@@ -74,6 +74,45 @@ TEST(OnlineEstimatorTest, IgnoresIdleSamples) {
   EXPECT_EQ(estimator.bin_count(), 0u);
 }
 
+TEST(OnlineEstimatorTest, RejectsZeroThroughputAtNonzeroConcurrency) {
+  // A stalled measurement interval (busy threads, zero completions) is not a
+  // throughput observation; admitting it would drag bin means toward zero.
+  OnlineModelEstimator estimator;
+  for (int i = 0; i < 100; ++i) estimator.observe(20.0, 0.0);
+  EXPECT_EQ(estimator.bin_count(), 0u);
+  feed_curve(estimator, 120, 0.0, 6);
+  for (int i = 0; i < 1000; ++i) estimator.observe(20.0, 0.0);  // must not bias bin 20
+  const auto fitted = estimator.fit(1, 1.0);
+  ASSERT_TRUE(fitted.has_value());
+  EXPECT_NEAR(fitted->optimal_concurrency(), 36.1, 3.0);
+}
+
+TEST(OnlineEstimatorTest, WindowedBinsTrackRegimeChange) {
+  // Service times double their contention terms (e.g. the VM flavor or the
+  // co-tenant mix changed): the knee moves from ~36 to ~18. An unbounded
+  // accumulator would average the regimes; the sliding window must forget
+  // the old one once enough fresh samples arrive.
+  const model::ServiceTimeParams kSlowerMysql{7.19e-3, 5.04e-3, 6.6e-6};
+  EstimatorConfig config;
+  config.window_per_bin = 20;
+  OnlineModelEstimator estimator(config);
+  feed_curve(estimator, 120, 0.0, 7, /*repeats=*/30);  // old regime, saturating windows
+  {
+    const auto fitted = estimator.fit(1, 1.0);
+    ASSERT_TRUE(fitted.has_value());
+    EXPECT_NEAR(fitted->optimal_concurrency(), 36.1, 3.0);
+  }
+  for (int rep = 0; rep < 25; ++rep) {  // > window_per_bin repeats of the new regime
+    for (int n = 1; n <= 120; n += 2) {
+      estimator.observe(n, model::server_throughput(kSlowerMysql, n));
+    }
+  }
+  const auto fitted = estimator.fit(1, 1.0);
+  ASSERT_TRUE(fitted.has_value());
+  EXPECT_GT(fitted->r_squared, 0.99);  // pure new-regime data, clean fit
+  EXPECT_NEAR(fitted->optimal_concurrency(), 18.1, 2.0);
+}
+
 TEST(OnlineEstimatorTest, MinSamplesPerBinEnforced) {
   EstimatorConfig config;
   config.min_samples_per_bin = 5;

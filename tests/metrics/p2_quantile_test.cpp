@@ -71,6 +71,53 @@ TEST(P2QuantileTest, P99OfLognormalStream) {
   EXPECT_NEAR(q.value(), exact, exact * 0.15);
 }
 
+TEST(P2QuantileTest, P99OfHeavyTailLognormalInterpolatesToDesiredRank) {
+  // Heavier tail (cv = 2) than the stream above; the raw middle-marker
+  // readout systematically understates this. The desired-rank interpolation
+  // must stay within a bounded relative error of the exact quantile.
+  P2Quantile q(0.99);
+  Rng rng(45);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal_mean_cv(0.1, 2.0);
+    xs.push_back(x);
+    q.add(x);
+  }
+  const double exact = exact_quantile(xs, 0.99);
+  EXPECT_NEAR(q.value(), exact, exact * 0.20);
+}
+
+TEST(P2QuantileTest, AdversarialSortedStreamStaysBounded) {
+  // Monotone-increasing input is the classic P² adversary: every sample
+  // lands in the last cell and drags the max marker up. The p95 estimate
+  // must still interpolate near the desired rank, not collapse to a stale
+  // middle marker.
+  P2Quantile q(0.95);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    q.add(x);
+  }
+  const double exact = exact_quantile(xs, 0.95);  // 9499.05
+  EXPECT_NEAR(q.value(), exact, exact * 0.10);
+}
+
+TEST(P2QuantileTest, TwoClusterStreamTracksUpperCluster) {
+  // 90% of mass near 1ms, 10% near 100ms — a bimodal response-time shape
+  // where p95 sits inside the upper cluster.
+  P2Quantile q(0.95);
+  Rng rng(46);
+  std::vector<double> xs;
+  for (int i = 0; i < 40000; ++i) {
+    const double x = rng.bernoulli(0.1) ? rng.uniform(95.0, 105.0) : rng.uniform(0.5, 1.5);
+    xs.push_back(x);
+    q.add(x);
+  }
+  const double exact = exact_quantile(xs, 0.95);
+  EXPECT_NEAR(q.value(), exact, exact * 0.25);
+}
+
 TEST(P2QuantileTest, CountTracksSamples) {
   P2Quantile q(0.9);
   for (int i = 0; i < 123; ++i) q.add(i);

@@ -1,0 +1,135 @@
+// Asserts the simulator hot path is allocation-free at steady state.
+//
+// This TU replaces the global operator new/delete with counting forwarders
+// (binary-wide, which is why the assertions measure deltas around tight
+// regions rather than absolute counts). Once the event heap and slab have
+// grown to the working-set size, schedule/dispatch, cancellation, and
+// periodic re-arming must not touch the heap at all.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+
+uint64_t allocations() { return g_alloc_count.load(std::memory_order_relaxed); }
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const size_t a = static_cast<size_t>(align);
+  const size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace dcm::sim {
+namespace {
+
+TEST(AllocationFreeTest, SteadyStateScheduleDispatchDoesNotAllocate) {
+  Engine engine;
+  uint64_t fired = 0;
+  uint64_t* fired_ptr = &fired;
+  SimTime t = 0;
+  // Warm-up: grow the heap vector and slot slab to working-set size.
+  for (int i = 0; i < 512; ++i) {
+    engine.schedule_at(++t, [fired_ptr] { ++*fired_ptr; });
+    engine.run_until(t);
+  }
+  const uint64_t before = allocations();
+  for (int i = 0; i < 20000; ++i) {
+    engine.schedule_at(++t, [fired_ptr] { ++*fired_ptr; });
+    engine.run_until(t);
+  }
+  EXPECT_EQ(allocations(), before);
+  EXPECT_EQ(fired, 20512u);
+}
+
+TEST(AllocationFreeTest, SteadyStateCancelCycleDoesNotAllocate) {
+  Engine engine;
+  uint64_t fired = 0;
+  uint64_t* fired_ptr = &fired;
+  SimTime t = 0;
+  auto cycle = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      // A deep-ish pending set with half the events cancelled before firing.
+      std::array<EventHandle, 32> handles;
+      for (size_t k = 0; k < handles.size(); ++k) {
+        handles[k] = engine.schedule_at(t + static_cast<SimTime>(k) + 1,
+                                        [fired_ptr] { ++*fired_ptr; });
+      }
+      for (size_t k = 0; k < handles.size(); k += 2) handles[k].cancel();
+      t += static_cast<SimTime>(handles.size());
+      engine.run_until(t);
+    }
+  };
+  cycle(64);  // warm-up
+  const uint64_t before = allocations();
+  cycle(1000);
+  EXPECT_EQ(allocations(), before);
+  EXPECT_EQ(fired, (64u + 1000u) * 16u);
+}
+
+TEST(AllocationFreeTest, PeriodicReArmDoesNotAllocate) {
+  Engine engine;
+  uint64_t ticks = 0;
+  uint64_t* ticks_ptr = &ticks;
+  auto handle = engine.schedule_periodic(10, [ticks_ptr] { ++*ticks_ptr; });
+  engine.run_until(1000);  // warm-up
+  const uint64_t before = allocations();
+  engine.run_until(101000);
+  EXPECT_EQ(allocations(), before);
+  EXPECT_EQ(ticks, 10100u);
+  handle.cancel();
+}
+
+TEST(AllocationFreeTest, ExactCapacityCaptureIsAllocationFree) {
+  Engine engine;
+  std::array<char, EventFn::kInlineCapacity> payload{};
+  engine.schedule_at(1, [payload] { (void)payload; });
+  engine.run_until(1);  // warm the slab slot
+  const uint64_t before = allocations();
+  for (SimTime t = 2; t < 100; ++t) {
+    engine.schedule_at(t, [payload] { (void)payload; });
+    engine.run_until(t);
+  }
+  EXPECT_EQ(allocations(), before);
+}
+
+TEST(AllocationFreeTest, OversizedCapturesHeapBoxButStillWork) {
+  Engine engine;
+  std::array<char, EventFn::kInlineCapacity + 16> big{};
+  big[0] = 9;
+  int out = 0;
+  const uint64_t before = allocations();
+  engine.schedule_at(1, [big, &out] { out = big[0]; });
+  EXPECT_GT(allocations(), before);  // boxed: capture exceeds SBO budget
+  engine.run_until(1);
+  EXPECT_EQ(out, 9);
+}
+
+}  // namespace
+}  // namespace dcm::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace dcm::sim {
@@ -90,6 +91,74 @@ TEST(EngineTest, PeriodicCanCancelItselfFromInside) {
   });
   engine.run_until(from_seconds(10.0));
   EXPECT_EQ(count, 3);
+}
+
+TEST(EngineTest, CancelledPeriodicReleasesCapturedState) {
+  Engine engine;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> observer = token;
+  auto handle =
+      engine.schedule_periodic(from_seconds(1.0), [token = std::move(token)] { (void)token; });
+  engine.run_until(from_seconds(3.5));
+  ASSERT_FALSE(observer.expired());  // chain alive, capture alive
+  handle.cancel();
+  // Regression: the old shared_ptr<function> self-capture cycle kept the
+  // callable (and everything it captured) alive forever after cancellation.
+  EXPECT_TRUE(observer.expired());
+}
+
+TEST(EngineTest, SelfCancelledPeriodicReleasesCapturedState) {
+  Engine engine;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> observer = token;
+  EventHandle handle;
+  handle = engine.schedule_periodic(from_seconds(1.0),
+                                    [token = std::move(token), &handle] { handle.cancel(); });
+  engine.run_until(from_seconds(5.0));
+  EXPECT_TRUE(observer.expired());
+}
+
+TEST(EngineTest, EngineDestructionReleasesPeriodicCapturedState) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> observer = token;
+  {
+    Engine engine;
+    engine.schedule_periodic(from_seconds(1.0), [token = std::move(token)] { (void)token; });
+    engine.run_until(from_seconds(2.5));
+  }
+  EXPECT_TRUE(observer.expired());
+}
+
+TEST(EngineTest, StalePeriodicHandleDoesNotCancelReusedSlot) {
+  Engine engine;
+  int first = 0, second = 0;
+  auto h1 = engine.schedule_periodic(10, [&first] { ++first; });
+  h1.cancel();
+  auto h2 = engine.schedule_periodic(10, [&second] { ++second; });
+  h1.cancel();  // stale handle; must not touch the chain that reused the slot
+  engine.run_until(100);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 10);
+  h2.cancel();
+}
+
+TEST(EngineTest, PeriodicCallbackCanScheduleMorePeriodics) {
+  Engine engine;
+  int outer = 0, inner = 0;
+  bool spawned = false;
+  engine.schedule_periodic(from_seconds(1.0), [&] {
+    ++outer;
+    if (!spawned) {
+      spawned = true;
+      // Growing the periodic slab mid-fire must not invalidate the firing task.
+      for (int i = 0; i < 8; ++i) {
+        engine.schedule_periodic(from_seconds(10.0), [&inner] { ++inner; });
+      }
+    }
+  });
+  engine.run_until(from_seconds(21.5));
+  EXPECT_EQ(outer, 21);
+  EXPECT_EQ(inner, 16);  // spawned at t=1s, period 10s -> fire at 11s and 21s
 }
 
 TEST(EngineTest, RunForIsRelative) {

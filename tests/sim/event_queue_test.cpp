@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace dcm::sim {
 namespace {
@@ -85,6 +90,83 @@ TEST(EventQueueTest, CopiedHandlesShareCancellation) {
   b.cancel();
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, StaleHandleDoesNotCancelReusedSlot) {
+  EventQueue q;
+  int fired = 0;
+  auto h1 = q.schedule(1, [&] { ++fired; });
+  q.pop().fn();
+  // The popped event's slot is back on the free-list; this schedule reuses it.
+  q.schedule(2, [&] { ++fired; });
+  h1.cancel();  // stale generation — must not cancel the new event
+  ASSERT_FALSE(q.empty());
+  q.pop().fn();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CancelledSlotReuseKeepsNewEventAlive) {
+  EventQueue q;
+  int fired = 0;
+  auto h1 = q.schedule(10, [&] { ++fired; });
+  h1.cancel();
+  auto h2 = q.schedule(20, [&] { ++fired; });
+  h1.cancel();  // double-cancel through a stale generation: no-op
+  ASSERT_FALSE(q.empty());
+  auto popped = q.pop();
+  EXPECT_EQ(popped.time, 20);
+  popped.fn();
+  EXPECT_EQ(fired, 1);
+  h2.cancel();  // already fired: no-op
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, StressAgainstReferenceModel) {
+  // Interleaved schedule/cancel/pop checked against an ordered-map oracle:
+  // pops must come out in exact (time, scheduling-order) sequence no matter
+  // how the 4-ary heap array is permuted by cancellations.
+  EventQueue q;
+  dcm::Rng rng(20170607);
+  std::map<std::pair<SimTime, uint64_t>, int> oracle;  // (time, seq) -> id
+  std::unordered_map<int, EventHandle> handles;
+  uint64_t seq = 0;
+  int next_id = 0;
+  int last_popped = -1;
+  for (int step = 0; step < 30000; ++step) {
+    const double roll = rng.next_double();
+    if (roll < 0.45 || oracle.empty()) {
+      const SimTime at = rng.uniform_int(0, 5000);
+      const int id = next_id++;
+      handles[id] = q.schedule(at, [&last_popped, id] { last_popped = id; });
+      oracle[{at, seq++}] = id;
+    } else if (roll < 0.65) {
+      // Cancel a random live event.
+      auto it = oracle.begin();
+      std::advance(it, rng.uniform_int(0, static_cast<int64_t>(oracle.size()) - 1));
+      handles[it->second].cancel();
+      handles.erase(it->second);
+      oracle.erase(it);
+    } else {
+      ASSERT_FALSE(q.empty());
+      auto popped = q.pop();
+      popped.fn();
+      const auto expected = oracle.begin();
+      EXPECT_EQ(popped.time, expected->first.first);
+      EXPECT_EQ(last_popped, expected->second);
+      handles.erase(expected->second);
+      oracle.erase(expected);
+    }
+    ASSERT_EQ(q.empty(), oracle.empty());
+  }
+  while (!oracle.empty()) {
+    auto popped = q.pop();
+    popped.fn();
+    const auto expected = oracle.begin();
+    EXPECT_EQ(popped.time, expected->first.first);
+    EXPECT_EQ(last_popped, expected->second);
+    oracle.erase(expected);
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueueTest, EmptyAfterAllCancelled) {
