@@ -48,7 +48,9 @@ double r_squared(const std::vector<double>& observed, const std::vector<double>&
     ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
     ss_tot += (observed[i] - mean) * (observed[i] - mean);
   }
-  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  // Sums of squares are non-negative, so <= 0 is the exact-zero case without
+  // a float equality comparison.
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
   return 1.0 - ss_res / ss_tot;
 }
 

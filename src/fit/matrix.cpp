@@ -39,7 +39,8 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   for (size_t r = 0; r < rows_; ++r) {
     for (size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(r, k);
-      if (a == 0.0) continue;
+      // Exact-zero fast path (skips no-op row work), not a tolerance check.
+      if (a == 0.0) continue;  // dcm-lint: allow(no-float-eq)
       for (size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
     }
   }
@@ -91,7 +92,8 @@ std::vector<double> Matrix::solve(const std::vector<double>& b) const {
     // Eliminate below.
     for (size_t r = col + 1; r < n; ++r) {
       const double factor = a(r, col) / a(col, col);
-      if (factor == 0.0) continue;
+      // Exact-zero fast path: already-eliminated entries need no row update.
+      if (factor == 0.0) continue;  // dcm-lint: allow(no-float-eq)
       for (size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
       x[r] -= factor * x[col];
     }

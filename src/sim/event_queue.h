@@ -45,10 +45,12 @@ class EventFn {
   EventFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
     using D = std::decay_t<F>;
     if constexpr (fits_inline<D>()) {
-      ::new (static_cast<void*>(storage_.inline_buf)) D(std::forward<F>(f));
+      // SBO internals: placement-new into the inline buffer (no allocation).
+      ::new (static_cast<void*>(storage_.inline_buf)) D(std::forward<F>(f));  // dcm-lint: allow(no-raw-new-in-hot-path)
       ops_ = &kInlineOps<D>;
     } else {
-      storage_.heap = new D(std::forward<F>(f));
+      // Oversized capture: the one sanctioned boxing allocation (cold path).
+      storage_.heap = new D(std::forward<F>(f));  // dcm-lint: allow(no-raw-new-in-hot-path)
       ops_ = &kHeapOps<D>;
     }
   }
@@ -108,7 +110,8 @@ class EventFn {
   static constexpr Ops kInlineOps{
       [](Storage& s) { inline_ref<F>(s)(); },
       [](Storage& dst, Storage& src) noexcept {
-        ::new (static_cast<void*>(dst.inline_buf)) F(std::move(inline_ref<F>(src)));
+        // Relocation placement-new into the destination's inline buffer.
+        ::new (static_cast<void*>(dst.inline_buf)) F(std::move(inline_ref<F>(src)));  // dcm-lint: allow(no-raw-new-in-hot-path)
         inline_ref<F>(src).~F();
       },
       [](Storage& s) noexcept { inline_ref<F>(s).~F(); },
@@ -120,7 +123,7 @@ class EventFn {
   static constexpr Ops kHeapOps{
       [](Storage& s) { (*static_cast<F*>(s.heap))(); },
       [](Storage& dst, Storage& src) noexcept { dst.heap = src.heap; },
-      [](Storage& s) noexcept { delete static_cast<F*>(s.heap); },
+      [](Storage& s) noexcept { delete static_cast<F*>(s.heap); },  // dcm-lint: allow(no-raw-new-in-hot-path)
       /*trivial_relocate=*/true,  // relocation is a pointer copy
       /*trivial_destroy=*/false,
   };

@@ -1,0 +1,11 @@
+// Fixture: no-float-eq negative — integer equality, hex masks, and
+// tolerance-based float comparison are all fine.
+#include <cmath>
+
+bool empty_count(int count) { return count == 0; }
+
+bool has_flag(unsigned flags) { return (flags & 0x10) == 0x10; }
+
+bool nearly_equal(double a, double b) { return std::fabs(a - b) < 1e-9; }
+
+bool ordered(double a, double b) { return a < b; }

@@ -1,0 +1,6 @@
+// Fixture: no-float-eq positive — exact equality against float literals.
+bool at_origin(double x) { return x == 0.0; }
+
+bool not_tiny(double y) { return y != 1e-9; }
+
+bool negative_unit(double z) { return z == -1.5; }

@@ -1,0 +1,7 @@
+// Fixture: header-self-sufficiency negative — carries every include it
+// needs, so it compiles standalone.
+#pragma once
+
+#include <string>
+
+inline std::string greeting() { return "hello"; }

@@ -1,0 +1,5 @@
+// Fixture: header-self-sufficiency positive — uses std::string without
+// including <string>, so compiling this header standalone must fail.
+#pragma once
+
+inline std::string greeting() { return "hello"; }

@@ -1,0 +1,13 @@
+// Fixture: several rules firing on one line, and allow() lists naming more
+// than one rule. Line 8 violates no-raw-assert AND no-float-eq; both are
+// suppressed by the single two-rule allow(). Line 11 has the same double
+// violation but only suppresses no-raw-assert, so no-float-eq still fires.
+#include <cassert>  // dcm-lint: allow(no-raw-assert)
+
+void both_suppressed(double x) {
+  assert(x == 1.0);  // dcm-lint: allow(no-raw-assert, no-float-eq)
+}
+
+void half_suppressed(double y) {
+  assert(y == 2.0);  // dcm-lint: allow(no-raw-assert)
+}

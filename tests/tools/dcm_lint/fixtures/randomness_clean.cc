@@ -1,0 +1,13 @@
+// Fixture: no-ambient-randomness negative — seeded Rng streams, identifiers
+// that merely contain "rand", and member calls named rand() are fine.
+#include "common/rng.h"
+
+double seeded_draw(dcm::Rng& rng) { return rng.next_double(); }
+
+struct FakeDie {
+  int rand() const { return 4; }
+};
+
+int member_named_rand(const FakeDie& die) { return die.rand(); }
+
+int grand_total(int operand) { return operand + 1; }

@@ -1,0 +1,13 @@
+// Fixture: no-ambient-randomness positive — nondeterministic seeds and the
+// C PRNG break bit-for-bit replay.
+#include <cstdlib>
+#include <random>
+
+unsigned nondeterministic_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+void seed_c_prng(unsigned s) { srand(s); }
+
+int c_draw() { return rand() % 6; }

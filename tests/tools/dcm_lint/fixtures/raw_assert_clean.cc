@@ -1,0 +1,13 @@
+// Fixture: no-raw-assert negative — DCM_CHECK/DCM_DCHECK and static_assert
+// are the sanctioned forms; identifiers containing "assert" are fine.
+#include "common/check.h"
+
+static_assert(sizeof(int) >= 4, "platform check");
+
+int checked_halve(int n) {
+  DCM_CHECK(n % 2 == 0);
+  DCM_DCHECK(n >= 0);
+  return n / 2;
+}
+
+int assert_count_total(int assert_count) { return assert_count + 1; }

@@ -1,0 +1,8 @@
+// Fixture: no-raw-assert positive — assert() compiles out under NDEBUG, so
+// release builds skip the invariant.
+#include <cassert>
+
+int checked_halve(int n) {
+  assert(n % 2 == 0);
+  return n / 2;
+}

@@ -1,0 +1,27 @@
+// Fixture: no-raw-new-in-hot-path negative — deleted special members, the
+// <new> header include, and slab-style reuse don't allocate per event.
+#include <new>
+#include <vector>
+
+class Slab {
+ public:
+  Slab() = default;
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  int acquire() {
+    if (!free_.empty()) {
+      const int slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    slots_.push_back(0);
+    return static_cast<int>(slots_.size()) - 1;
+  }
+
+  void release(int slot) { free_.push_back(slot); }
+
+ private:
+  std::vector<int> slots_;
+  std::vector<int> free_;
+};

@@ -1,0 +1,12 @@
+// Fixture: no-raw-new-in-hot-path positive — per-event heap churn in the
+// sim core.
+struct Node {
+  int value = 0;
+};
+
+int heap_round_trip(int v) {
+  Node* node = new Node{v};
+  const int out = node->value;
+  delete node;
+  return out;
+}

@@ -1,0 +1,14 @@
+// Fixture: suppression-comment handling. Lines 6 and 11 are suppressed
+// (same-line and preceding-line forms); line 14 still fires.
+#include <cstdlib>
+
+bool same_line(double x) {
+  return x == 0.0;  // dcm-lint: allow(no-float-eq)
+}
+
+bool preceding_line(double y) {
+  // dcm-lint: allow(no-float-eq)
+  return y == 1.0;
+}
+
+bool unsuppressed(double z) { return z == 2.0; }

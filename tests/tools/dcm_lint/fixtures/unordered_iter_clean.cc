@@ -1,0 +1,17 @@
+// Fixture: no-unordered-iteration negative — ordered containers iterate
+// deterministically, and keyed lookups into unordered maps are fine.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+double ordered_total(const std::map<int, double>& load_by_vm) {
+  double total = 0.0;
+  for (const auto& [vm, load] : load_by_vm) total += load;
+  return total;
+}
+
+double lookup_only(std::unordered_map<int, double>& cache, const std::vector<int>& keys) {
+  double total = 0.0;
+  for (int key : keys) total += cache[key];
+  return total;
+}

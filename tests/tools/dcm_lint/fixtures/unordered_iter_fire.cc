@@ -1,0 +1,19 @@
+// Fixture: no-unordered-iteration positive — hash-order iteration feeds
+// implementation-defined order into control decisions.
+#include <unordered_map>
+#include <unordered_set>
+
+double total_load(const std::unordered_map<int, double>& load_by_vm_arg) {
+  std::unordered_map<int, double> load_by_vm = load_by_vm_arg;
+  double total = 0.0;
+  for (const auto& [vm, load] : load_by_vm) {
+    total += load;
+  }
+  return total;
+}
+
+int literal_set_sum() {
+  int sum = 0;
+  for (int x : std::unordered_set<int>{1, 2, 3}) sum += x;
+  return sum;
+}

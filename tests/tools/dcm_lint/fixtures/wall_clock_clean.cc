@@ -1,0 +1,17 @@
+// Fixture: no-wall-clock negative — sim time from the engine, identifiers
+// merely containing "time", and member functions named time() are all fine.
+#include "sim/engine.h"
+#include "sim/time.h"
+
+double sample_at(dcm::sim::Engine& engine, double service_time) {
+  return dcm::sim::to_seconds(engine.now()) + service_time;
+}
+
+struct Stamped {
+  double time() const { return stamp; }
+  double stamp = 0.0;
+};
+
+double member_named_time(const Stamped& s) { return s.time(); }
+
+double inflated_service_time(double n) { return 1.0 + 0.01 * n; }

@@ -1,0 +1,11 @@
+// Fixture: no-wall-clock positive — host clocks leak real time into sim
+// results. Linted under a virtual src/ path.
+#include <chrono>
+#include <ctime>
+
+double wall_now_seconds() {
+  const auto tp = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(tp.time_since_epoch()).count();
+}
+
+long raw_epoch() { return time(nullptr); }

@@ -1,0 +1,214 @@
+// In-process tests for the dcm_lint rule engine, driven by the fixture
+// corpus in fixtures/. Each rule has a firing and a non-firing fixture;
+// fixtures are linted under virtual paths inside (or outside) each rule's
+// scope, since scoping is part of the contract.
+//
+// The header-self-sufficiency rule has no token engine: its fixtures are
+// compiled standalone with the real compiler (the same thing the
+// dcm_header_selfcheck CMake target does to every src/**/*.h).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dcm_lint/linter.h"
+
+namespace dcm::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(DCM_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Diagnostic> lint_fixture(const std::string& name,
+                                     const std::string& virtual_path) {
+  return lint_source(virtual_path, read_fixture(name));
+}
+
+/// (rule, line) pairs, for order-insensitive comparison.
+std::multiset<std::pair<std::string, int>> findings(const std::vector<Diagnostic>& diags) {
+  std::multiset<std::pair<std::string, int>> out;
+  for (const auto& d : diags) out.emplace(d.rule, d.line);
+  return out;
+}
+
+using Expected = std::multiset<std::pair<std::string, int>>;
+
+// --- no-wall-clock ---------------------------------------------------------
+
+TEST(DcmLintTest, WallClockFires) {
+  const auto diags = lint_fixture("wall_clock_fire.cc", "src/core/clocky.cc");
+  EXPECT_EQ(findings(diags), (Expected{{"no-wall-clock", 7}, {"no-wall-clock", 11}}));
+}
+
+TEST(DcmLintTest, WallClockCleanFileIsClean) {
+  EXPECT_TRUE(lint_fixture("wall_clock_clean.cc", "src/core/clocky.cc").empty());
+}
+
+TEST(DcmLintTest, WallClockScopedToSrc) {
+  // Benches and tools may read the host clock; the rule only covers src/.
+  EXPECT_TRUE(lint_fixture("wall_clock_fire.cc", "bench/timer.cc").empty());
+}
+
+// --- no-ambient-randomness -------------------------------------------------
+
+TEST(DcmLintTest, AmbientRandomnessFires) {
+  const auto diags = lint_fixture("randomness_fire.cc", "src/workload/seedy.cc");
+  EXPECT_EQ(findings(diags), (Expected{{"no-ambient-randomness", 7},
+                                       {"no-ambient-randomness", 11},
+                                       {"no-ambient-randomness", 13}}));
+}
+
+TEST(DcmLintTest, AmbientRandomnessCleanFileIsClean) {
+  EXPECT_TRUE(lint_fixture("randomness_clean.cc", "src/workload/seedy.cc").empty());
+}
+
+// --- no-unordered-iteration ------------------------------------------------
+
+TEST(DcmLintTest, UnorderedIterationFires) {
+  const auto diags = lint_fixture("unordered_iter_fire.cc", "src/control/spread.cc");
+  EXPECT_EQ(findings(diags), (Expected{{"no-unordered-iteration", 9},
+                                       {"no-unordered-iteration", 17}}));
+}
+
+TEST(DcmLintTest, UnorderedIterationCleanFileIsClean) {
+  EXPECT_TRUE(lint_fixture("unordered_iter_clean.cc", "src/control/spread.cc").empty());
+}
+
+TEST(DcmLintTest, UnorderedIterationScopedToEventOrderCode) {
+  // Outside src/{sim,ntier,control}, hash-order iteration cannot reach the
+  // event stream; fit/ code may iterate freely.
+  EXPECT_TRUE(lint_fixture("unordered_iter_fire.cc", "src/fit/spread.cc").empty());
+}
+
+// --- no-raw-assert ---------------------------------------------------------
+
+TEST(DcmLintTest, RawAssertFires) {
+  const auto diags = lint_fixture("raw_assert_fire.cc", "src/model/invariants.cc");
+  EXPECT_EQ(findings(diags), (Expected{{"no-raw-assert", 3}, {"no-raw-assert", 6}}));
+}
+
+TEST(DcmLintTest, RawAssertCleanFileIsClean) {
+  EXPECT_TRUE(lint_fixture("raw_assert_clean.cc", "src/model/invariants.cc").empty());
+}
+
+TEST(DcmLintTest, RawAssertAppliesToTests) {
+  EXPECT_FALSE(lint_fixture("raw_assert_fire.cc", "tests/model/invariants_test.cpp").empty());
+}
+
+// --- no-float-eq -----------------------------------------------------------
+
+TEST(DcmLintTest, FloatEqFires) {
+  const auto diags = lint_fixture("float_eq_fire.cc", "src/metrics/compare.cc");
+  EXPECT_EQ(findings(diags), (Expected{{"no-float-eq", 2},
+                                       {"no-float-eq", 4},
+                                       {"no-float-eq", 6}}));
+}
+
+TEST(DcmLintTest, FloatEqCleanFileIsClean) {
+  EXPECT_TRUE(lint_fixture("float_eq_clean.cc", "src/metrics/compare.cc").empty());
+}
+
+// --- no-raw-new-in-hot-path ------------------------------------------------
+
+TEST(DcmLintTest, RawNewFires) {
+  const auto diags = lint_fixture("raw_new_fire.cc", "src/sim/node_pool.cc");
+  EXPECT_EQ(findings(diags), (Expected{{"no-raw-new-in-hot-path", 8},
+                                       {"no-raw-new-in-hot-path", 10}}));
+}
+
+TEST(DcmLintTest, RawNewCleanFileIsClean) {
+  EXPECT_TRUE(lint_fixture("raw_new_clean.cc", "src/sim/node_pool.cc").empty());
+}
+
+TEST(DcmLintTest, RawNewScopedToSimCore) {
+  // Outside src/sim the allocation-free invariant does not apply.
+  EXPECT_TRUE(lint_fixture("raw_new_fire.cc", "src/ntier/node_pool.cc").empty());
+}
+
+// --- suppression comments --------------------------------------------------
+
+TEST(DcmLintTest, SuppressionCoversSameLineAndPrecedingLine) {
+  const auto diags = lint_fixture("suppression.cc", "src/metrics/compare.cc");
+  EXPECT_EQ(findings(diags), (Expected{{"no-float-eq", 14}}));
+}
+
+TEST(DcmLintTest, AllowListNamingTwoRulesSuppressesBoth) {
+  const auto diags = lint_fixture("multi_rule_line.cc", "src/model/invariants.cc");
+  // Line 8 (assert + float-eq) is fully suppressed; line 12 keeps its
+  // no-float-eq finding because the allow() names only no-raw-assert.
+  EXPECT_EQ(findings(diags), (Expected{{"no-float-eq", 12}}));
+}
+
+TEST(DcmLintTest, SuppressionIsPerRule) {
+  const auto diags =
+      lint_source("src/metrics/compare.cc",
+                  "bool f(double x) { return x == 0.0; }  // dcm-lint: allow(no-raw-assert)\n");
+  EXPECT_EQ(findings(diags), (Expected{{"no-float-eq", 1}}));
+}
+
+TEST(DcmLintTest, SuppressionDoesNotReachPastNextLine) {
+  const auto diags = lint_source("src/metrics/compare.cc",
+                                 "// dcm-lint: allow(no-float-eq)\n"
+                                 "int pad;\n"
+                                 "bool f(double x) { return x == 0.0; }\n");
+  EXPECT_EQ(findings(diags), (Expected{{"no-float-eq", 3}}));
+}
+
+TEST(DcmLintTest, UnknownRuleInAllowIsReported) {
+  const auto diags = lint_source("src/metrics/compare.cc",
+                                 "int x;  // dcm-lint: allow(no-such-rule)\n");
+  EXPECT_EQ(findings(diags), (Expected{{"unknown-suppression", 1}}));
+}
+
+TEST(DcmLintTest, HeaderSelfSufficiencySuppressionNameIsKnown) {
+  EXPECT_TRUE(is_known_rule("header-self-sufficiency"));
+  EXPECT_TRUE(lint_source("src/common/x.h",
+                          "int x;  // dcm-lint: allow(header-self-sufficiency)\n")
+                  .empty());
+}
+
+// --- engine determinism ----------------------------------------------------
+
+TEST(DcmLintTest, DiagnosticsAreSortedAndStable) {
+  const std::string content = read_fixture("randomness_fire.cc");
+  const auto a = lint_source("src/workload/seedy.cc", content);
+  const auto b = lint_source("src/workload/seedy.cc", content);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rule, b[i].rule);
+    EXPECT_EQ(a[i].line, b[i].line);
+    if (i > 0) {
+      EXPECT_LE(a[i - 1].line, a[i].line);
+    }
+  }
+}
+
+// --- header-self-sufficiency (compiler-driven) -----------------------------
+
+int compile_standalone(const std::string& header) {
+  const std::string cmd = std::string(DCM_CXX_COMPILER) + " -std=c++20 -fsyntax-only -x c++ \"" +
+                          std::string(DCM_LINT_FIXTURE_DIR) + "/" + header +
+                          "\" > /dev/null 2>&1";
+  return std::system(cmd.c_str());
+}
+
+TEST(DcmLintTest, HeaderSelfSufficiencyFires) {
+  EXPECT_NE(compile_standalone("header_fire.h"), 0);
+}
+
+TEST(DcmLintTest, HeaderSelfSufficiencyCleanHeaderCompiles) {
+  EXPECT_EQ(compile_standalone("header_clean.h"), 0);
+}
+
+}  // namespace
+}  // namespace dcm::lint

@@ -1,0 +1,230 @@
+#include "dcm_lint/token.h"
+
+#include <cctype>
+#include <string>
+
+namespace dcm::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Two-character operators the rules care about. Everything else is emitted
+// one character at a time, which is fine for pattern matching.
+bool fuses(char a, char b) {
+  switch (a) {
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '<': return b == '=';
+    case '>': return b == '=';
+    case '-': return b == '>';
+    case ':': return b == ':';
+    case '&': return b == '&';
+    case '|': return b == '|';
+    default: return false;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        // Line splice.
+        ++line_;
+        pos_ += 2;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (is_ident_start(c)) {
+        identifier_or_literal_prefix();
+      } else if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        number();
+      } else if (c == '"') {
+        string_literal(pos_);
+      } else if (c == '\'') {
+        char_literal();
+      } else {
+        punct();
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  char peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(TokenKind kind, size_t start, size_t end, int line) {
+    result_.tokens.push_back({kind, src_.substr(start, end - start), line});
+  }
+
+  void line_comment() {
+    const size_t start = pos_ + 2;
+    const int line = line_;
+    size_t end = src_.find('\n', start);
+    if (end == std::string_view::npos) end = src_.size();
+    result_.comments.push_back({src_.substr(start, end - start), line, line});
+    pos_ = end;  // newline handled by the main loop
+  }
+
+  void block_comment() {
+    const size_t start = pos_ + 2;
+    const int start_line = line_;
+    size_t end = src_.find("*/", start);
+    size_t stop = end == std::string_view::npos ? src_.size() : end;
+    for (size_t i = start; i < stop; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    result_.comments.push_back({src_.substr(start, stop - start), start_line, line_});
+    pos_ = end == std::string_view::npos ? src_.size() : end + 2;
+  }
+
+  // An identifier, unless it is a string/char-literal encoding prefix
+  // (u8"...", L'x', R"(...)", u8R"(...)").
+  void identifier_or_literal_prefix() {
+    const size_t start = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    const std::string_view text = src_.substr(start, pos_ - start);
+    const char next = pos_ < src_.size() ? src_[pos_] : '\0';
+    const bool str_prefix = text == "u8" || text == "u" || text == "U" || text == "L";
+    const bool raw_prefix =
+        text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR";
+    if (next == '"' && raw_prefix) {
+      raw_string(start, line);
+      return;
+    }
+    if (next == '"' && str_prefix) {
+      string_literal(start);
+      return;
+    }
+    if (next == '\'' && str_prefix) {
+      char_literal_from(start, line);
+      return;
+    }
+    emit(TokenKind::kIdentifier, start, pos_, line);
+  }
+
+  // pp-number: digits, idents, dots, digit separators, and exponent signs.
+  void number() {
+    const size_t start = pos_;
+    const int line = line_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.') {
+        ++pos_;
+      } else if (c == '\'' && is_ident_char(peek(1))) {
+        pos_ += 2;  // digit separator
+      } else if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    emit(TokenKind::kNumber, start, pos_, line);
+  }
+
+  // `token_start` may precede pos_ when the literal has an encoding prefix.
+  void string_literal(size_t token_start) {
+    const int line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+      } else if (c == '"') {
+        ++pos_;
+        break;
+      } else if (c == '\n') {
+        break;  // unterminated; recover at the newline
+      } else {
+        ++pos_;
+      }
+    }
+    emit(TokenKind::kString, token_start, pos_, line);
+  }
+
+  void raw_string(size_t token_start, int line) {
+    ++pos_;  // opening quote
+    const size_t delim_start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n') ++pos_;
+    const std::string_view delim = src_.substr(delim_start, pos_ - delim_start);
+    // Find )delim"
+    std::string closer(")");
+    closer.append(delim);
+    closer.push_back('"');
+    size_t end = src_.find(closer, pos_);
+    size_t stop = end == std::string_view::npos ? src_.size() : end + closer.size();
+    for (size_t i = pos_; i < stop; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = stop;
+    emit(TokenKind::kString, token_start, pos_, line);
+  }
+
+  void char_literal() { char_literal_from(pos_, line_); }
+
+  void char_literal_from(size_t token_start, int line) {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+      } else if (c == '\'') {
+        ++pos_;
+        break;
+      } else if (c == '\n') {
+        break;
+      } else {
+        ++pos_;
+      }
+    }
+    emit(TokenKind::kChar, token_start, pos_, line);
+  }
+
+  void punct() {
+    const size_t start = pos_;
+    const int line = line_;
+    if (pos_ + 1 < src_.size() && fuses(src_[pos_], src_[pos_ + 1])) {
+      pos_ += 2;
+    } else {
+      ++pos_;
+    }
+    emit(TokenKind::kPunct, start, pos_, line);
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace dcm::lint

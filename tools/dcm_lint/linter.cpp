@@ -1,0 +1,139 @@
+#include "dcm_lint/linter.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dcm::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Suppressions {
+  // line -> rule ids allowed on that line
+  std::map<int, std::set<std::string>> allowed;
+  std::vector<Diagnostic> unknown;  // typo'd rule names
+};
+
+void trim(std::string_view& s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+}
+
+Suppressions collect_suppressions(std::string_view path,
+                                  const std::vector<Comment>& comments) {
+  static constexpr std::string_view kMarker = "dcm-lint:";
+  static constexpr std::string_view kAllow = "allow(";
+  Suppressions result;
+  for (const Comment& comment : comments) {
+    size_t pos = comment.text.find(kMarker);
+    while (pos != std::string_view::npos) {
+      size_t open = comment.text.find(kAllow, pos + kMarker.size());
+      if (open == std::string_view::npos) break;
+      size_t close = comment.text.find(')', open);
+      if (close == std::string_view::npos) break;
+      std::string_view list =
+          comment.text.substr(open + kAllow.size(), close - open - kAllow.size());
+      while (!list.empty()) {
+        const size_t comma = list.find(',');
+        std::string_view name = list.substr(0, comma);
+        trim(name);
+        if (!name.empty()) {
+          if (!is_known_rule(name)) {
+            result.unknown.push_back(
+                {"unknown-suppression", std::string(path), comment.start_line,
+                 "allow() names unknown rule '" + std::string(name) + "'"});
+          }
+          for (int line = comment.start_line; line <= comment.end_line + 1; ++line) {
+            result.allowed[line].insert(std::string(name));
+          }
+        }
+        if (comma == std::string_view::npos) break;
+        list.remove_prefix(comma + 1);
+      }
+      pos = comment.text.find(kMarker, close);
+    }
+  }
+  return result;
+}
+
+bool suppressed(const Suppressions& sup, const Diagnostic& diag) {
+  const auto it = sup.allowed.find(diag.line);
+  return it != sup.allowed.end() && it->second.count(diag.rule) > 0;
+}
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+void sort_diags(std::vector<Diagnostic>& diags) {
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_source(std::string_view path, std::string_view content) {
+  const LexResult lexed = lex(content);
+  const Suppressions sup = collect_suppressions(path, lexed.comments);
+  const FileContext ctx{path, lexed.tokens, lexed.comments};
+
+  std::vector<Diagnostic> diags = sup.unknown;
+  for (const auto& rule : default_rules()) {
+    if (!rule->applies_to(path)) continue;
+    std::vector<Diagnostic> found;
+    rule->run(ctx, found);
+    for (Diagnostic& d : found) {
+      if (!suppressed(sup, d)) diags.push_back(std::move(d));
+    }
+  }
+  sort_diags(diags);
+  return diags;
+}
+
+std::vector<Diagnostic> lint_file(const fs::path& file, std::string_view path) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    return {{"io-error", std::string(path), 0, "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  return lint_source(path, content);
+}
+
+std::vector<Diagnostic> lint_tree(const fs::path& repo_root,
+                                  const std::vector<std::string>& roots) {
+  std::vector<Diagnostic> diags;
+  std::vector<fs::path> files;
+  for (const std::string& root : roots) {
+    const fs::path dir = repo_root / root;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !lintable_extension(entry.path())) continue;
+      const std::string rel =
+          fs::relative(entry.path(), repo_root).generic_string();
+      if (rel.find("tests/tools/dcm_lint/fixtures") != std::string::npos) continue;
+      files.push_back(entry.path());
+    }
+  }
+  // Directory iteration order is filesystem-dependent; sort so the linter's
+  // own output is deterministic.
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    const std::string rel = fs::relative(file, repo_root).generic_string();
+    std::vector<Diagnostic> found = lint_file(file, rel);
+    diags.insert(diags.end(), std::make_move_iterator(found.begin()),
+                 std::make_move_iterator(found.end()));
+  }
+  sort_diags(diags);
+  return diags;
+}
+
+}  // namespace dcm::lint

@@ -1,0 +1,35 @@
+// Driver: lex a file, run every applicable rule, drop suppressed findings.
+//
+// Suppression: `// dcm-lint: allow(rule-id[, rule-id...])` placed on the
+// offending line or on the line directly above it. A block comment spanning
+// lines [a, b] suppresses the named rules on lines [a, b + 1]. A comment may
+// carry several allow(...) groups. Naming a rule that does not exist is
+// itself reported (rule id `unknown-suppression`) so typos cannot silently
+// disable enforcement.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dcm_lint/rules.h"
+
+namespace dcm::lint {
+
+/// Lints in-memory content as if it lived at `path` (repo-relative, '/'
+/// separators). This is the seam the gtest fixture corpus drives: fixtures
+/// are presented under virtual paths inside each rule's scope.
+std::vector<Diagnostic> lint_source(std::string_view path, std::string_view content);
+
+/// Reads and lints one file; `path` is used for scoping and reporting.
+std::vector<Diagnostic> lint_file(const std::filesystem::path& file, std::string_view path);
+
+/// Walks `roots` (repo-relative directories under `repo_root`), lints every
+/// .h/.hpp/.cc/.cpp, and returns all findings sorted by (path, line, rule).
+/// The linter's own fixture corpus (tests/tools/dcm_lint/fixtures) is
+/// skipped — those files violate rules on purpose.
+std::vector<Diagnostic> lint_tree(const std::filesystem::path& repo_root,
+                                  const std::vector<std::string>& roots);
+
+}  // namespace dcm::lint

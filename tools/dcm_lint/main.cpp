@@ -1,0 +1,51 @@
+// dcm_lint CLI.
+//
+//   dcm_lint [--root <repo-root>] [dir...]
+//
+// Lints the given repo-relative directories (default: src tests) and prints
+// one line per finding:
+//
+//   src/foo/bar.cpp:42: error: [no-wall-clock] wall-clock access '...'
+//
+// Exit status: 0 when clean, 1 when any finding, 2 on usage errors. CI runs
+// this over the committed tree and fails the lint job on a nonzero exit.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dcm_lint/linter.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dcm_lint: --root needs an argument\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: dcm_lint [--root <repo-root>] [dir...]\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "dcm_lint: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      dirs.emplace_back(argv[i]);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "tests"};
+
+  const std::vector<dcm::lint::Diagnostic> diags = dcm::lint::lint_tree(root, dirs);
+  for (const auto& d : diags) {
+    std::printf("%s:%d: error: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (!diags.empty()) {
+    std::fprintf(stderr, "dcm_lint: %zu finding(s)\n", diags.size());
+    return 1;
+  }
+  return 0;
+}

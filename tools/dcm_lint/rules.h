@@ -1,0 +1,60 @@
+// dcm_lint rule registry.
+//
+// Each rule scans a lexed file and reports diagnostics. Rules are scoped by
+// repo-relative path (forward slashes) so e.g. wall-clock reads are only an
+// error inside src/ — benches and tools may time themselves freely.
+//
+// Rule IDs (see README "Static analysis & determinism" for rationale):
+//   no-wall-clock            src/                wall-clock time sources
+//   no-ambient-randomness    src/                rand()/random_device/srand
+//   no-unordered-iteration   src/{sim,ntier,control}  range-for over unordered containers
+//   no-raw-assert            src/, tests/        assert() instead of DCM_CHECK
+//   no-float-eq              src/, tests/        ==/!= against float literals
+//   no-raw-new-in-hot-path   src/sim             raw new/delete in the event core
+//
+// A seventh rule, header-self-sufficiency, is a build-time driver (the
+// dcm_header_selfcheck CMake target compiles every src/**/*.h standalone)
+// rather than a token rule.
+//
+// Any finding can be suppressed with a comment on the same line or the
+// line above: // dcm-lint: allow(rule-id[, rule-id...])
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dcm_lint/token.h"
+
+namespace dcm::lint {
+
+struct Diagnostic {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+struct FileContext {
+  std::string_view path;  // repo-relative, '/'-separated
+  const std::vector<Token>& tokens;
+  const std::vector<Comment>& comments;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view id() const = 0;
+  virtual bool applies_to(std::string_view path) const = 0;
+  virtual void run(const FileContext& ctx, std::vector<Diagnostic>& out) const = 0;
+};
+
+/// The registry of all built-in token rules.
+const std::vector<std::unique_ptr<Rule>>& default_rules();
+
+/// True if `id` names a known rule (including header-self-sufficiency, so
+/// suppression comments for it do not trip the unknown-rule diagnostic).
+bool is_known_rule(std::string_view id);
+
+}  // namespace dcm::lint

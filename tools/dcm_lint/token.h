@@ -1,0 +1,46 @@
+// Token model for dcm_lint's C++-ish lexer.
+//
+// The lexer is deliberately not a full C++ front end: rules only need
+// identifiers, literals, punctuation and comments with accurate line
+// numbers. Tokens hold string_views into the source buffer owned by the
+// caller, so a FileContext must not outlive the buffer it was built from.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace dcm::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (new/delete/for/assert/...)
+  kNumber,      // pp-number: 42, 1.0, 1e-9, 0x1F, 1'000'000ull
+  kString,      // "..." including raw strings R"(...)"
+  kChar,        // 'x'
+  kPunct,       // operators/punctuation; ==, !=, ->, ::, <=, >=, &&, || fused
+};
+
+struct Token {
+  TokenKind kind;
+  std::string_view text;
+  int line;  // 1-based line of the token's first character
+};
+
+// Comments are kept out of the main token stream; the suppression pass
+// scans them for `dcm-lint: allow(<rule>[, <rule>...])` markers.
+struct Comment {
+  std::string_view text;  // without the // or /* */ delimiters
+  int start_line;
+  int end_line;  // == start_line for line comments
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. Never fails: on malformed input (unterminated
+/// string/comment) it degrades to lexing the remainder as best it can,
+/// which is the right behavior for a linter.
+LexResult lex(std::string_view source);
+
+}  // namespace dcm::lint
