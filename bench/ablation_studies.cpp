@@ -4,31 +4,22 @@
 //   A2 — load-balancing policy (round-robin vs least-connections)
 //   A3 — control period (responsiveness vs stability)
 //   A4 — soft-resource adaptation only vs VM scaling only vs both
+//   A5 — model quality (wrong models, with and without online refit)
+//
+// A1/A3/A5 are declarative sweeps over registered scenarios (fixed seed, so
+// every variant faces the identical trace); A4 compares three registered
+// scenarios directly; A2 stays hand-wired because the LB policy is a
+// topology-level knob the scenario schema deliberately doesn't expose.
 #include <cstdio>
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "scenario/registry.h"
+#include "scenario/sweep.h"
 
 using namespace dcm;
 
 namespace {
-
-core::ExperimentConfig trace_config() {
-  core::ExperimentConfig config;
-  config.hardware = {1, 1, 1};
-  config.soft = {1000, 200, 80};
-  config.workload = core::WorkloadSpec::trace_driven(workload::Trace::large_variation());
-  config.duration_seconds = 700.0;
-  config.warmup_seconds = 30.0;
-  return config;
-}
-
-control::DcmConfig dcm_defaults() {
-  control::DcmConfig dcm;
-  dcm.app_tier_model = core::tomcat_reference_model();
-  dcm.db_tier_model = core::mysql_reference_model();
-  return dcm;
-}
 
 void add_result_row(TextTable& table, const std::string& label,
                     const core::ExperimentResult& r) {
@@ -43,6 +34,19 @@ TextTable result_table() {
   return TextTable({"variant", "rt_mean_ms", "rt_p95_ms", "rt_max_ms", "x_req_s", "scale_outs"});
 }
 
+// One-axis sweep over a registered scenario, paired on the base root seed.
+std::vector<scenario::SweepRun> axis_sweep(const char* scenario_name, const char* axis) {
+  scenario::SweepPlan plan;
+  plan.base = scenario::get_scenario(scenario_name);
+  plan.axes.push_back(scenario::parse_axis(axis));
+  plan.seed_policy = scenario::SeedPolicy::kFixed;
+  return scenario::SweepRunner(std::move(plan), /*jobs=*/0).run();
+}
+
+core::ExperimentResult run_scenario(const char* name) {
+  return core::run_experiment(scenario::get_scenario(name).experiment());
+}
+
 }  // namespace
 
 int main() {
@@ -51,13 +55,8 @@ int main() {
   {
     std::puts("--- A1: DCM thread-pool headroom factor ---");
     TextTable table = result_table();
-    for (const double headroom : {1.0, 1.25, 1.5, 2.0, 3.0}) {
-      control::DcmConfig dcm = dcm_defaults();
-      dcm.stp_headroom = headroom;
-      auto config = trace_config();
-      config.controller = core::ControllerSpec::dcm_controller(dcm);
-      add_result_row(table, "headroom=" + format_number(headroom, 2),
-                     core::run_experiment(config));
+    for (const auto& run : axis_sweep("fig5", "controller.headroom=1,1.25,1.5,2,3")) {
+      add_result_row(table, "headroom=" + run.overrides[0].second, run.result);
     }
     table.print();
     std::puts("");
@@ -66,13 +65,8 @@ int main() {
   {
     std::puts("--- A3: control period (EC2-AutoScale baseline) ---");
     TextTable table = result_table();
-    for (const double period : {5.0, 15.0, 30.0, 60.0}) {
-      control::ScalingPolicy policy;
-      policy.control_period = sim::from_seconds(period);
-      auto config = trace_config();
-      config.controller = core::ControllerSpec::ec2(policy);
-      add_result_row(table, "period=" + format_number(period, 0) + "s",
-                     core::run_experiment(config));
+    for (const auto& run : axis_sweep("fig5-ec2", "controller.control_period=5,15,30,60")) {
+      add_result_row(table, "period=" + run.overrides[0].second + "s", run.result);
     }
     table.print();
     std::puts("");
@@ -81,28 +75,9 @@ int main() {
   {
     std::puts("--- A4: which DCM level does the work? ---");
     TextTable table = result_table();
-
-    // VM scaling only (the baseline).
-    {
-      auto config = trace_config();
-      config.controller = core::ControllerSpec::ec2();
-      add_result_row(table, "vm-scaling only (EC2)", core::run_experiment(config));
-    }
-    // Soft-resource adaptation only: clamp tiers at one VM each so only the
-    // APP-agent can act.
-    {
-      control::DcmConfig dcm = dcm_defaults();
-      auto config = trace_config();
-      config.max_vms_per_tier = 1;
-      config.controller = core::ControllerSpec::dcm_controller(dcm);
-      add_result_row(table, "soft-resources only", core::run_experiment(config));
-    }
-    // Full DCM.
-    {
-      auto config = trace_config();
-      config.controller = core::ControllerSpec::dcm_controller(dcm_defaults());
-      add_result_row(table, "full DCM (both levels)", core::run_experiment(config));
-    }
+    add_result_row(table, "vm-scaling only (EC2)", run_scenario("fig5-ec2"));
+    add_result_row(table, "soft-resources only", run_scenario("ablation-soft-only"));
+    add_result_row(table, "full DCM (both levels)", run_scenario("fig5"));
     table.print();
     std::puts("");
   }
@@ -110,30 +85,14 @@ int main() {
   {
     std::puts("--- A5: model quality — what if DCM's trained models are wrong? ---");
     TextTable table = result_table();
-    // Correct models (the trained Table I optima).
-    {
-      auto config = trace_config();
-      config.controller = core::ControllerSpec::dcm_controller(dcm_defaults());
-      add_result_row(table, "correct models", core::run_experiment(config));
-    }
-    // Badly wrong models: optima near the default pools (N_b ≈ 200/160),
-    // i.e. DCM degenerates to hardware-only behaviour.
-    control::DcmConfig wrong = dcm_defaults();
-    wrong.app_tier_model.params = {2.84e-2, 1e-4, (2.84e-2 - 1e-4) / (200.0 * 200.0)};
-    wrong.db_tier_model.params = {7.19e-3, 1e-4, (7.19e-3 - 1e-4) / (160.0 * 160.0)};
-    {
-      auto config = trace_config();
-      config.controller = core::ControllerSpec::dcm_controller(wrong);
-      add_result_row(table, "wrong models (N_b 200/160)", core::run_experiment(config));
-    }
-    // Wrong models + online refitting from monitoring samples.
-    {
-      control::DcmConfig refit = wrong;
-      refit.online_estimation = true;
-      auto config = trace_config();
-      config.controller = core::ControllerSpec::dcm_controller(refit);
-      add_result_row(table, "wrong models + online refit", core::run_experiment(config));
-    }
+    add_result_row(table, "correct models", run_scenario("fig5"));
+    // Badly wrong models (optima near the default pools, N_b ≈ 200/160):
+    // DCM degenerates to hardware-only behaviour — then online refitting
+    // from monitoring samples recovers it.
+    const auto wrong =
+        axis_sweep("ablation-wrong-models", "controller.online_estimation=false,true");
+    add_result_row(table, "wrong models (N_b 200/160)", wrong[0].result);
+    add_result_row(table, "wrong models + online refit", wrong[1].result);
     table.print();
     std::puts("");
   }

@@ -9,22 +9,29 @@
 // Expected shape: all three track offered load while unsaturated; at high
 // load the naive 1/2/1 drops BELOW the original 1/1/1, while the re-tuned
 // 1/2/1 is strictly best.
+//
+// Thin client of the scenario registry: the deployment and run window come
+// from the "fig2b" scenario; each point overrides one knob and the offered
+// load, with the per-load seed derived from the scenario's root seed.
 #include <cstdio>
 
+#include "common/rng.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "scenario/registry.h"
 
 namespace {
 
-double throughput(dcm::core::HardwareConfig hw, dcm::core::SoftAllocation soft, int users) {
-  dcm::core::ExperimentConfig config;
-  config.hardware = hw;
-  config.soft = soft;
-  config.workload = dcm::core::WorkloadSpec::rubbos(users, 3.0, 77 + static_cast<uint64_t>(users));
-  config.controller = dcm::core::ControllerSpec::none();
-  config.duration_seconds = 150.0;
-  config.warmup_seconds = 50.0;
-  return dcm::core::run_experiment(config).mean_throughput;
+double throughput(const dcm::scenario::Scenario& base, int app_vms, int db_connections,
+                  int users) {
+  dcm::scenario::Scenario point = base;
+  point.hardware.app = app_vms;
+  point.soft.db_connections = db_connections;
+  point.workload.users = users;
+  // Same load level ⇒ same seed across the three deployments (paired
+  // columns), different load levels ⇒ independent streams.
+  point.seed = dcm::derive_seed(base.seed, static_cast<uint64_t>(users));
+  return dcm::core::run_experiment(point.experiment()).mean_throughput;
 }
 
 }  // namespace
@@ -34,11 +41,12 @@ int main() {
   std::puts("=== Fig. 2(b): scaling out the app tier without pool re-tuning ===");
   std::puts("(paper: 1/2/1 with default pools degrades below 1/1/1 at high load)\n");
 
+  const scenario::Scenario base = scenario::get_scenario("fig2b");
   TextTable table({"users", "x_1/1/1_default", "x_1/2/1_default", "x_1/2/1_retuned"});
   for (const int users : {50, 100, 150, 200, 250, 300, 350, 400, 500}) {
-    const double x111 = throughput({1, 1, 1}, {1000, 100, 80}, users);
-    const double x121_default = throughput({1, 2, 1}, {1000, 100, 80}, users);
-    const double x121_retuned = throughput({1, 2, 1}, {1000, 100, 20}, users);
+    const double x111 = throughput(base, 1, 80, users);
+    const double x121_default = throughput(base, 2, 80, users);
+    const double x121_retuned = throughput(base, 2, 20, users);
     table.add_row({static_cast<double>(users), x111, x121_default, x121_retuned}, 1);
   }
   table.print();

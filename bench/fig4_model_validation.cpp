@@ -7,29 +7,32 @@
 //     predicted 18 (two Tomcats share the MySQL optimum 36). Expected:
 //     1000/100/18 dominates, and over-sized pools (80 ⇒ 160 at MySQL)
 //     degrade sharply.
+//
+// Thin client of the scenario registry: panel (a) mutates the "fig4a"
+// scenario's soft.app_threads, panel (b) the "fig4b" scenario's
+// soft.db_connections; per-load seeds derive from each scenario's root seed.
 #include <cstdio>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "scenario/registry.h"
 
 using namespace dcm;
 
 namespace {
 
-double throughput(core::HardwareConfig hw, core::SoftAllocation soft, int users) {
-  core::ExperimentConfig config;
-  config.hardware = hw;
-  config.soft = soft;
-  config.workload = core::WorkloadSpec::rubbos(users, 3.0, 31 + static_cast<uint64_t>(users));
-  config.controller = core::ControllerSpec::none();
-  config.duration_seconds = 150.0;
-  config.warmup_seconds = 50.0;
-  return core::run_experiment(config).mean_throughput;
+double throughput(const scenario::Scenario& base, core::SoftAllocation soft, int users) {
+  scenario::Scenario point = base;
+  point.soft = soft;
+  point.workload.users = users;
+  point.seed = derive_seed(base.seed, static_cast<uint64_t>(users));
+  return core::run_experiment(point.experiment()).mean_throughput;
 }
 
-void sweep(const char* title, core::HardwareConfig hw, const char* knob,
+void sweep(const char* title, const scenario::Scenario& base, const char* knob,
            const std::vector<core::SoftAllocation>& allocations,
            const std::vector<std::string>& labels) {
   std::printf("%s\n", title);
@@ -39,7 +42,7 @@ void sweep(const char* title, core::HardwareConfig hw, const char* knob,
   for (const int users : {100, 200, 300, 400, 500, 600}) {
     std::vector<std::string> row = {std::to_string(users)};
     for (const auto& soft : allocations) {
-      row.push_back(str_format("%.1f", throughput(hw, soft, users)));
+      row.push_back(str_format("%.1f", throughput(base, soft, users)));
     }
     table.add_row(std::move(row));
   }
@@ -52,13 +55,13 @@ void sweep(const char* title, core::HardwareConfig hw, const char* knob,
 int main() {
   std::puts("=== Fig. 4: model validation under realistic RUBBoS clients ===\n");
 
-  sweep("--- (a) 1/1/1, Tomcat thread pool sweep (model optimum: 20) ---", {1, 1, 1},
-        "stp",
+  sweep("--- (a) 1/1/1, Tomcat thread pool sweep (model optimum: 20) ---",
+        scenario::get_scenario("fig4a"), "stp",
         {{1000, 5, 80}, {1000, 20, 80}, {1000, 50, 80}, {1000, 100, 80}, {1000, 200, 80}},
         {"5", "20*", "50", "100(def)", "200"});
 
-  sweep("--- (b) 1/2/1, per-Tomcat DB connection sweep (model optimum: 18) ---", {1, 2, 1},
-        "conns",
+  sweep("--- (b) 1/2/1, per-Tomcat DB connection sweep (model optimum: 18) ---",
+        scenario::get_scenario("fig4b"), "conns",
         {{1000, 100, 5}, {1000, 100, 18}, {1000, 100, 40}, {1000, 100, 80}, {1000, 100, 120}},
         {"5", "18*", "40", "80(def)", "120"});
 

@@ -7,115 +7,50 @@
 // plus the scaling-activity timeline and a summary table. Expected shape:
 // the EC2 case shows >1 s response-time spikes coinciding with its scaling
 // activity (bursts near 50-90 s, 220-260 s, 520-560 s); DCM stays stable.
+//
+// Thin client of the scenario registry: both runs are the registered
+// "fig5" / "fig5-ec2" scenarios (identical deployment, trace and root seed,
+// so the comparison is paired); all output goes through the shared
+// dcm-result-v1 printers.
 #include <cstdio>
 
-#include "common/table.h"
-#include "core/experiment.h"
+#include "scenario/registry.h"
+#include "scenario/result_writer.h"
 
 using namespace dcm;
 
 namespace {
 
-core::ExperimentResult run_with(core::ControllerSpec controller, const workload::Trace& trace) {
-  core::ExperimentConfig config;
-  config.hardware = {1, 1, 1};
-  config.soft = {1000, 200, 80};
-  config.workload = core::WorkloadSpec::trace_driven(trace);
-  config.controller = std::move(controller);
-  config.duration_seconds = 700.0;
-  config.warmup_seconds = 30.0;
-  return core::run_experiment(config);
-}
+struct NamedRun {
+  const char* label;
+  core::ExperimentConfig experiment;
+  core::ExperimentResult result;
+};
 
-double series_at(const metrics::TimeSeries& series, size_t second,
-                 bool rate = false) {
-  const auto& buckets = series.buckets();
-  if (second >= buckets.size()) return 0.0;
-  return rate ? buckets[second].stat.sum() : buckets[second].stat.mean();
-}
-
-// Mean of a window [from, from+width) of per-second buckets.
-double window_mean(const metrics::TimeSeries& series, size_t from, size_t width,
-                   bool rate = false) {
-  double sum = 0.0;
-  int n = 0;
-  for (size_t s = from; s < from + width; ++s) {
-    sum += series_at(series, s, rate);
-    ++n;
-  }
-  return n ? sum / n : 0.0;
-}
-
-void print_timeline(const char* name, const core::ExperimentResult& result,
-                    const workload::Trace& trace) {
-  std::printf("--- %s: 10 s-window series (panels a/c/e style) ---\n", name);
-  TextTable table({"t_s", "users", "rt_ms", "x_req_s", "tomcat_vms", "tomcat_util",
-                   "mysql_vms", "mysql_util"});
-  for (size_t t = 0; t + 10 <= 700; t += 10) {
-    table.add_row(
-        {static_cast<double>(t), static_cast<double>(trace.users_at(sim::from_seconds(
-                                      static_cast<double>(t)))),
-         window_mean(result.client.response_time_series(), t, 10) * 1000.0,
-         window_mean(result.client.throughput_series(), t, 10, /*rate=*/true),
-         window_mean(result.tiers[1].provisioned_vms, t, 10),
-         window_mean(result.tiers[1].cpu_util, t, 10),
-         window_mean(result.tiers[2].provisioned_vms, t, 10),
-         window_mean(result.tiers[2].cpu_util, t, 10)},
-        2);
-  }
-  table.print();
-
-  std::printf("\n--- %s: scaling & soft-resource activity ---\n", name);
-  for (const auto& action : result.actions) {
-    std::printf("  %8.1fs  %-7s %-10s %s\n", sim::to_seconds(action.time),
-                action.tier.c_str(), action.action.c_str(), action.detail.c_str());
-  }
-  std::puts("");
+NamedRun run(const char* label, const char* scenario_name) {
+  NamedRun out;
+  out.label = label;
+  out.experiment = scenario::get_scenario(scenario_name).experiment();
+  out.result = core::run_experiment(out.experiment);
+  return out;
 }
 
 }  // namespace
 
 int main() {
   std::puts("=== Fig. 5: DCM vs EC2-AutoScale, 'Large Variation' bursty trace ===\n");
-  const workload::Trace trace = workload::Trace::large_variation();
 
-  control::DcmConfig dcm_config;
-  dcm_config.app_tier_model = core::tomcat_reference_model();
-  dcm_config.db_tier_model = core::mysql_reference_model();
+  const NamedRun dcm_run = run("DCM", "fig5");
+  const NamedRun ec2_run = run("EC2-AutoScale", "fig5-ec2");
 
-  const auto dcm = run_with(core::ControllerSpec::dcm_controller(dcm_config), trace);
-  const auto ec2 = run_with(core::ControllerSpec::ec2(), trace);
-
-  print_timeline("DCM", dcm, trace);
-  print_timeline("EC2-AutoScale", ec2, trace);
+  scenario::print_windowed_timeline(dcm_run.label, dcm_run.result,
+                                    &dcm_run.experiment.workload.trace, 700);
+  scenario::print_windowed_timeline(ec2_run.label, ec2_run.result,
+                                    &ec2_run.experiment.workload.trace, 700);
 
   std::puts("--- summary (post-warmup) ---");
-  TextTable summary({"metric", "DCM", "EC2-AutoScale"});
-  summary.add_row({"mean response time (ms)", format_number(dcm.mean_response_time * 1e3, 1),
-                   format_number(ec2.mean_response_time * 1e3, 1)});
-  summary.add_row({"p95 response time (ms)", format_number(dcm.p95_response_time * 1e3, 1),
-                   format_number(ec2.p95_response_time * 1e3, 1)});
-  summary.add_row({"max response time (ms)", format_number(dcm.max_response_time * 1e3, 1),
-                   format_number(ec2.max_response_time * 1e3, 1)});
-  summary.add_row({"mean throughput (req/s)", format_number(dcm.mean_throughput, 1),
-                   format_number(ec2.mean_throughput, 1)});
-  summary.add_row({"completed requests", std::to_string(dcm.completed),
-                   std::to_string(ec2.completed)});
-  summary.add_row({"scale-out events", std::to_string(dcm.action_count("scale_out")),
-                   std::to_string(ec2.action_count("scale_out"))});
-  summary.add_row({"scale-in events", std::to_string(dcm.action_count("scale_in")),
-                   std::to_string(ec2.action_count("scale_in"))});
-  summary.add_row({"SLA violation (rt>1s)",
-                   format_number(dcm.sla_violation_fraction * 100.0, 1) + "%",
-                   format_number(ec2.sla_violation_fraction * 100.0, 1) + "%"});
-  summary.add_row({"VM-seconds (tomcat+mysql)", format_number(dcm.total_vm_seconds, 0),
-                   format_number(ec2.total_vm_seconds, 0)});
-  summary.add_row({"requests per VM-second", format_number(dcm.requests_per_vm_second, 2),
-                   format_number(ec2.requests_per_vm_second, 2)});
-  summary.add_row({"soft-resource actions",
-                   std::to_string(dcm.action_count("set_stp") + dcm.action_count("set_conns")),
-                   "0"});
-  summary.print();
+  scenario::print_comparison({dcm_run.label, ec2_run.label},
+                             {&dcm_run.result, &ec2_run.result});
   std::puts("\n(paper: EC2 case shows >1 s RT spikes at its scale events; DCM stays stable)");
   return 0;
 }

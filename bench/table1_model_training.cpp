@@ -17,6 +17,7 @@
 #include "common/table.h"
 #include "core/experiment.h"
 #include "model/trainer.h"
+#include "scenario/registry.h"
 
 using namespace dcm;
 
@@ -27,14 +28,13 @@ struct TrainingSet {
   double max_concurrency = 0.0;
 };
 
-TrainingSet collect(core::HardwareConfig hw, int tier_depth, double concurrency_cap,
+// The training deployments are the registered "table1-tomcat" /
+// "table1-mysql" scenarios (wide-open pools so concurrency reaches the
+// target tier); the sweep itself needs the matching-thread-pool discipline,
+// which stays a core::jmeter_concurrency_sweep concern.
+TrainingSet collect(const char* scenario_name, int tier_depth, double concurrency_cap,
                     const std::vector<int>& offered) {
-  core::ExperimentConfig base;
-  base.hardware = hw;
-  base.soft = {1000, 100, 400};  // wide-open conns: concurrency reaches the DB
-  base.duration_seconds = 90.0;
-  base.warmup_seconds = 30.0;
-
+  const core::ExperimentConfig base = scenario::get_scenario(scenario_name).experiment();
   const auto points = core::jmeter_concurrency_sweep(base, offered, /*match_app_pools=*/true);
   TrainingSet set;
   for (const auto& p : points) {
@@ -86,7 +86,7 @@ int main() {
   {
     const std::vector<int> offered = {1,  2,  4,  6,  8,  10, 14, 18, 22, 28,
                                       35, 45, 60, 80, 100, 130, 160, 200};
-    const TrainingSet set = collect({1, 1, 1}, /*tier_depth=*/1, /*cap=*/220.0, offered);
+    const TrainingSet set = collect("table1-tomcat", /*tier_depth=*/1, /*cap=*/220.0, offered);
     const model::Trainer trainer(/*servers=*/1, /*visit_ratio=*/1.0);
     const auto normalized = trainer.fit_normalized(set.samples);
     const auto with_s0 = trainer.fit_with_known_s0(core::tomcat_cpu_model().params.s0,
@@ -100,7 +100,7 @@ int main() {
   {
     const std::vector<int> offered = {2,  4,  8,  12, 16, 20, 24, 28, 32, 36,
                                       42, 48, 56, 64, 72, 80, 96, 110, 130};
-    const TrainingSet set = collect({1, 2, 1}, /*tier_depth=*/2, /*cap=*/62.0, offered);
+    const TrainingSet set = collect("table1-mysql", /*tier_depth=*/2, /*cap=*/62.0, offered);
     const model::Trainer trainer(/*servers=*/1, /*visit_ratio=*/core::kDbVisitRatio);
     const auto normalized = trainer.fit_normalized(set.samples);
     const auto with_s0 = trainer.fit_with_known_s0(core::mysql_cpu_model().params.s0,

@@ -3,50 +3,53 @@
 // Large-Variation pattern. Shows where concurrency adaptation matters most
 // (burst-dominated patterns) and where the two controllers converge
 // (slow/smooth patterns).
+//
+// Declarative 6×2 grid over the registered "fig5" scenario: the trace
+// pattern and the controller kind are sweep axes, the seed policy is fixed
+// so both controllers face the identical synthesized trace, and the runs
+// execute on all available cores (bit-identical results regardless of the
+// worker count — see src/scenario/sweep.h).
 #include <cstdio>
+#include <string>
 
 #include "common/logging.h"
 #include "common/table.h"
-#include "core/experiment.h"
+#include "scenario/registry.h"
+#include "scenario/sweep.h"
 #include "workload/trace_taxonomy.h"
 
 using namespace dcm;
-
-namespace {
-
-core::ExperimentResult run(const workload::Trace& trace, core::ControllerSpec controller) {
-  core::ExperimentConfig config;
-  config.hardware = {1, 1, 1};
-  config.soft = {1000, 200, 80};
-  config.workload = core::WorkloadSpec::trace_driven(trace);
-  config.controller = std::move(controller);
-  config.duration_seconds = sim::to_seconds(trace.duration());
-  config.warmup_seconds = 30.0;
-  return core::run_experiment(config);
-}
-
-}  // namespace
 
 int main() {
   set_log_level(LogLevel::kWarn);
   std::puts("=== DCM vs EC2-AutoScale across the AutoScale trace taxonomy ===\n");
 
-  control::DcmConfig dcm_config;
-  dcm_config.app_tier_model = core::tomcat_reference_model();
-  dcm_config.db_tier_model = core::mysql_reference_model();
+  std::string patterns;
+  for (const auto pattern : workload::all_trace_patterns()) {
+    const char* name = workload::trace_pattern_name(pattern);
+    patterns += patterns.empty() ? name : "," + std::string(name);
+  }
+
+  scenario::SweepPlan plan;
+  plan.base = scenario::get_scenario("fig5");
+  plan.axes.push_back(scenario::parse_axis("workload.trace=" + patterns));
+  plan.axes.push_back(scenario::parse_axis("controller.kind=dcm,ec2"));
+  plan.seed_policy = scenario::SeedPolicy::kFixed;
+  const auto runs = scenario::SweepRunner(std::move(plan), /*jobs=*/0).run();
 
   TextTable table({"pattern", "dcm_rt_p95_ms", "ec2_rt_p95_ms", "dcm_rt_max_ms",
                    "ec2_rt_max_ms", "dcm_x", "ec2_x"});
-  for (const auto pattern : workload::all_trace_patterns()) {
-    const workload::Trace trace = workload::make_trace(pattern);
-    const auto dcm = run(trace, core::ControllerSpec::dcm_controller(dcm_config));
-    const auto ec2 = run(trace, core::ControllerSpec::ec2());
-    table.add_row({trace_pattern_name(pattern), format_number(dcm.p95_response_time * 1e3, 0),
-                   format_number(ec2.p95_response_time * 1e3, 0),
-                   format_number(dcm.max_response_time * 1e3, 0),
-                   format_number(ec2.max_response_time * 1e3, 0),
-                   format_number(dcm.mean_throughput, 1),
-                   format_number(ec2.mean_throughput, 1)});
+  // controller.kind is the fast axis: runs arrive as (trace, dcm), (trace, ec2).
+  for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const auto& dcm_result = runs[i].result;
+    const auto& ec2_result = runs[i + 1].result;
+    table.add_row({runs[i].overrides[0].second,
+                   format_number(dcm_result.p95_response_time * 1e3, 0),
+                   format_number(ec2_result.p95_response_time * 1e3, 0),
+                   format_number(dcm_result.max_response_time * 1e3, 0),
+                   format_number(ec2_result.max_response_time * 1e3, 0),
+                   format_number(dcm_result.mean_throughput, 1),
+                   format_number(ec2_result.mean_throughput, 1)});
   }
   table.print();
   std::puts("\n(the paper's Fig. 5 uses large-variation; the sweep shows DCM's advantage");

@@ -5,88 +5,56 @@
 // Replays a user-count trace (default: the built-in Large-Variation trace)
 // against both controllers and writes per-second CSV timelines — the data
 // behind the paper's Fig. 5 panels — to <prefix>_dcm.csv / <prefix>_ec2.csv.
+//
+// Thin client of the scenario registry: the two runs are the registered
+// "fig5" / "fig5-ec2" scenarios; a trace CSV on the command line overrides
+// their workload.trace. All output goes through the shared dcm-result-v1
+// writers.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
-#include "common/csv.h"
 #include "core/dcm.h"
 
 using namespace dcm;
 
 namespace {
 
-core::ExperimentResult run(const workload::Trace& trace, core::ControllerSpec controller) {
-  core::ExperimentConfig config;
-  config.hardware = {1, 1, 1};
-  config.soft = {1000, 200, 80};
-  config.workload = core::WorkloadSpec::trace_driven(trace);
-  config.controller = std::move(controller);
-  config.duration_seconds = sim::to_seconds(trace.duration());
-  config.warmup_seconds = 30.0;
-  return core::run_experiment(config);
+core::ExperimentResult run_scenario(const char* name, const char* trace_csv,
+                                    core::ExperimentConfig* config_out) {
+  scenario::Scenario spec = scenario::get_scenario(name);
+  if (trace_csv != nullptr) spec.workload.trace = trace_csv;
+  *config_out = spec.experiment();
+  return core::run_experiment(*config_out);
 }
 
 void write_csv(const std::string& path, const core::ExperimentResult& result,
                const workload::Trace& trace) {
-  CsvWriter writer(path);
-  writer.write_header({"t_s", "users", "rt_ms", "throughput", "tomcat_vms", "tomcat_util",
-                       "mysql_vms", "mysql_util"});
-  const auto& rt = result.client.response_time_series().buckets();
-  const auto& tp = result.client.throughput_series().buckets();
-  const size_t seconds = static_cast<size_t>(sim::to_seconds(trace.duration()));
-  const auto bucket_mean = [](const auto& buckets, size_t i) {
-    return i < buckets.size() ? buckets[i].stat.mean() : 0.0;
-  };
-  const auto bucket_sum = [](const auto& buckets, size_t i) {
-    return i < buckets.size() ? buckets[i].stat.sum() : 0.0;
-  };
-  for (size_t t = 0; t < seconds; ++t) {
-    writer.write_row(std::vector<double>{
-        static_cast<double>(t),
-        static_cast<double>(trace.users_at(sim::from_seconds(static_cast<double>(t)))),
-        bucket_mean(rt, t) * 1e3, bucket_sum(tp, t),
-        bucket_mean(result.tiers[1].provisioned_vms.buckets(), t),
-        bucket_mean(result.tiers[1].cpu_util.buckets(), t),
-        bucket_mean(result.tiers[2].provisioned_vms.buckets(), t),
-        bucket_mean(result.tiers[2].cpu_util.buckets(), t)});
-  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  scenario::write_timeline_csv(out, result, &trace);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);  // keep the console output compact
-  const workload::Trace trace =
-      argc > 1 ? workload::Trace::load_csv(argv[1]) : workload::Trace::large_variation();
+  const char* trace_csv = argc > 1 ? argv[1] : nullptr;
   const std::string prefix = argc > 2 ? argv[2] : "bursty";
 
-  std::printf("trace: %zu s, users %0.f mean / %d peak\n", trace.step_count(),
+  core::ExperimentConfig dcm_config;
+  core::ExperimentConfig ec2_config;
+  const auto dcm = run_scenario("fig5", trace_csv, &dcm_config);
+  const auto ec2 = run_scenario("fig5-ec2", trace_csv, &ec2_config);
+
+  const workload::Trace& trace = dcm_config.workload.trace;
+  std::printf("trace: %zu s, users %0.f mean / %d peak\n\n", trace.step_count(),
               trace.mean_users(), trace.max_users());
 
-  control::DcmConfig dcm_config;
-  dcm_config.app_tier_model = core::tomcat_reference_model();
-  dcm_config.db_tier_model = core::mysql_reference_model();
-
-  const auto dcm = run(trace, core::ControllerSpec::dcm_controller(dcm_config));
-  const auto ec2 = run(trace, core::ControllerSpec::ec2());
-
-  std::printf("\n                     %12s %14s\n", "DCM", "EC2-AutoScale");
-  std::printf("mean rt (ms)         %12.1f %14.1f\n", dcm.mean_response_time * 1e3,
-              ec2.mean_response_time * 1e3);
-  std::printf("p95 rt (ms)          %12.1f %14.1f\n", dcm.p95_response_time * 1e3,
-              ec2.p95_response_time * 1e3);
-  std::printf("max rt (ms)          %12.1f %14.1f\n", dcm.max_response_time * 1e3,
-              ec2.max_response_time * 1e3);
-  std::printf("throughput (req/s)   %12.1f %14.1f\n", dcm.mean_throughput,
-              ec2.mean_throughput);
-  std::printf("scale events         %12d %14d\n",
-              dcm.action_count("scale_out") + dcm.action_count("scale_in"),
-              ec2.action_count("scale_out") + ec2.action_count("scale_in"));
-  std::printf("pool re-allocations  %12d %14d\n",
-              dcm.action_count("set_stp") + dcm.action_count("set_conns"), 0);
+  scenario::print_comparison({"DCM", "EC2-AutoScale"}, {&dcm, &ec2});
 
   write_csv(prefix + "_dcm.csv", dcm, trace);
-  write_csv(prefix + "_ec2.csv", ec2, trace);
+  write_csv(prefix + "_ec2.csv", ec2, ec2_config.workload.trace);
   std::printf("\nwrote %s_dcm.csv and %s_ec2.csv\n", prefix.c_str(), prefix.c_str());
   return 0;
 }

@@ -1,16 +1,15 @@
 // dcm_runner — config-file-driven experiment runner.
 //
-//   $ ./dcm_runner experiment.ini [output_prefix]
+//   $ ./dcm_runner <scenario-name|experiment.ini> [output_prefix]
 //
-// Runs the experiment described by the INI file (see
-// src/core/config_loader.h for the schema), prints a summary, and — when an
-// output prefix is given — writes per-second CSV timelines.
+// Runs a registered scenario (see `dcm_run list`) or a scenario INI file
+// (see src/scenario/scenario.h for the schema — parsing is strict, so
+// misspelled sections/keys fail loudly instead of silently defaulting),
+// prints a summary, and — when an output prefix is given — writes the
+// per-second dcm-result-v1 CSV timeline.
 //
 // Example configuration:
 //
-//   [hardware]
-//   app = 1
-//   db = 1
 //   [workload]
 //   kind = trace
 //   trace = big-spike
@@ -21,76 +20,37 @@
 //   duration = 700
 #include <cstdio>
 #include <exception>
+#include <fstream>
 
-#include "common/csv.h"
-#include "core/config_loader.h"
 #include "core/dcm.h"
 
 using namespace dcm;
 
-namespace {
-
-void write_timelines(const std::string& prefix, const core::ExperimentResult& result) {
-  CsvWriter writer(prefix + "_timeline.csv");
-  std::vector<std::string> header = {"t_s", "rt_ms", "throughput"};
-  for (const auto& tier : result.tiers) {
-    header.push_back(tier.name + "_vms");
-    header.push_back(tier.name + "_util");
-  }
-  writer.write_header(header);
-  const auto& rt = result.client.response_time_series().buckets();
-  const auto& tp = result.client.throughput_series().buckets();
-  size_t seconds = std::max(rt.size(), tp.size());
-  for (const auto& tier : result.tiers) {
-    seconds = std::max(seconds, tier.provisioned_vms.buckets().size());
-  }
-  const auto mean_at = [](const auto& buckets, size_t i) {
-    return i < buckets.size() ? buckets[i].stat.mean() : 0.0;
-  };
-  const auto sum_at = [](const auto& buckets, size_t i) {
-    return i < buckets.size() ? buckets[i].stat.sum() : 0.0;
-  };
-  for (size_t t = 0; t < seconds; ++t) {
-    std::vector<double> row = {static_cast<double>(t), mean_at(rt, t) * 1e3, sum_at(tp, t)};
-    for (const auto& tier : result.tiers) {
-      row.push_back(mean_at(tier.provisioned_vms.buckets(), t));
-      row.push_back(mean_at(tier.cpu_util.buckets(), t));
-    }
-    writer.write_row(row);
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <experiment.ini> [output_prefix]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <scenario-name|experiment.ini> [output_prefix]\n",
+                 argv[0]);
     return 2;
   }
   set_log_level(LogLevel::kWarn);
   try {
-    const core::ExperimentConfig config = core::experiment_from_file(argv[1]);
+    const scenario::Scenario spec = scenario::has_scenario(argv[1])
+                                        ? scenario::get_scenario(argv[1])
+                                        : scenario::Scenario::load(argv[1]);
+    const core::ExperimentConfig config = spec.experiment();
     const core::ExperimentResult result = core::run_experiment(config);
 
-    std::printf("throughput            : %.1f req/s\n", result.mean_throughput);
-    std::printf("response time         : mean %.0f ms, p95 %.0f ms, max %.0f ms\n",
-                result.mean_response_time * 1e3, result.p95_response_time * 1e3,
-                result.max_response_time * 1e3);
-    std::printf("completed / errors    : %llu / %llu\n",
-                static_cast<unsigned long long>(result.completed),
-                static_cast<unsigned long long>(result.errors));
-    std::printf("SLA violation (>1 s)  : %.1f%% of seconds\n",
-                result.sla_violation_fraction * 100.0);
-    std::printf("VM-seconds            : %.0f (%.2f req per VM-second)\n",
-                result.total_vm_seconds, result.requests_per_vm_second);
-    std::printf("control actions       : %zu\n", result.actions.size());
-    for (const auto& action : result.actions) {
-      std::printf("  %8.1fs  %-7s %-10s %s\n", sim::to_seconds(action.time),
-                  action.tier.c_str(), action.action.c_str(), action.detail.c_str());
-    }
+    scenario::print_summary(result);
     if (argc > 2) {
-      write_timelines(argv[2], result);
-      std::printf("wrote %s_timeline.csv\n", argv[2]);
+      const std::string path = std::string(argv[2]) + "_timeline.csv";
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot open " + path);
+      const workload::Trace* trace =
+          config.workload.kind == core::WorkloadSpec::Kind::kTrace
+              ? &config.workload.trace
+              : nullptr;
+      scenario::write_timeline_csv(out, result, trace);
+      std::printf("wrote %s\n", path.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

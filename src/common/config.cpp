@@ -109,4 +109,18 @@ void Config::set(const std::string& section, const std::string& key, const std::
   sections_[section][key] = value;
 }
 
+std::string Config::to_text() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [section, keys] : sections_) {
+    if (!first) out << "\n";
+    first = false;
+    if (!section.empty()) out << "[" << section << "]\n";
+    for (const auto& [key, value] : keys) {
+      out << key << " = " << value << "\n";
+    }
+  }
+  return out.str();
+}
+
 }  // namespace dcm

@@ -33,6 +33,15 @@ class Config {
 
   void set(const std::string& section, const std::string& key, const std::string& value);
 
+  /// Emits the canonical text form: sections and keys in sorted order, one
+  /// `key = value` per line, a blank line between sections. The output
+  /// round-trips: `parse(to_text())` reproduces this Config exactly, and
+  /// `parse(x).to_text()` is a fixed point (parse → emit → parse is
+  /// identity). Scenario serialization builds on this.
+  std::string to_text() const;
+
+  bool operator==(const Config& other) const { return sections_ == other.sections_; }
+
   const std::map<std::string, std::map<std::string, std::string>>& sections() const {
     return sections_;
   }

@@ -14,6 +14,15 @@ uint64_t splitmix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+uint64_t derive_seed(uint64_t root, uint64_t stream) {
+  // First round decorrelates the (often small, sequential) root; the second
+  // folds the stream id in through the same bijective finalizer.
+  uint64_t state = root;
+  const uint64_t mixed_root = splitmix64(state);
+  state = mixed_root ^ stream;
+  return splitmix64(state);
+}
+
 namespace {
 inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace

@@ -14,6 +14,14 @@ namespace dcm {
 /// to derive independent child seeds.
 uint64_t splitmix64(uint64_t& state);
 
+/// Derives an independent child seed from a root seed and a stream id, via
+/// two SplitMix64 finalizations. This is the repo-wide seed policy: every
+/// component (topology, workload, trace synthesis, sweep run #i, ...) gets
+/// `derive_seed(root, <its stream id>)` so one root seed reproduces an
+/// entire experiment — or an entire sweep — bit-identically, and no two
+/// streams ever alias. Pure function: same (root, stream) → same seed.
+uint64_t derive_seed(uint64_t root, uint64_t stream);
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);

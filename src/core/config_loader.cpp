@@ -1,7 +1,10 @@
 #include "core/config_loader.h"
 
 #include <stdexcept>
+#include <vector>
 
+#include "common/rng.h"
+#include "common/strings.h"
 #include "workload/trace_taxonomy.h"
 
 namespace dcm::core {
@@ -15,6 +18,25 @@ workload::Trace resolve_trace(const std::string& name, int peak_users, uint64_t 
   }
   // Not a taxonomy name — treat as a CSV path.
   return workload::Trace::load_csv(name);
+}
+
+// Parses an "s0,alpha,beta" triple for the model-override keys.
+model::ServiceTimeParams parse_model_params(const std::string& section, const std::string& key,
+                                            const std::string& value) {
+  std::vector<double> parts;
+  for (const auto& field : split(value, ',')) {
+    const auto parsed = parse_double(std::string(trim(field)));
+    if (!parsed) {
+      throw std::runtime_error("config: [" + section + "] " + key +
+                               " must be 's0,alpha,beta', got: " + value);
+    }
+    parts.push_back(*parsed);
+  }
+  if (parts.size() != 3) {
+    throw std::runtime_error("config: [" + section + "] " + key +
+                             " must be 's0,alpha,beta', got: " + value);
+  }
+  return {parts[0], parts[1], parts[2]};
 }
 
 }  // namespace
@@ -36,22 +58,28 @@ ExperimentConfig experiment_from_config(const Config& config) {
   experiment.seed = static_cast<uint64_t>(config.get_int("run", "seed", 1));
   experiment.max_vms_per_tier = static_cast<int>(config.get_int("run", "max_vms", 8));
 
-  const uint64_t workload_seed =
-      static_cast<uint64_t>(config.get_int("workload", "seed", 42));
+  if (config.has("workload", "seed")) {
+    // The old two-seed split ([run] seed + [workload] seed) was a
+    // reproducibility footgun; all streams now derive from [run] seed.
+    throw std::runtime_error(
+        "config: [workload] seed was removed — set [run] seed; every stream "
+        "(workload, topology, trace) is derived from that single root seed");
+  }
   const int users = static_cast<int>(config.get_int("workload", "users", 100));
   const double think = config.get_double("workload", "think_seconds", 3.0);
   const std::string workload_kind = config.get_string("workload", "kind", "rubbos");
   if (workload_kind == "jmeter") {
-    experiment.workload = WorkloadSpec::jmeter(users, workload_seed);
+    experiment.workload = WorkloadSpec::jmeter(users);
   } else if (workload_kind == "rubbos") {
-    experiment.workload = WorkloadSpec::rubbos(users, think, workload_seed);
+    experiment.workload = WorkloadSpec::rubbos(users, think);
   } else if (workload_kind == "trace") {
     const std::string trace_name =
         config.get_string("workload", "trace", "large-variation");
     const int peak = static_cast<int>(config.get_int("workload", "peak_users", 350));
+    const uint64_t trace_seed =
+        experiment_stream_seed(experiment.seed, SeedStream::kTrace);
     experiment.workload =
-        WorkloadSpec::trace_driven(resolve_trace(trace_name, peak, workload_seed), think,
-                                   workload_seed);
+        WorkloadSpec::trace_driven(resolve_trace(trace_name, peak, trace_seed), think);
   } else {
     throw std::runtime_error("config: unknown workload kind '" + workload_kind + "'");
   }
@@ -76,6 +104,16 @@ ExperimentConfig experiment_from_config(const Config& config) {
     dcm.policy = policy;
     dcm.app_tier_model = tomcat_reference_model();
     dcm.db_tier_model = mysql_reference_model();
+    // Optional explicit Eq. 5 parameter overrides ("s0,alpha,beta") — used
+    // by the wrong-models ablation and by anyone fitting their own system.
+    if (config.has("controller", "app_model")) {
+      dcm.app_tier_model.params = parse_model_params(
+          "controller", "app_model", config.get_string("controller", "app_model"));
+    }
+    if (config.has("controller", "db_model")) {
+      dcm.db_tier_model.params = parse_model_params(
+          "controller", "db_model", config.get_string("controller", "db_model"));
+    }
     dcm.stp_headroom = config.get_double("controller", "headroom", 1.0);
     dcm.online_estimation = config.get_bool("controller", "online_estimation", false);
     experiment.controller = ControllerSpec::dcm_controller(std::move(dcm));

@@ -10,6 +10,8 @@
 //   workload/  RUBBoS-style workload generators and traces
 //   control/   monitoring pipeline + EC2-AutoScale and DCM controllers
 //   core/      canonical topologies and the one-call experiment runner
+//   scenario/  declarative scenarios, the registry, parallel sweeps and
+//              the dcm-result-v1 writers
 #pragma once
 
 #include "common/logging.h"
@@ -25,6 +27,10 @@
 #include "model/trainer.h"
 #include "ntier/app.h"
 #include "ntier/monitor_agent.h"
+#include "scenario/registry.h"
+#include "scenario/result_writer.h"
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
 #include "sim/engine.h"
 #include "workload/closed_loop.h"
 #include "workload/trace.h"

@@ -5,36 +5,38 @@
 
 #include "bus/broker.h"
 #include "common/check.h"
+#include "common/rng.h"
 #include "control/ec2_autoscale.h"
 #include "ntier/monitor_agent.h"
 #include "workload/trace_player.h"
 
 namespace dcm::core {
 
-WorkloadSpec WorkloadSpec::jmeter(int users, uint64_t seed) {
+WorkloadSpec WorkloadSpec::jmeter(int users) {
   WorkloadSpec spec;
   spec.kind = Kind::kJmeter;
   spec.users = users;
-  spec.seed = seed;
   return spec;
 }
 
-WorkloadSpec WorkloadSpec::rubbos(int users, double think_s, uint64_t seed) {
+WorkloadSpec WorkloadSpec::rubbos(int users, double think_s) {
   WorkloadSpec spec;
   spec.kind = Kind::kRubbosClients;
   spec.users = users;
   spec.mean_think_seconds = think_s;
-  spec.seed = seed;
   return spec;
 }
 
-WorkloadSpec WorkloadSpec::trace_driven(workload::Trace trace, double think_s, uint64_t seed) {
+WorkloadSpec WorkloadSpec::trace_driven(workload::Trace trace, double think_s) {
   WorkloadSpec spec;
   spec.kind = Kind::kTrace;
   spec.trace = std::move(trace);
   spec.mean_think_seconds = think_s;
-  spec.seed = seed;
   return spec;
+}
+
+uint64_t experiment_stream_seed(uint64_t root, SeedStream stream) {
+  return derive_seed(root, static_cast<uint64_t>(stream));
 }
 
 ControllerSpec ControllerSpec::none() { return {}; }
@@ -73,8 +75,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   DCM_CHECK(config.warmup_seconds >= 0.0);
   DCM_CHECK(config.warmup_seconds < config.duration_seconds);
 
+  const uint64_t topology_seed = experiment_stream_seed(config.seed, SeedStream::kTopology);
+  const uint64_t workload_seed = experiment_stream_seed(config.seed, SeedStream::kWorkload);
+
   sim::Engine engine;
-  ntier::NTierApp app(engine, rubbos_app_config(config.hardware, config.soft, config.seed,
+  ntier::NTierApp app(engine, rubbos_app_config(config.hardware, config.soft, topology_seed,
                                                 config.max_vms_per_tier));
   bus::Broker broker;
   ntier::MonitorFleet fleet(engine, app, broker);
@@ -86,18 +91,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   switch (config.workload.kind) {
     case WorkloadSpec::Kind::kJmeter:
       generator = workload::make_jmeter(engine, app, catalog, config.workload.users,
-                                        config.workload.seed);
+                                        workload_seed);
       break;
     case WorkloadSpec::Kind::kRubbosClients:
       generator = workload::make_rubbos_clients(engine, app, catalog, config.workload.users,
                                                 config.workload.mean_think_seconds,
-                                                config.workload.seed);
+                                                workload_seed);
       break;
     case WorkloadSpec::Kind::kTrace:
       generator = workload::make_rubbos_clients(engine, app, catalog,
                                                 config.workload.trace.users_at(0),
                                                 config.workload.mean_think_seconds,
-                                                config.workload.seed);
+                                                workload_seed);
       player = std::make_unique<workload::TracePlayer>(engine, *generator,
                                                        config.workload.trace);
       break;
@@ -218,7 +223,10 @@ std::vector<SweepPoint> jmeter_concurrency_sweep(const ExperimentConfig& base,
   for (int c : concurrencies) {
     DCM_CHECK(c >= 1);
     ExperimentConfig config = base;
-    config.workload = WorkloadSpec::jmeter(c, base.workload.seed + static_cast<uint64_t>(c));
+    config.workload = WorkloadSpec::jmeter(c);
+    // Each sweep point is an independent run: decorrelate via the root
+    // seed so no point shares streams with another.
+    config.seed = derive_seed(base.seed, static_cast<uint64_t>(c));
     config.controller = ControllerSpec::none();
     if (match_app_pools) config.soft.app_threads = c;
     const ExperimentResult result = run_experiment(config);

@@ -26,12 +26,10 @@ struct WorkloadSpec {
   int users = 100;                 // kJmeter / kRubbosClients
   double mean_think_seconds = 3.0;  // kRubbosClients / kTrace
   workload::Trace trace;            // kTrace
-  uint64_t seed = 42;
 
-  static WorkloadSpec jmeter(int users, uint64_t seed = 42);
-  static WorkloadSpec rubbos(int users, double think_s = 3.0, uint64_t seed = 42);
-  static WorkloadSpec trace_driven(workload::Trace trace, double think_s = 3.0,
-                                   uint64_t seed = 42);
+  static WorkloadSpec jmeter(int users);
+  static WorkloadSpec rubbos(int users, double think_s = 3.0);
+  static WorkloadSpec trace_driven(workload::Trace trace, double think_s = 3.0);
 };
 
 struct ControllerSpec {
@@ -55,8 +53,25 @@ struct ExperimentConfig {
   /// Measurement excludes [0, warmup); timelines still cover everything.
   double warmup_seconds = 30.0;
   int max_vms_per_tier = 8;
+  /// The experiment's single root seed. Every stochastic stream (topology
+  /// service-time draws, workload think/demand draws, trace synthesis) is
+  /// derived from it via `derive_seed(seed, <stream>)` — see the
+  /// SeedStream enum. There is deliberately no per-component seed knob:
+  /// one root seed fully determines the run.
   uint64_t seed = 1;
 };
+
+/// Stream ids for the root-seed derivation (DESIGN.md "Seed derivation").
+/// Keep stable: changing an id changes every derived stream and therefore
+/// every reproduced number.
+enum class SeedStream : uint64_t {
+  kTopology = 0,  // per-server service-time variation
+  kWorkload = 1,  // generator think times / servlet mix draws
+  kTrace = 2,     // taxonomy trace synthesis (config-driven runs)
+};
+
+/// `derive_seed(root, stream)` with a typed stream id.
+uint64_t experiment_stream_seed(uint64_t root, SeedStream stream);
 
 /// Per-tier, per-second system timelines (the Fig. 5 panel data).
 struct TierTimeline {

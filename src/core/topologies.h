@@ -28,6 +28,8 @@ struct HardwareConfig {
   int web = 1;
   int app = 1;
   int db = 1;
+
+  bool operator==(const HardwareConfig&) const = default;
 };
 
 /// The paper's soft-resource notation #W_T/#A_T/#A_C: Apache threads,
@@ -36,6 +38,8 @@ struct SoftAllocation {
   int web_threads = 1000;
   int app_threads = 100;
   int db_connections = 80;
+
+  bool operator==(const SoftAllocation&) const = default;
 };
 
 /// Builds the 3-tier RUBBoS-like deployment (web/app/db).

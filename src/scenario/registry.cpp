@@ -1,0 +1,133 @@
+#include "scenario/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dcm::scenario {
+namespace {
+
+// Sorted by name. Texts are the canonical user-facing INI form — only the
+// keys that differ from the scenario defaults, with [scenario] metadata.
+const std::vector<std::pair<std::string, std::string>>& table() {
+  static const std::vector<std::pair<std::string, std::string>> kScenarios = {
+      {"ablation-soft-only",
+       "[scenario]\n"
+       "name = ablation-soft-only\n"
+       "summary = DCM clamped to one VM per tier: only soft-resource adaptation acts\n"
+       "\n[soft]\napp_threads = 200\n"
+       "\n[workload]\nkind = trace\ntrace = large-variation\npeak_users = 350\n"
+       "\n[controller]\nkind = dcm\n"
+       "\n[run]\nduration = 700\nwarmup = 30\nmax_vms = 1\n"},
+
+      {"ablation-wrong-models",
+       "[scenario]\n"
+       "name = ablation-wrong-models\n"
+       "summary = DCM driven by badly-fitted models (optima near the default pools)\n"
+       "\n[soft]\napp_threads = 200\n"
+       "\n[workload]\nkind = trace\ntrace = large-variation\npeak_users = 350\n"
+       "\n[controller]\nkind = dcm\n"
+       // N_b lands near 200 (Tomcat) / 160 (MySQL) instead of 20 / 36, so
+       // DCM degenerates to hardware-only behaviour.
+       "app_model = 2.84e-2, 1e-4, 7.075e-7\n"
+       "db_model = 7.19e-3, 1e-4, 2.76953125e-7\n"
+       "\n[run]\nduration = 700\nwarmup = 30\n"},
+
+      {"fig2b",
+       "[scenario]\n"
+       "name = fig2b\n"
+       "summary = scale-out without pool re-tuning (sweep workload.users and the deployment)\n"
+       "\n[workload]\nkind = rubbos\nusers = 300\n"
+       "\n[run]\nduration = 150\nwarmup = 50\nseed = 77\n"},
+
+      {"fig4a",
+       "[scenario]\n"
+       "name = fig4a\n"
+       "summary = model validation at 1/1/1 (sweep soft.app_threads around the optimum 20)\n"
+       "\n[workload]\nkind = rubbos\nusers = 300\n"
+       "\n[run]\nduration = 150\nwarmup = 50\nseed = 31\n"},
+
+      {"fig4b",
+       "[scenario]\n"
+       "name = fig4b\n"
+       "summary = model validation at 1/2/1 (sweep soft.db_connections around the optimum 18)\n"
+       "\n[hardware]\napp = 2\n"
+       "\n[workload]\nkind = rubbos\nusers = 300\n"
+       "\n[run]\nduration = 150\nwarmup = 50\nseed = 31\n"},
+
+      {"fig5",
+       "[scenario]\n"
+       "name = fig5\n"
+       "summary = DCM under the Large-Variation bursty trace (paper Fig. 5 left panels)\n"
+       "\n[soft]\napp_threads = 200\n"
+       "\n[workload]\nkind = trace\ntrace = large-variation\npeak_users = 350\n"
+       "\n[controller]\nkind = dcm\n"
+       "\n[run]\nduration = 700\nwarmup = 30\n"},
+
+      {"fig5-ec2",
+       "[scenario]\n"
+       "name = fig5-ec2\n"
+       "summary = EC2-AutoScale baseline under the Large-Variation trace (Fig. 5 right panels)\n"
+       "\n[soft]\napp_threads = 200\n"
+       "\n[workload]\nkind = trace\ntrace = large-variation\npeak_users = 350\n"
+       "\n[controller]\nkind = ec2\n"
+       "\n[run]\nduration = 700\nwarmup = 30\n"},
+
+      {"quickstart",
+       "[scenario]\n"
+       "name = quickstart\n"
+       "summary = small fixed-allocation RUBBoS run, the fastest end-to-end smoke\n"
+       "\n[workload]\nkind = rubbos\nusers = 100\n"
+       "\n[run]\nduration = 60\nwarmup = 15\n"},
+
+      {"table1-mysql",
+       "[scenario]\n"
+       "name = table1-mysql\n"
+       "summary = MySQL training deployment (1/2/1 with wide-open pools, sweep workload.users)\n"
+       "\n[hardware]\napp = 2\n"
+       "\n[soft]\ndb_connections = 400\n"
+       "\n[workload]\nkind = jmeter\nusers = 36\n"
+       "\n[run]\nduration = 90\nwarmup = 30\n"},
+
+      {"table1-tomcat",
+       "[scenario]\n"
+       "name = table1-tomcat\n"
+       "summary = Tomcat training deployment (1/1/1 with wide-open pools, sweep workload.users)\n"
+       "\n[soft]\ndb_connections = 400\n"
+       "\n[workload]\nkind = jmeter\nusers = 20\n"
+       "\n[run]\nduration = 90\nwarmup = 30\n"},
+  };
+  return kScenarios;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(table().size());
+  for (const auto& [name, text] : table()) names.push_back(name);
+  return names;
+}
+
+bool has_scenario(const std::string& name) {
+  for (const auto& [known, text] : table()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+const std::string& scenario_text(const std::string& name) {
+  for (const auto& [known, text] : table()) {
+    if (known == name) return text;
+  }
+  std::string known_names;
+  for (const auto& [known, text] : table()) {
+    known_names += known_names.empty() ? known : ", " + known;
+  }
+  throw std::runtime_error("unknown scenario '" + name + "' (known: " + known_names + ")");
+}
+
+Scenario get_scenario(const std::string& name) {
+  return Scenario::parse(scenario_text(name));
+}
+
+}  // namespace dcm::scenario

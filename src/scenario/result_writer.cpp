@@ -1,0 +1,299 @@
+#include "scenario/result_writer.h"
+
+#include <bit>
+#include <cstdio>
+#include <ostream>
+
+#include "common/csv.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "sim/time.h"
+
+namespace dcm::scenario {
+namespace {
+
+double bucket_mean(const std::vector<metrics::BucketStat>& buckets, size_t i) {
+  return i < buckets.size() ? buckets[i].stat.mean() : 0.0;
+}
+
+double bucket_sum(const std::vector<metrics::BucketStat>& buckets, size_t i) {
+  return i < buckets.size() ? buckets[i].stat.sum() : 0.0;
+}
+
+// Minimal JSON string escaping: the fields we emit are identifiers, INI
+// values and human summaries — control characters, quotes and backslashes
+// are all that can occur.
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  // %.17g round-trips IEEE doubles; summaries are data, not display.
+  return str_format("%.17g", value);
+}
+
+void print_actions(const core::ExperimentResult& result) {
+  for (const auto& action : result.actions) {
+    std::printf("  %8.1fs  %-7s %-10s %s\n", sim::to_seconds(action.time),
+                action.tier.c_str(), action.action.c_str(), action.detail.c_str());
+  }
+}
+
+}  // namespace
+
+void Fnv1a::mix_bytes(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= 1099511628211ull;
+  }
+}
+
+void Fnv1a::mix(double v) { mix(std::bit_cast<uint64_t>(v)); }
+
+void mix_series(Fnv1a& h, const metrics::TimeSeries& series) {
+  h.mix(static_cast<uint64_t>(series.buckets().size()));
+  for (const auto& bucket : series.buckets()) {
+    h.mix(bucket.start);
+    h.mix(bucket.stat.count());
+    h.mix(bucket.stat.mean());
+    h.mix(bucket.stat.min());
+    h.mix(bucket.stat.max());
+  }
+}
+
+uint64_t result_digest(const core::ExperimentResult& result) {
+  Fnv1a h;
+  h.mix(result.completed);
+  h.mix(result.errors);
+  mix_series(h, result.client.response_time_series());
+  mix_series(h, result.client.throughput_series());
+  for (const auto& tier : result.tiers) {
+    h.mix(tier.name);
+    mix_series(h, tier.provisioned_vms);
+    mix_series(h, tier.cpu_util);
+    mix_series(h, tier.concurrency);
+  }
+  h.mix(static_cast<uint64_t>(result.actions.size()));
+  for (const auto& action : result.actions) {
+    h.mix(action.time);
+    h.mix(action.tier);
+    h.mix(action.action);
+    h.mix(action.detail);
+  }
+  return h.value();
+}
+
+uint64_t sweep_digest(const std::vector<SweepRun>& runs) {
+  Fnv1a h;
+  h.mix(static_cast<uint64_t>(runs.size()));
+  for (const auto& run : runs) {
+    h.mix(static_cast<uint64_t>(run.index));
+    h.mix(run.scenario.seed);
+    h.mix(result_digest(run.result));
+  }
+  return h.value();
+}
+
+void write_result_json(std::ostream& out, const std::string& name,
+                       const std::vector<SweepRun>& runs) {
+  out << "{\n"
+      << "  \"schema\": \"dcm-result-v1\",\n"
+      << "  \"name\": \"" << json_escape(name) << "\",\n"
+      << "  \"digest\": \"" << sweep_digest(runs) << "\",\n"
+      << "  \"runs\": [";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const SweepRun& run = runs[i];
+    const core::ExperimentResult& r = run.result;
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\n"
+        << "      \"index\": " << run.index << ",\n"
+        << "      \"scenario\": \"" << json_escape(run.scenario.name) << "\",\n"
+        << "      \"seed\": " << run.scenario.seed << ",\n"
+        << "      \"digest\": \"" << result_digest(r) << "\",\n"
+        << "      \"overrides\": {";
+    for (size_t o = 0; o < run.overrides.size(); ++o) {
+      out << (o == 0 ? "" : ", ") << "\"" << json_escape(run.overrides[o].first)
+          << "\": \"" << json_escape(run.overrides[o].second) << "\"";
+    }
+    out << "},\n"
+        << "      \"summary\": {\n"
+        << "        \"mean_throughput\": " << json_number(r.mean_throughput) << ",\n"
+        << "        \"mean_response_time\": " << json_number(r.mean_response_time) << ",\n"
+        << "        \"p95_response_time\": " << json_number(r.p95_response_time) << ",\n"
+        << "        \"max_response_time\": " << json_number(r.max_response_time) << ",\n"
+        << "        \"completed\": " << r.completed << ",\n"
+        << "        \"errors\": " << r.errors << ",\n"
+        << "        \"sla_violation_fraction\": " << json_number(r.sla_violation_fraction)
+        << ",\n"
+        << "        \"total_vm_seconds\": " << json_number(r.total_vm_seconds) << ",\n"
+        << "        \"requests_per_vm_second\": " << json_number(r.requests_per_vm_second)
+        << ",\n"
+        << "        \"scale_outs\": " << r.action_count("scale_out") << ",\n"
+        << "        \"scale_ins\": " << r.action_count("scale_in") << ",\n"
+        << "        \"soft_actions\": "
+        << r.action_count("set_stp") + r.action_count("set_conns") << "\n"
+        << "      }\n"
+        << "    }";
+  }
+  out << "\n  ]\n}\n";
+}
+
+void write_timeline_csv(std::ostream& out, const core::ExperimentResult& result,
+                        const workload::Trace* trace) {
+  CsvWriter writer(out);
+  std::vector<std::string> header = {"t_s"};
+  if (trace != nullptr) header.push_back("users");
+  header.push_back("rt_ms");
+  header.push_back("throughput");
+  for (const auto& tier : result.tiers) {
+    header.push_back(tier.name + "_vms");
+    header.push_back(tier.name + "_util");
+    header.push_back(tier.name + "_concurrency");
+  }
+  writer.write_header(header);
+
+  const auto& rt = result.client.response_time_series().buckets();
+  const auto& tp = result.client.throughput_series().buckets();
+  size_t seconds = std::max(rt.size(), tp.size());
+  for (const auto& tier : result.tiers) {
+    seconds = std::max(seconds, tier.provisioned_vms.buckets().size());
+  }
+  for (size_t t = 0; t < seconds; ++t) {
+    std::vector<double> row = {static_cast<double>(t)};
+    if (trace != nullptr) {
+      row.push_back(static_cast<double>(
+          trace->users_at(sim::from_seconds(static_cast<double>(t)))));
+    }
+    row.push_back(bucket_mean(rt, t) * 1e3);
+    row.push_back(bucket_sum(tp, t));
+    for (const auto& tier : result.tiers) {
+      row.push_back(bucket_mean(tier.provisioned_vms.buckets(), t));
+      row.push_back(bucket_mean(tier.cpu_util.buckets(), t));
+      row.push_back(bucket_mean(tier.concurrency.buckets(), t));
+    }
+    writer.write_row(row);
+  }
+}
+
+void print_summary(const core::ExperimentResult& result) {
+  std::printf("throughput            : %.1f req/s\n", result.mean_throughput);
+  std::printf("response time         : mean %.0f ms, p95 %.0f ms, max %.0f ms\n",
+              result.mean_response_time * 1e3, result.p95_response_time * 1e3,
+              result.max_response_time * 1e3);
+  std::printf("completed / errors    : %llu / %llu\n",
+              static_cast<unsigned long long>(result.completed),
+              static_cast<unsigned long long>(result.errors));
+  std::printf("SLA violation (>1 s)  : %.1f%% of seconds\n",
+              result.sla_violation_fraction * 100.0);
+  std::printf("VM-seconds            : %.0f (%.2f req per VM-second)\n",
+              result.total_vm_seconds, result.requests_per_vm_second);
+  std::printf("control actions       : %zu\n", result.actions.size());
+  print_actions(result);
+}
+
+double series_window_mean(const metrics::TimeSeries& series, size_t from, size_t width,
+                          bool rate) {
+  const auto& buckets = series.buckets();
+  double sum = 0.0;
+  size_t n = 0;
+  for (size_t s = from; s < from + width; ++s) {
+    sum += rate ? bucket_sum(buckets, s) : bucket_mean(buckets, s);
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+void print_windowed_timeline(const std::string& label, const core::ExperimentResult& result,
+                             const workload::Trace* trace, size_t duration_seconds,
+                             size_t window_seconds) {
+  std::printf("--- %s: %zu s-window series (panels a/c/e style) ---\n", label.c_str(),
+              window_seconds);
+  std::vector<std::string> header = {"t_s"};
+  if (trace != nullptr) header.push_back("users");
+  header.insert(header.end(), {"rt_ms", "x_req_s"});
+  // Tier 0 (web) is never the scaling story; the panels track app + db.
+  for (size_t tier = 1; tier < result.tiers.size(); ++tier) {
+    header.push_back(result.tiers[tier].name + "_vms");
+    header.push_back(result.tiers[tier].name + "_util");
+  }
+  TextTable table(std::move(header));
+  for (size_t t = 0; t + window_seconds <= duration_seconds; t += window_seconds) {
+    std::vector<double> row = {static_cast<double>(t)};
+    if (trace != nullptr) {
+      row.push_back(static_cast<double>(
+          trace->users_at(sim::from_seconds(static_cast<double>(t)))));
+    }
+    row.push_back(series_window_mean(result.client.response_time_series(), t,
+                                     window_seconds) *
+                  1000.0);
+    row.push_back(series_window_mean(result.client.throughput_series(), t, window_seconds,
+                                     /*rate=*/true));
+    for (size_t tier = 1; tier < result.tiers.size(); ++tier) {
+      row.push_back(series_window_mean(result.tiers[tier].provisioned_vms, t, window_seconds));
+      row.push_back(series_window_mean(result.tiers[tier].cpu_util, t, window_seconds));
+    }
+    table.add_row(row, 2);
+  }
+  table.print();
+
+  std::printf("\n--- %s: scaling & soft-resource activity ---\n", label.c_str());
+  print_actions(result);
+  std::puts("");
+}
+
+void print_comparison(const std::vector<std::string>& labels,
+                      const std::vector<const core::ExperimentResult*>& results) {
+  std::vector<std::string> header = {"metric"};
+  header.insert(header.end(), labels.begin(), labels.end());
+  TextTable table(std::move(header));
+
+  const auto row = [&](const std::string& metric, auto&& value) {
+    std::vector<std::string> cells = {metric};
+    for (const auto* r : results) cells.push_back(value(*r));
+    table.add_row(std::move(cells));
+  };
+  row("mean response time (ms)",
+      [](const auto& r) { return format_number(r.mean_response_time * 1e3, 1); });
+  row("p95 response time (ms)",
+      [](const auto& r) { return format_number(r.p95_response_time * 1e3, 1); });
+  row("max response time (ms)",
+      [](const auto& r) { return format_number(r.max_response_time * 1e3, 1); });
+  row("mean throughput (req/s)",
+      [](const auto& r) { return format_number(r.mean_throughput, 1); });
+  row("completed requests", [](const auto& r) { return std::to_string(r.completed); });
+  row("scale-out events",
+      [](const auto& r) { return std::to_string(r.action_count("scale_out")); });
+  row("scale-in events",
+      [](const auto& r) { return std::to_string(r.action_count("scale_in")); });
+  row("SLA violation (rt>1s)", [](const auto& r) {
+    return format_number(r.sla_violation_fraction * 100.0, 1) + "%";
+  });
+  row("VM-seconds (scalable tiers)",
+      [](const auto& r) { return format_number(r.total_vm_seconds, 0); });
+  row("requests per VM-second",
+      [](const auto& r) { return format_number(r.requests_per_vm_second, 2); });
+  row("soft-resource actions", [](const auto& r) {
+    return std::to_string(r.action_count("set_stp") + r.action_count("set_conns"));
+  });
+  table.print();
+}
+
+}  // namespace dcm::scenario

@@ -1,0 +1,274 @@
+#include "scenario/scenario.h"
+
+#include <charconv>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace dcm::scenario {
+namespace {
+
+// Shortest text form that parses back to the exact same double — the
+// canonical number format for scenario emission ("15", "0.8", "2.84e-02").
+std::string format_double(double value) {
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
+}
+
+std::string format_int(int64_t value) { return std::to_string(value); }
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("scenario: " + message);
+}
+
+// Validates an "s0,alpha,beta" model-override triple and returns its
+// canonical spelling, so stored scenarios are normalization fixed points.
+std::string normalize_model_triple(const std::string& key, const std::string& value) {
+  std::vector<double> parts;
+  for (const auto& field : split(value, ',')) {
+    const auto parsed = parse_double(std::string(trim(field)));
+    if (!parsed) fail("[controller] " + key + " must be 's0,alpha,beta', got: " + value);
+    parts.push_back(*parsed);
+  }
+  if (parts.size() != 3) {
+    fail("[controller] " + key + " must be 's0,alpha,beta', got: " + value);
+  }
+  return format_double(parts[0]) + "," + format_double(parts[1]) + "," +
+         format_double(parts[2]);
+}
+
+WorkloadDecl::Kind parse_workload_kind(const std::string& kind) {
+  if (kind == "jmeter") return WorkloadDecl::Kind::kJmeter;
+  if (kind == "rubbos") return WorkloadDecl::Kind::kRubbos;
+  if (kind == "trace") return WorkloadDecl::Kind::kTrace;
+  fail("unknown workload kind '" + kind + "' (expected jmeter|rubbos|trace)");
+}
+
+ControllerDecl::Kind parse_controller_kind(const std::string& kind) {
+  if (kind == "none") return ControllerDecl::Kind::kNone;
+  if (kind == "ec2") return ControllerDecl::Kind::kEc2;
+  if (kind == "dcm") return ControllerDecl::Kind::kDcm;
+  fail("unknown controller kind '" + kind + "' (expected none|ec2|dcm)");
+}
+
+const char* workload_kind_name(WorkloadDecl::Kind kind) {
+  switch (kind) {
+    case WorkloadDecl::Kind::kJmeter:
+      return "jmeter";
+    case WorkloadDecl::Kind::kRubbos:
+      return "rubbos";
+    case WorkloadDecl::Kind::kTrace:
+      return "trace";
+  }
+  fail("corrupt workload kind");
+}
+
+const char* controller_kind_name(ControllerDecl::Kind kind) {
+  switch (kind) {
+    case ControllerDecl::Kind::kNone:
+      return "none";
+    case ControllerDecl::Kind::kEc2:
+      return "ec2";
+    case ControllerDecl::Kind::kDcm:
+      return "dcm";
+  }
+  fail("corrupt controller kind");
+}
+
+// The full vocabulary a scenario may use, conditioned on the declared
+// kinds — anything outside this set is a spelling mistake, not a default.
+std::map<std::string, std::set<std::string>> allowed_keys(WorkloadDecl::Kind workload,
+                                                          ControllerDecl::Kind controller) {
+  std::map<std::string, std::set<std::string>> allowed;
+  allowed["scenario"] = {"name", "summary"};
+  allowed["hardware"] = {"web", "app", "db"};
+  allowed["soft"] = {"web_threads", "app_threads", "db_connections"};
+  allowed["run"] = {"duration", "warmup", "max_vms", "seed"};
+
+  std::set<std::string>& workload_keys = allowed["workload"];
+  workload_keys.insert("kind");
+  switch (workload) {
+    case WorkloadDecl::Kind::kJmeter:
+      workload_keys.insert("users");
+      break;
+    case WorkloadDecl::Kind::kRubbos:
+      workload_keys.insert("users");
+      workload_keys.insert("think_seconds");
+      break;
+    case WorkloadDecl::Kind::kTrace:
+      workload_keys.insert("think_seconds");
+      workload_keys.insert("trace");
+      workload_keys.insert("peak_users");
+      break;
+  }
+
+  std::set<std::string>& controller_keys = allowed["controller"];
+  controller_keys.insert("kind");
+  if (controller != ControllerDecl::Kind::kNone) {
+    controller_keys.insert({"control_period", "scale_out_util", "scale_in_util",
+                            "scale_in_consecutive", "predictive", "sla_rt"});
+  }
+  if (controller == ControllerDecl::Kind::kDcm) {
+    controller_keys.insert({"headroom", "online_estimation", "app_model", "db_model"});
+  }
+  return allowed;
+}
+
+void reject_unknown_keys(const Config& config, WorkloadDecl::Kind workload,
+                         ControllerDecl::Kind controller) {
+  const auto allowed = allowed_keys(workload, controller);
+  for (const auto& [section, keys] : config.sections()) {
+    const auto entry = allowed.find(section);
+    if (entry == allowed.end()) {
+      fail("unknown section [" + section + "]");
+    }
+    for (const auto& [key, value] : keys) {
+      if (entry->second.count(key) == 0) {
+        fail("unknown key '" + key + "' in [" + section + "] (workload kind " +
+             workload_kind_name(workload) + ", controller kind " +
+             controller_kind_name(controller) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool scenario_key_applies(const Config& config, const std::string& section,
+                          const std::string& key) {
+  const auto allowed =
+      allowed_keys(parse_workload_kind(config.get_string("workload", "kind", "rubbos")),
+                   parse_controller_kind(config.get_string("controller", "kind", "none")));
+  const auto entry = allowed.find(section);
+  return entry != allowed.end() && entry->second.count(key) > 0;
+}
+
+Scenario Scenario::from_config(const Config& config) {
+  Scenario scenario;
+  scenario.workload.kind =
+      parse_workload_kind(config.get_string("workload", "kind", "rubbos"));
+  scenario.controller.kind =
+      parse_controller_kind(config.get_string("controller", "kind", "none"));
+  reject_unknown_keys(config, scenario.workload.kind, scenario.controller.kind);
+
+  scenario.name = config.get_string("scenario", "name", "unnamed");
+  scenario.summary = config.get_string("scenario", "summary", "");
+
+  scenario.hardware.web = static_cast<int>(config.get_int("hardware", "web", 1));
+  scenario.hardware.app = static_cast<int>(config.get_int("hardware", "app", 1));
+  scenario.hardware.db = static_cast<int>(config.get_int("hardware", "db", 1));
+
+  scenario.soft.web_threads = static_cast<int>(config.get_int("soft", "web_threads", 1000));
+  scenario.soft.app_threads = static_cast<int>(config.get_int("soft", "app_threads", 100));
+  scenario.soft.db_connections =
+      static_cast<int>(config.get_int("soft", "db_connections", 80));
+
+  scenario.workload.users = static_cast<int>(config.get_int("workload", "users", 100));
+  scenario.workload.think_seconds = config.get_double("workload", "think_seconds", 3.0);
+  scenario.workload.trace = config.get_string("workload", "trace", "large-variation");
+  scenario.workload.peak_users =
+      static_cast<int>(config.get_int("workload", "peak_users", 350));
+
+  ControllerDecl& controller = scenario.controller;
+  controller.control_period_seconds = config.get_double("controller", "control_period", 15.0);
+  controller.scale_out_util = config.get_double("controller", "scale_out_util", 0.80);
+  controller.scale_in_util = config.get_double("controller", "scale_in_util", 0.40);
+  controller.scale_in_consecutive =
+      static_cast<int>(config.get_int("controller", "scale_in_consecutive", 3));
+  controller.predictive = config.get_bool("controller", "predictive", false);
+  controller.sla_rt = config.get_double("controller", "sla_rt", 0.0);
+  controller.headroom = config.get_double("controller", "headroom", 1.0);
+  controller.online_estimation = config.get_bool("controller", "online_estimation", false);
+  if (config.has("controller", "app_model")) {
+    controller.app_model =
+        normalize_model_triple("app_model", config.get_string("controller", "app_model"));
+  }
+  if (config.has("controller", "db_model")) {
+    controller.db_model =
+        normalize_model_triple("db_model", config.get_string("controller", "db_model"));
+  }
+
+  scenario.duration_seconds = config.get_double("run", "duration", 300.0);
+  scenario.warmup_seconds = config.get_double("run", "warmup", 30.0);
+  scenario.max_vms = static_cast<int>(config.get_int("run", "max_vms", 8));
+  scenario.seed = static_cast<uint64_t>(config.get_int("run", "seed", 1));
+  return scenario;
+}
+
+Scenario Scenario::parse(const std::string& text) {
+  return from_config(Config::parse(text));
+}
+
+Scenario Scenario::load(const std::string& path) {
+  return from_config(Config::load(path));
+}
+
+Config Scenario::to_config() const {
+  Config config;
+  config.set("scenario", "name", name);
+  if (!summary.empty()) config.set("scenario", "summary", summary);
+
+  config.set("hardware", "web", format_int(hardware.web));
+  config.set("hardware", "app", format_int(hardware.app));
+  config.set("hardware", "db", format_int(hardware.db));
+
+  config.set("soft", "web_threads", format_int(soft.web_threads));
+  config.set("soft", "app_threads", format_int(soft.app_threads));
+  config.set("soft", "db_connections", format_int(soft.db_connections));
+
+  config.set("workload", "kind", workload_kind_name(workload.kind));
+  switch (workload.kind) {
+    case WorkloadDecl::Kind::kJmeter:
+      config.set("workload", "users", format_int(workload.users));
+      break;
+    case WorkloadDecl::Kind::kRubbos:
+      config.set("workload", "users", format_int(workload.users));
+      config.set("workload", "think_seconds", format_double(workload.think_seconds));
+      break;
+    case WorkloadDecl::Kind::kTrace:
+      config.set("workload", "trace", workload.trace);
+      config.set("workload", "peak_users", format_int(workload.peak_users));
+      config.set("workload", "think_seconds", format_double(workload.think_seconds));
+      break;
+  }
+
+  config.set("controller", "kind", controller_kind_name(controller.kind));
+  if (controller.kind != ControllerDecl::Kind::kNone) {
+    config.set("controller", "control_period", format_double(controller.control_period_seconds));
+    config.set("controller", "scale_out_util", format_double(controller.scale_out_util));
+    config.set("controller", "scale_in_util", format_double(controller.scale_in_util));
+    config.set("controller", "scale_in_consecutive",
+               format_int(controller.scale_in_consecutive));
+    config.set("controller", "predictive", controller.predictive ? "true" : "false");
+    config.set("controller", "sla_rt", format_double(controller.sla_rt));
+  }
+  if (controller.kind == ControllerDecl::Kind::kDcm) {
+    config.set("controller", "headroom", format_double(controller.headroom));
+    config.set("controller", "online_estimation",
+               controller.online_estimation ? "true" : "false");
+    if (!controller.app_model.empty()) {
+      config.set("controller", "app_model", controller.app_model);
+    }
+    if (!controller.db_model.empty()) {
+      config.set("controller", "db_model", controller.db_model);
+    }
+  }
+
+  config.set("run", "duration", format_double(duration_seconds));
+  config.set("run", "warmup", format_double(warmup_seconds));
+  config.set("run", "max_vms", format_int(max_vms));
+  config.set("run", "seed", format_int(static_cast<int64_t>(seed)));
+  return config;
+}
+
+std::string Scenario::to_text() const { return to_config().to_text(); }
+
+core::ExperimentConfig Scenario::experiment() const {
+  return core::experiment_from_config(to_config());
+}
+
+}  // namespace dcm::scenario

@@ -1,0 +1,104 @@
+// Declarative, serializable experiment scenarios.
+//
+// A `Scenario` is the text-form twin of `core::ExperimentConfig`: hardware,
+// soft allocation, workload, controller, run window and the single root
+// seed, plus a name and a one-line summary. It round-trips losslessly
+// through the INI dialect (`parse` → `to_text` → `parse` is identity, and
+// `to_text` is a canonical fixed point), and translation to a runnable
+// `ExperimentConfig` goes through the existing `core::config_loader` so the
+// CLI, the registry, and hand-written INI files all take exactly one path
+// into the simulator.
+//
+// Unlike the raw config loader, `from_config` is strict: unknown sections
+// or keys (and keys that don't apply to the declared workload/controller
+// kind) are errors, so a typo like `contorller` cannot silently fall back
+// to defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "core/config_loader.h"
+#include "core/experiment.h"
+#include "core/topologies.h"
+
+namespace dcm::scenario {
+
+/// Declarative workload: trace workloads are referenced by taxonomy pattern
+/// name or CSV path (never by inline user vectors), which is what keeps the
+/// spec serializable.
+struct WorkloadDecl {
+  enum class Kind { kJmeter, kRubbos, kTrace };
+  Kind kind = Kind::kRubbos;
+  int users = 100;                // kJmeter / kRubbos
+  double think_seconds = 3.0;     // kRubbos / kTrace
+  std::string trace = "large-variation";  // kTrace: taxonomy name or CSV path
+  int peak_users = 350;           // kTrace, taxonomy patterns only
+
+  bool operator==(const WorkloadDecl&) const = default;
+};
+
+/// Declarative controller; the DCM kind may override the reference Eq. 5
+/// parameters with explicit "s0,alpha,beta" triples (the wrong-models
+/// ablation, or a user-fitted system).
+struct ControllerDecl {
+  enum class Kind { kNone, kEc2, kDcm };
+  Kind kind = Kind::kNone;
+  double control_period_seconds = 15.0;
+  double scale_out_util = 0.80;
+  double scale_in_util = 0.40;
+  int scale_in_consecutive = 3;
+  bool predictive = false;
+  double sla_rt = 0.0;
+  // kDcm only:
+  double headroom = 1.0;
+  bool online_estimation = false;
+  std::string app_model;  // "" = reference model
+  std::string db_model;   // "" = reference model
+
+  bool operator==(const ControllerDecl&) const = default;
+};
+
+struct Scenario {
+  std::string name = "unnamed";
+  std::string summary;
+  core::HardwareConfig hardware;
+  core::SoftAllocation soft;
+  WorkloadDecl workload;
+  ControllerDecl controller;
+  double duration_seconds = 300.0;
+  double warmup_seconds = 30.0;
+  int max_vms = 8;
+  /// Root seed; every stochastic stream of the run derives from it (see
+  /// core::SeedStream and DESIGN.md "Seed derivation & deterministic sweeps").
+  uint64_t seed = 1;
+
+  bool operator==(const Scenario&) const = default;
+
+  /// Strict translation from a parsed Config; throws std::runtime_error on
+  /// unknown sections/keys, unknown kinds, or malformed values.
+  static Scenario from_config(const Config& config);
+  /// Parse INI text / load an INI file, then from_config.
+  static Scenario parse(const std::string& text);
+  static Scenario load(const std::string& path);
+
+  /// Canonical Config emission: every field explicit, only keys that apply
+  /// to the declared kinds. `from_config(to_config())` is identity.
+  Config to_config() const;
+  /// `to_config().to_text()` — the canonical INI form.
+  std::string to_text() const;
+
+  /// Runnable translation, routed through core::experiment_from_config so
+  /// scenarios and raw INI files share one code path into the simulator.
+  core::ExperimentConfig experiment() const;
+};
+
+/// True if `Scenario::from_config` would accept [section] key under the
+/// workload/controller kinds declared in `config`. Sweep expansion uses
+/// this to drop base-emitted keys that stop applying after a kind override
+/// (throws if `config` declares an unknown kind).
+bool scenario_key_applies(const Config& config, const std::string& section,
+                          const std::string& key);
+
+}  // namespace dcm::scenario

@@ -81,7 +81,7 @@ TEST(ConfigLoaderTest, FullExperimentTranslation) {
   const auto experiment = core::experiment_from_config(Config::parse(
       "[hardware]\nweb=1\napp=2\ndb=2\n"
       "[soft]\napp_threads=20\ndb_connections=18\n"
-      "[workload]\nkind=jmeter\nusers=64\nseed=9\n"
+      "[workload]\nkind=jmeter\nusers=64\n"
       "[controller]\nkind=ec2\nscale_out_util=0.7\npredictive=true\nsla_rt=0.8\n"
       "[run]\nduration=120\nwarmup=10\nmax_vms=6\n"));
   EXPECT_EQ(experiment.hardware.app, 2);
@@ -109,6 +109,47 @@ TEST(ConfigLoaderTest, DcmControllerGetsReferenceModels) {
   EXPECT_EQ(experiment.controller.kind, core::ControllerSpec::Kind::kDcm);
   EXPECT_DOUBLE_EQ(experiment.controller.dcm.stp_headroom, 1.5);
   EXPECT_NEAR(experiment.controller.dcm.db_tier_model.optimal_concurrency(), 36.0, 1.0);
+}
+
+TEST(ConfigLoaderTest, WorkloadSeedIsRejected) {
+  // The two-seed split ([run] seed + [workload] seed) was unified into a
+  // single root seed; the old key must fail loudly, not silently no-op.
+  EXPECT_THROW(core::experiment_from_config(
+                   Config::parse("[workload]\nkind=rubbos\nseed=9\n")),
+               std::runtime_error);
+}
+
+TEST(ConfigLoaderTest, DcmModelOverridesParsed) {
+  const auto experiment = core::experiment_from_config(Config::parse(
+      "[controller]\nkind=dcm\napp_model = 2.84e-2, 1e-4, 7.09e-7\n"));
+  EXPECT_DOUBLE_EQ(experiment.controller.dcm.app_tier_model.params.s0, 2.84e-2);
+  EXPECT_DOUBLE_EQ(experiment.controller.dcm.app_tier_model.params.alpha, 1e-4);
+  EXPECT_DOUBLE_EQ(experiment.controller.dcm.app_tier_model.params.beta, 7.09e-7);
+  // db model untouched → reference N_b ≈ 36.
+  EXPECT_NEAR(experiment.controller.dcm.db_tier_model.optimal_concurrency(), 36.0, 1.0);
+  EXPECT_THROW(core::experiment_from_config(
+                   Config::parse("[controller]\nkind=dcm\napp_model = 1,2\n")),
+               std::runtime_error);
+  EXPECT_THROW(core::experiment_from_config(
+                   Config::parse("[controller]\nkind=dcm\ndb_model = a,b,c\n")),
+               std::runtime_error);
+}
+
+TEST(ConfigTest, ToTextRoundTrips) {
+  const Config config = Config::parse(
+      "top = 1\n"
+      "[b]\nz = 2\na = hello world\n"
+      "[a]\nk = 0.5\n");
+  const std::string text = config.to_text();
+  // parse → emit → parse is identity...
+  EXPECT_TRUE(Config::parse(text) == config);
+  // ...and emit is a fixed point (canonical form).
+  EXPECT_EQ(Config::parse(text).to_text(), text);
+  // Sections and keys are emitted sorted, sectionless keys first.
+  EXPECT_EQ(text,
+            "top = 1\n"
+            "\n[a]\nk = 0.5\n"
+            "\n[b]\na = hello world\nz = 2\n");
 }
 
 TEST(ConfigLoaderTest, UnknownKindsThrow) {

@@ -4,86 +4,34 @@
 // bit-identical traces — one stray wall-clock read, ambient random draw, or
 // unordered-container iteration anywhere in the stack changes the digest.
 //
-// The digest is FNV-1a over the raw bit patterns of the completed-request
-// trace: per-second response-time and throughput buckets (timestamps,
-// counts, means, extrema), every per-tier timeline, and the controller's
-// action log. It is intentionally exact (no tolerances): determinism is a
-// bit-for-bit property.
+// The digest is scenario::result_digest — FNV-1a over the raw bit patterns
+// of the completed-request trace: per-second response-time and throughput
+// buckets (timestamps, counts, means, extrema), every per-tier timeline, and
+// the controller's action log. It is intentionally exact (no tolerances):
+// determinism is a bit-for-bit property. The same digest backs the sweep
+// runner's thread-count-invariance guarantee (see tests/scenario).
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cstdint>
 #include <cstdio>
-#include <string_view>
 
 #include "core/experiment.h"
+#include "scenario/result_writer.h"
+#include "scenario/sweep.h"
 
 namespace dcm::core {
 namespace {
-
-class Fnv1a {
- public:
-  void mix_bytes(const void* data, size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < size; ++i) {
-      hash_ ^= bytes[i];
-      hash_ *= 1099511628211ull;
-    }
-  }
-  void mix(uint64_t v) { mix_bytes(&v, sizeof(v)); }
-  void mix(int64_t v) { mix(static_cast<uint64_t>(v)); }
-  void mix(double v) { mix(std::bit_cast<uint64_t>(v)); }
-  void mix(std::string_view s) { mix_bytes(s.data(), s.size()); }
-
-  uint64_t value() const { return hash_; }
-
- private:
-  uint64_t hash_ = 14695981039346656037ull;
-};
-
-void mix_series(Fnv1a& h, const metrics::TimeSeries& series) {
-  h.mix(static_cast<uint64_t>(series.buckets().size()));
-  for (const auto& bucket : series.buckets()) {
-    h.mix(bucket.start);
-    h.mix(bucket.stat.count());
-    h.mix(bucket.stat.mean());
-    h.mix(bucket.stat.min());
-    h.mix(bucket.stat.max());
-  }
-}
-
-uint64_t trace_digest(const ExperimentResult& result) {
-  Fnv1a h;
-  h.mix(result.completed);
-  h.mix(result.errors);
-  mix_series(h, result.client.response_time_series());
-  mix_series(h, result.client.throughput_series());
-  for (const auto& tier : result.tiers) {
-    h.mix(tier.name);
-    mix_series(h, tier.provisioned_vms);
-    mix_series(h, tier.cpu_util);
-    mix_series(h, tier.concurrency);
-  }
-  h.mix(static_cast<uint64_t>(result.actions.size()));
-  for (const auto& action : result.actions) {
-    h.mix(action.time);
-    h.mix(action.tier);
-    h.mix(action.action);
-    h.mix(action.detail);
-  }
-  return h.value();
-}
 
 uint64_t run_digest(uint64_t seed) {
   ExperimentConfig config;
   config.hardware = {1, 1, 1};
   config.soft = {1000, 100, 80};
-  config.workload = WorkloadSpec::rubbos(250, /*think_s=*/1.0, seed);
+  config.workload = WorkloadSpec::rubbos(250, /*think_s=*/1.0);
   config.controller = ControllerSpec::ec2();
   config.duration_seconds = 45.0;
   config.warmup_seconds = 10.0;
   config.seed = seed;
-  return trace_digest(run_experiment(config));
+  return scenario::result_digest(run_experiment(config));
 }
 
 TEST(DeterminismDigestTest, SameSeedSameDigest) {
@@ -100,6 +48,22 @@ TEST(DeterminismDigestTest, SameSeedSameDigest) {
 
 TEST(DeterminismDigestTest, DifferentSeedDifferentDigest) {
   EXPECT_NE(run_digest(7), run_digest(8));
+}
+
+// The sweep extension of the same property: a whole grid of experiments,
+// hashed run-by-run in index order, replays bit-identically.
+TEST(DeterminismDigestTest, SweepReplayIsBitIdentical) {
+  scenario::SweepPlan plan;
+  plan.base = scenario::Scenario::parse(
+      "[workload]\nkind=rubbos\nusers=60\n"
+      "[controller]\nkind=ec2\n"
+      "[run]\nduration=20\nwarmup=5\nseed=7\n");
+  plan.axes.push_back(scenario::parse_axis("workload.users=60,90"));
+  const uint64_t first =
+      scenario::sweep_digest(scenario::SweepRunner(plan, /*jobs=*/1).run());
+  const uint64_t second =
+      scenario::sweep_digest(scenario::SweepRunner(plan, /*jobs=*/2).run());
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

@@ -29,8 +29,7 @@ RunDigest run_digest(uint64_t seed, ControllerSpec::Kind controller_kind) {
   ExperimentConfig config;
   config.hardware = {1, 1, 1};
   config.soft = {1000, 200, 80};
-  config.workload = WorkloadSpec::trace_driven(workload::Trace::large_variation(seed), 3.0,
-                                               seed + 100);
+  config.workload = WorkloadSpec::trace_driven(workload::Trace::large_variation(seed), 3.0);
   switch (controller_kind) {
     case ControllerSpec::Kind::kNone:
       config.controller = ControllerSpec::none();

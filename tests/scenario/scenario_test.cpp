@@ -1,0 +1,173 @@
+#include "scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.h"
+
+namespace dcm::scenario {
+namespace {
+
+TEST(ScenarioTest, DefaultsMatchConfigLoaderDefaults) {
+  const Scenario scenario = Scenario::parse("");
+  const auto experiment = scenario.experiment();
+  EXPECT_EQ(experiment.hardware.app, 1);
+  EXPECT_EQ(experiment.soft.db_connections, 80);
+  EXPECT_EQ(experiment.workload.kind, core::WorkloadSpec::Kind::kRubbosClients);
+  EXPECT_EQ(experiment.controller.kind, core::ControllerSpec::Kind::kNone);
+  EXPECT_DOUBLE_EQ(experiment.duration_seconds, 300.0);
+  EXPECT_EQ(experiment.seed, 1u);
+}
+
+TEST(ScenarioTest, ParseEmitParseIsIdentity) {
+  const std::string text =
+      "[scenario]\nname = t\nsummary = roundtrip probe\n"
+      "[hardware]\nweb=1\napp=2\ndb=2\n"
+      "[soft]\napp_threads=20\ndb_connections=18\n"
+      "[workload]\nkind=trace\ntrace=big-spike\npeak_users=200\nthink_seconds=1.5\n"
+      "[controller]\nkind=dcm\nheadroom=1.25\nsla_rt=0.8\npredictive=true\n"
+      "[run]\nduration=120\nwarmup=10\nmax_vms=6\nseed=42\n";
+  const Scenario first = Scenario::parse(text);
+  const Scenario second = Scenario::parse(first.to_text());
+  EXPECT_TRUE(first == second);
+  // Canonical emission is a fixed point.
+  EXPECT_EQ(first.to_text(), second.to_text());
+  // And the fields survived.
+  EXPECT_EQ(second.name, "t");
+  EXPECT_EQ(second.hardware.app, 2);
+  EXPECT_EQ(second.workload.kind, WorkloadDecl::Kind::kTrace);
+  EXPECT_EQ(second.workload.trace, "big-spike");
+  EXPECT_DOUBLE_EQ(second.workload.think_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(second.controller.headroom, 1.25);
+  EXPECT_TRUE(second.controller.predictive);
+  EXPECT_EQ(second.seed, 42u);
+}
+
+TEST(ScenarioTest, UnknownSectionAndKeyAreRejected) {
+  EXPECT_THROW(Scenario::parse("[contorller]\nkind=dcm\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkidn=dcm\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[workload]\nseed=9\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("toplevel=1\n"), std::runtime_error);
+}
+
+TEST(ScenarioTest, KindScopesWhichKeysApply) {
+  // DCM-only keys under ec2 are typos, not silently-ignored extras.
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=ec2\nheadroom=1.5\n"),
+               std::runtime_error);
+  // Controller tunables without a controller are dead config.
+  EXPECT_THROW(Scenario::parse("[controller]\nscale_out_util=0.7\n"), std::runtime_error);
+  // Trace keys under a closed-loop workload are dead config.
+  EXPECT_THROW(Scenario::parse("[workload]\nkind=rubbos\ntrace=big-spike\n"),
+               std::runtime_error);
+  // jmeter has no think time.
+  EXPECT_THROW(Scenario::parse("[workload]\nkind=jmeter\nthink_seconds=2\n"),
+               std::runtime_error);
+  // The same keys under the right kinds are fine.
+  EXPECT_NO_THROW(Scenario::parse("[controller]\nkind=dcm\nheadroom=1.5\n"));
+  EXPECT_NO_THROW(Scenario::parse("[workload]\nkind=trace\ntrace=big-spike\n"));
+}
+
+TEST(ScenarioTest, UnknownKindsThrow) {
+  EXPECT_THROW(Scenario::parse("[workload]\nkind=weird\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=weird\n"), std::runtime_error);
+}
+
+TEST(ScenarioTest, ModelTriplesAreValidatedAndNormalized) {
+  const Scenario scenario =
+      Scenario::parse("[controller]\nkind=dcm\napp_model = 2.84e-2, 1e-4, 7.09e-7\n");
+  // Canonical spelling: shortest round-trip form, no spaces.
+  EXPECT_EQ(scenario.controller.app_model.find(' '), std::string::npos);
+  // Normalization is a fixed point through the round trip, and the values
+  // survive exactly into the runnable config.
+  EXPECT_TRUE(Scenario::parse(scenario.to_text()) == scenario);
+  const auto experiment = scenario.experiment();
+  EXPECT_DOUBLE_EQ(experiment.controller.dcm.app_tier_model.params.s0, 2.84e-2);
+  EXPECT_DOUBLE_EQ(experiment.controller.dcm.app_tier_model.params.alpha, 1e-4);
+  EXPECT_DOUBLE_EQ(experiment.controller.dcm.app_tier_model.params.beta, 7.09e-7);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=dcm\napp_model = 1,2\n"),
+               std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=dcm\ndb_model = a,b,c\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioTest, ExperimentTranslationGoesThroughConfigLoader) {
+  const Scenario scenario = Scenario::parse(
+      "[hardware]\napp=2\n"
+      "[workload]\nkind=jmeter\nusers=64\n"
+      "[controller]\nkind=ec2\nscale_out_util=0.7\n"
+      "[run]\nduration=120\nseed=5\n");
+  const auto experiment = scenario.experiment();
+  EXPECT_EQ(experiment.hardware.app, 2);
+  EXPECT_EQ(experiment.workload.kind, core::WorkloadSpec::Kind::kJmeter);
+  EXPECT_EQ(experiment.workload.users, 64);
+  EXPECT_EQ(experiment.controller.kind, core::ControllerSpec::Kind::kEc2AutoScale);
+  EXPECT_DOUBLE_EQ(experiment.controller.policy.scale_out_util, 0.7);
+  EXPECT_EQ(experiment.seed, 5u);
+}
+
+TEST(ScenarioTest, KeyAppliesFollowsDeclaredKinds) {
+  Config config;
+  config.set("controller", "kind", "dcm");
+  EXPECT_TRUE(scenario_key_applies(config, "controller", "headroom"));
+  config.set("controller", "kind", "ec2");
+  EXPECT_FALSE(scenario_key_applies(config, "controller", "headroom"));
+  EXPECT_TRUE(scenario_key_applies(config, "controller", "control_period"));
+  config.set("controller", "kind", "none");
+  EXPECT_FALSE(scenario_key_applies(config, "controller", "control_period"));
+  EXPECT_TRUE(scenario_key_applies(config, "run", "seed"));
+  EXPECT_FALSE(scenario_key_applies(config, "run", "sede"));
+}
+
+TEST(RegistryTest, AllScenariosParseAndRoundTrip) {
+  const auto names = scenario_names();
+  ASSERT_FALSE(names.empty());
+  for (const auto& name : names) {
+    SCOPED_TRACE(name);
+    const Scenario scenario = get_scenario(name);
+    // The registered name is the scenario's own name.
+    EXPECT_EQ(scenario.name, name);
+    EXPECT_FALSE(scenario.summary.empty());
+    // Registered text is strict-parseable and round-trips canonically.
+    const Scenario reparsed = Scenario::parse(scenario.to_text());
+    EXPECT_TRUE(reparsed == scenario);
+  }
+}
+
+TEST(RegistryTest, UnknownNameThrowsWithKnownList) {
+  EXPECT_FALSE(has_scenario("no-such-scenario"));
+  try {
+    get_scenario("no-such-scenario");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    // The error should help: it lists the known names.
+    EXPECT_NE(std::string(e.what()).find("fig5"), std::string::npos);
+  }
+}
+
+TEST(RegistryTest, CanonicalScenariosMatchThePaperSetups) {
+  const Scenario fig5 = get_scenario("fig5");
+  EXPECT_EQ(fig5.workload.kind, WorkloadDecl::Kind::kTrace);
+  EXPECT_EQ(fig5.workload.trace, "large-variation");
+  EXPECT_EQ(fig5.soft.app_threads, 200);
+  EXPECT_EQ(fig5.controller.kind, ControllerDecl::Kind::kDcm);
+  EXPECT_DOUBLE_EQ(fig5.duration_seconds, 700.0);
+
+  const Scenario ec2 = get_scenario("fig5-ec2");
+  EXPECT_EQ(ec2.controller.kind, ControllerDecl::Kind::kEc2);
+  // Paired comparison: identical deployment, workload and root seed.
+  EXPECT_TRUE(ec2.hardware == fig5.hardware);
+  EXPECT_TRUE(ec2.soft == fig5.soft);
+  EXPECT_TRUE(ec2.workload == fig5.workload);
+  EXPECT_EQ(ec2.seed, fig5.seed);
+
+  const Scenario soft_only = get_scenario("ablation-soft-only");
+  EXPECT_EQ(soft_only.max_vms, 1);
+
+  const Scenario wrong = get_scenario("ablation-wrong-models");
+  const auto experiment = wrong.experiment();
+  // The wrong models put the optima near the default pools (≈200 / ≈160).
+  EXPECT_NEAR(experiment.controller.dcm.app_tier_model.optimal_concurrency(), 200.0, 10.0);
+  EXPECT_NEAR(experiment.controller.dcm.db_tier_model.optimal_concurrency(), 160.0, 10.0);
+}
+
+}  // namespace
+}  // namespace dcm::scenario

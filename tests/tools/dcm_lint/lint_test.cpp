@@ -72,6 +72,12 @@ TEST(DcmLintTest, AmbientRandomnessCleanFileIsClean) {
   EXPECT_TRUE(lint_fixture("randomness_clean.cc", "src/workload/seedy.cc").empty());
 }
 
+TEST(DcmLintTest, AmbientRandomnessCoversSweepCli) {
+  // The sweep CLI feeds seeds into experiments; a stray rand() there would
+  // break the bit-identical --jobs 1 vs --jobs N guarantee.
+  EXPECT_FALSE(lint_fixture("randomness_fire.cc", "tools/dcm_run/main.cpp").empty());
+}
+
 // --- no-unordered-iteration ------------------------------------------------
 
 TEST(DcmLintTest, UnorderedIterationFires) {
@@ -85,9 +91,16 @@ TEST(DcmLintTest, UnorderedIterationCleanFileIsClean) {
 }
 
 TEST(DcmLintTest, UnorderedIterationScopedToEventOrderCode) {
-  // Outside src/{sim,ntier,control}, hash-order iteration cannot reach the
-  // event stream; fit/ code may iterate freely.
+  // Outside src/{sim,ntier,control,scenario}, hash-order iteration cannot
+  // reach the event stream; fit/ code may iterate freely.
   EXPECT_TRUE(lint_fixture("unordered_iter_fire.cc", "src/fit/spread.cc").empty());
+}
+
+TEST(DcmLintTest, UnorderedIterationCoversSweepMerge) {
+  // Hash-order iteration in the scenario layer or the sweep CLI would leak
+  // into run ordering and break sweep-digest invariance across job counts.
+  EXPECT_FALSE(lint_fixture("unordered_iter_fire.cc", "src/scenario/sweep.cc").empty());
+  EXPECT_FALSE(lint_fixture("unordered_iter_fire.cc", "tools/dcm_run/main.cpp").empty());
 }
 
 // --- no-raw-assert ---------------------------------------------------------

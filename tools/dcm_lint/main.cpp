@@ -2,8 +2,8 @@
 //
 //   dcm_lint [--root <repo-root>] [dir...]
 //
-// Lints the given repo-relative directories (default: src tests) and prints
-// one line per finding:
+// Lints the given repo-relative directories (default: src tests
+// tools/dcm_run) and prints one line per finding:
 //
 //   src/foo/bar.cpp:42: error: [no-wall-clock] wall-clock access '...'
 //
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       dirs.emplace_back(argv[i]);
     }
   }
-  if (dirs.empty()) dirs = {"src", "tests"};
+  if (dirs.empty()) dirs = {"src", "tests", "tools/dcm_run"};
 
   const std::vector<dcm::lint::Diagnostic> diags = dcm::lint::lint_tree(root, dirs);
   for (const auto& d : diags) {

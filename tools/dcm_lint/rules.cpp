@@ -15,6 +15,9 @@ bool in_src(std::string_view path) { return under(path, "src/"); }
 bool in_src_or_tests(std::string_view path) {
   return under(path, "src/") || under(path, "tests/");
 }
+// The sweep CLI shares the determinism contract with the library: a stray
+// random draw or unordered walk there breaks sweep digests all the same.
+bool in_dcm_run(std::string_view path) { return under(path, "tools/dcm_run/"); }
 
 bool is_ident(const Token& t, std::string_view text) {
   return t.kind == TokenKind::kIdentifier && t.text == text;
@@ -97,7 +100,9 @@ class NoWallClock final : public Rule {
 class NoAmbientRandomness final : public Rule {
  public:
   std::string_view id() const override { return "no-ambient-randomness"; }
-  bool applies_to(std::string_view path) const override { return in_src(path); }
+  bool applies_to(std::string_view path) const override {
+    return in_src(path) || in_dcm_run(path);
+  }
 
   void run(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
     static constexpr std::array<std::string_view, 7> kIdents = {
@@ -127,7 +132,8 @@ class NoUnorderedIteration final : public Rule {
   std::string_view id() const override { return "no-unordered-iteration"; }
   bool applies_to(std::string_view path) const override {
     return under(path, "src/sim/") || under(path, "src/ntier/") ||
-           under(path, "src/control/");
+           under(path, "src/control/") || under(path, "src/scenario/") ||
+           in_dcm_run(path);
   }
 
   void run(const FileContext& ctx, std::vector<Diagnostic>& out) const override {

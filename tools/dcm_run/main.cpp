@@ -1,0 +1,238 @@
+// dcm_run — scenario & sweep CLI over the registry.
+//
+//   dcm_run list
+//       One line per registered scenario: name + summary.
+//   dcm_run show <scenario|file.ini>
+//       Print the registered INI text (for a file: its canonical form).
+//   dcm_run run <scenario|file.ini> [options]
+//       Run one scenario.
+//   dcm_run sweep <scenario|file.ini> --axis section.key=v1,v2,... [options]
+//       Expand the axes' cartesian grid and run every point.
+//
+// Options (run and sweep):
+//   --set section.key=value   override a base-scenario field (repeatable)
+//   --jobs N                  worker threads (sweep; 0 = all cores; default 1)
+//   --seed-policy derive|fixed  per-run seeds derived from the root seed
+//                             (default) or pinned to it (paired comparisons)
+//   --json <path|->           write dcm-result-v1 JSON (- = stdout)
+//   --csv <prefix>            write <prefix>_run<i>_timeline.csv per run
+//   --digest                  print only "digest <n>" (CI's jobs-invariance
+//                             compare relies on this being bit-stable)
+//   --quiet                   suppress per-run summary tables
+//
+// Exit status: 0 on success, 1 on any failure, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "scenario/registry.h"
+#include "scenario/result_writer.h"
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
+
+using namespace dcm;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string target;
+  std::vector<std::string> sets;
+  std::vector<std::string> axes;
+  int jobs = 1;
+  scenario::SeedPolicy seed_policy = scenario::SeedPolicy::kDerivePerRun;
+  std::string json_path;
+  std::string csv_prefix;
+  bool digest_only = false;
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s list\n"
+               "       %s show <scenario|file.ini>\n"
+               "       %s run <scenario|file.ini> [--set s.k=v]... [--json path|-]\n"
+               "             [--csv prefix] [--digest] [--quiet]\n"
+               "       %s sweep <scenario|file.ini> --axis s.k=v1,v2,... [--axis ...]\n"
+               "             [--jobs N] [--seed-policy derive|fixed] [--set s.k=v]...\n"
+               "             [--json path|-] [--csv prefix] [--digest] [--quiet]\n",
+               argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+// A registry name, or a path to an INI file (anything with a '.' or '/' is
+// treated as a path so `dcm_run run my/exp.ini` needs no flag).
+scenario::Scenario load_target(const std::string& target) {
+  if (scenario::has_scenario(target)) return scenario::get_scenario(target);
+  if (target.find('/') != std::string::npos || target.find('.') != std::string::npos) {
+    return scenario::Scenario::load(target);
+  }
+  return scenario::get_scenario(target);  // throws with the known-name list
+}
+
+int cmd_list() {
+  TextTable table({"scenario", "summary"});
+  for (const auto& name : scenario::scenario_names()) {
+    table.add_row({name, scenario::get_scenario(name).summary});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_show(const std::string& target) {
+  if (scenario::has_scenario(target)) {
+    std::fputs(scenario::scenario_text(target).c_str(), stdout);
+  } else {
+    // For a file: parse (strict) and print the canonical emission.
+    std::fputs(load_target(target).to_text().c_str(), stdout);
+  }
+  return 0;
+}
+
+void write_outputs(const Options& opts, const std::string& name,
+                   const std::vector<scenario::SweepRun>& runs) {
+  if (opts.digest_only) {
+    std::printf("digest %llu\n",
+                static_cast<unsigned long long>(scenario::sweep_digest(runs)));
+  }
+  if (!opts.json_path.empty()) {
+    if (opts.json_path == "-") {
+      scenario::write_result_json(std::cout, name, runs);
+    } else {
+      std::ofstream out(opts.json_path);
+      if (!out) throw std::runtime_error("cannot open " + opts.json_path);
+      scenario::write_result_json(out, name, runs);
+      if (!opts.digest_only) std::printf("wrote %s\n", opts.json_path.c_str());
+    }
+  }
+  if (!opts.csv_prefix.empty()) {
+    for (const auto& run : runs) {
+      const std::string path =
+          opts.csv_prefix + "_run" + std::to_string(run.index) + "_timeline.csv";
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot open " + path);
+      // Trace-driven runs get the offered-users column.
+      const auto experiment = run.scenario.experiment();
+      const workload::Trace* trace =
+          experiment.workload.kind == core::WorkloadSpec::Kind::kTrace
+              ? &experiment.workload.trace
+              : nullptr;
+      scenario::write_timeline_csv(out, run.result, trace);
+      if (!opts.digest_only) std::printf("wrote %s\n", path.c_str());
+    }
+  }
+}
+
+int cmd_run_or_sweep(const Options& opts) {
+  scenario::SweepPlan plan;
+  plan.base = load_target(opts.target);
+  plan.seed_policy = opts.seed_policy;
+  for (const auto& set : opts.sets) {
+    // --set is a single-value axis applied to the base, not a dimension.
+    const scenario::SweepAxis axis = scenario::parse_axis(set);
+    if (axis.values.size() != 1) {
+      throw std::runtime_error("--set " + set + " must have exactly one value");
+    }
+    Config config = plan.base.to_config();
+    config.set(axis.section, axis.key, axis.values[0]);
+    plan.base = scenario::Scenario::from_config(config);
+  }
+  for (const auto& axis : opts.axes) plan.axes.push_back(scenario::parse_axis(axis));
+
+  scenario::SweepRunner runner(std::move(plan), opts.jobs);
+  if (!opts.digest_only && !opts.quiet) {
+    std::printf("%zu run(s), %d worker(s)\n", runner.planned().size(), runner.jobs());
+  }
+  const std::vector<scenario::SweepRun> runs = runner.run();
+
+  if (!opts.digest_only && !opts.quiet) {
+    for (const auto& run : runs) {
+      std::printf("--- run %zu: %s", run.index, run.scenario.name.c_str());
+      for (const auto& [key, value] : run.overrides) {
+        std::printf(" %s=%s", key.c_str(), value.c_str());
+      }
+      std::printf(" (seed %llu) ---\n", static_cast<unsigned long long>(run.scenario.seed));
+      scenario::print_summary(run.result);
+      std::puts("");
+    }
+  }
+  write_outputs(opts, runs.size() == 1 ? runs[0].scenario.name : opts.target, runs);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  Options opts;
+  opts.command = argv[1];
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dcm_run: %s needs an argument\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--set") {
+      opts.sets.push_back(next());
+    } else if (arg == "--axis") {
+      opts.axes.push_back(next());
+    } else if (arg == "--jobs") {
+      const auto parsed = parse_int(next());
+      if (!parsed) return usage(argv[0]);
+      opts.jobs = static_cast<int>(*parsed);
+    } else if (arg == "--seed-policy") {
+      const std::string policy = next();
+      if (policy == "derive") {
+        opts.seed_policy = scenario::SeedPolicy::kDerivePerRun;
+      } else if (policy == "fixed") {
+        opts.seed_policy = scenario::SeedPolicy::kFixed;
+      } else {
+        std::fprintf(stderr, "dcm_run: unknown seed policy '%s'\n", policy.c_str());
+        return 2;
+      }
+    } else if (arg == "--json") {
+      opts.json_path = next();
+    } else if (arg == "--csv") {
+      opts.csv_prefix = next();
+    } else if (arg == "--digest") {
+      opts.digest_only = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "dcm_run: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else if (opts.target.empty()) {
+      opts.target = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  set_log_level(LogLevel::kWarn);
+  try {
+    if (opts.command == "list") return cmd_list();
+    if (opts.command == "show" && !opts.target.empty()) return cmd_show(opts.target);
+    if ((opts.command == "run" || opts.command == "sweep") && !opts.target.empty()) {
+      if (opts.command == "sweep" && opts.axes.empty()) {
+        std::fprintf(stderr, "dcm_run: sweep needs at least one --axis\n");
+        return 2;
+      }
+      return cmd_run_or_sweep(opts);
+    }
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dcm_run: error: %s\n", e.what());
+    return 1;
+  }
+}
