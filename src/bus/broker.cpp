@@ -37,6 +37,10 @@ Topic::Topic(std::string name, TopicConfig config) : name_(std::move(name)), con
   partitions_.resize(static_cast<size_t>(config_.partitions));
 }
 
+void Topic::set_drop_until(sim::SimTime until) {
+  if (until > drop_until_) drop_until_ = until;
+}
+
 int Topic::partition_for_key(const std::string& key) const {
   uint64_t h = 1469598103934665603ull;  // FNV-1a
   for (char c : key) {

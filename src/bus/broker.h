@@ -58,10 +58,19 @@ class Topic {
 
   const TopicConfig& config() const { return config_; }
 
+  /// Fault injection: records produced before `until` (exclusive) are
+  /// dropped instead of appended — a telemetry-loss window. Idempotent;
+  /// overlapping windows extend to the later bound.
+  void set_drop_until(sim::SimTime until);
+  /// True when a record timestamped `at` would be dropped.
+  bool drops_at(sim::SimTime at) const { return at < drop_until_; }
+  sim::SimTime drop_until() const { return drop_until_; }
+
  private:
   std::string name_;
   TopicConfig config_;
   std::vector<Partition> partitions_;
+  sim::SimTime drop_until_ = 0;
 };
 
 /// The broker owns topics and consumer-group committed offsets.

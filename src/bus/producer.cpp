@@ -10,6 +10,10 @@ int64_t Producer::send(const std::string& topic_name, const std::string& key, st
                        sim::SimTime timestamp) {
   Topic* topic = broker_->find_topic(topic_name);
   DCM_CHECK_MSG(topic != nullptr, "produce to unknown topic");
+  if (topic->drops_at(timestamp)) {
+    ++records_dropped_;
+    return -1;
+  }
   const int p = topic->partition_for_key(key);
   Record record;
   record.timestamp = timestamp;

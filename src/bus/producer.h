@@ -12,16 +12,20 @@ class Producer {
   /// The broker must outlive the producer.
   explicit Producer(Broker& broker);
 
-  /// Appends to the key's partition; returns the assigned offset.
+  /// Appends to the key's partition; returns the assigned offset, or -1 if
+  /// the topic is inside a fault-injected drop window (record lost).
   /// The topic must exist.
   int64_t send(const std::string& topic, const std::string& key, std::string value,
                sim::SimTime timestamp);
 
   uint64_t records_sent() const { return records_sent_; }
+  /// Records lost to topic drop windows (telemetry-loss fault accounting).
+  uint64_t records_dropped() const { return records_dropped_; }
 
  private:
   Broker* broker_;
   uint64_t records_sent_ = 0;
+  uint64_t records_dropped_ = 0;
 };
 
 }  // namespace dcm::bus

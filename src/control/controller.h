@@ -70,6 +70,9 @@ class ControllerBase {
   VmAgent& vm_agent() { return vm_agent_; }
   AppAgent& app_agent() { return app_agent_; }
   const ScalingPolicy& policy() const { return policy_; }
+  /// Concrete policies may record their own actions (e.g. watchdog
+  /// freeze/resume transitions) alongside the actuators'.
+  ControlLog& mutable_log() { return log_; }
 
  private:
   void control_tick();

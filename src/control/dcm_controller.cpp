@@ -21,10 +21,12 @@ DcmController::DcmController(sim::Engine& engine, ntier::NTierApp& app, bus::Bro
   DCM_CHECK(config_.db_tier_model.params.valid());
   DCM_CHECK(config_.stp_headroom >= 1.0);
 
-  // APP-agent follows the VM-agent: re-tune as soon as a VM enters service.
+  // APP-agent follows the VM-agent: re-tune as soon as a VM enters service
+  // (unless the watchdog has soft actuation frozen).
   for (size_t depth : {config_.app_tier, config_.db_tier}) {
-    app.tier(depth).add_vm_activated_callback(
-        [this](ntier::Vm&) { reallocate_soft_resources(); });
+    app.tier(depth).add_vm_activated_callback([this](ntier::Vm&) {
+      if (!frozen_) reallocate_soft_resources();
+    });
   }
   // Deploy the model-optimal allocation for the initial configuration.
   reallocate_soft_resources();
@@ -41,7 +43,15 @@ int DcmController::db_tier_nb() const {
 }
 
 void DcmController::decide(const std::vector<TierObservation>& observations) {
-  if (config_.online_estimation) {
+  // Stale-telemetry watchdog: count consecutive periods where the monitoring
+  // pipeline delivered nothing at all (bus drop window, silenced agents, …).
+  if (config_.watchdog_periods > 0) {
+    silent_periods_ = period_samples().empty() ? silent_periods_ + 1 : 0;
+  }
+  const bool telemetry_stale =
+      config_.watchdog_periods > 0 && silent_periods_ >= config_.watchdog_periods;
+
+  if (config_.online_estimation && !telemetry_stale) {
     for (const auto& s : period_samples()) {
       if (s.vm_state != "ACTIVE") continue;
       if (static_cast<size_t>(s.depth) == config_.app_tier) {
@@ -53,10 +63,28 @@ void DcmController::decide(const std::vector<TierObservation>& observations) {
     refine_models_online();
   }
 
+  if (telemetry_stale) {
+    set_frozen(true, "telemetry_stale");
+  } else if (app_fit_degraded_ || db_fit_degraded_) {
+    set_frozen(true, "fit_degraded");
+  } else {
+    set_frozen(false, "telemetry_fresh");
+  }
+
+  // The hardware-only EC2 rule keeps running while frozen — graceful
+  // degradation means losing the concurrency refinement, not VM scaling.
   for (size_t i = 0; i < observations.size(); ++i) {
     apply_hardware_rule(i, observations[i]);
   }
-  reallocate_soft_resources();
+  if (!frozen_) reallocate_soft_resources();
+}
+
+void DcmController::set_frozen(bool frozen, const char* reason) {
+  if (frozen == frozen_) return;
+  frozen_ = frozen;
+  mutable_log().add(engine().now(), "*", frozen ? "watchdog_freeze" : "watchdog_resume",
+                    reason);
+  DCM_LOG_WARN("dcm: %s soft-resource actuation (%s)", frozen ? "froze" : "resumed", reason);
 }
 
 void DcmController::reallocate_soft_resources() {
@@ -83,20 +111,36 @@ void DcmController::refine_models_online() {
   const ntier::Tier& db_tier = app().tier(config_.db_tier);
   if (auto fitted = app_estimator_.fit(std::max(1, app_tier.active_vm_count()),
                                        config_.app_tier_model.visit_ratio)) {
-    const double nb = fitted->optimal_concurrency();
-    if (nb >= 2.0 && nb <= 500.0) {
-      config_.app_tier_model.params = fitted->model.params;
-      DCM_LOG_DEBUG("dcm: refined app-tier model online, N_b=%.1f (R²=%.3f)", nb,
-                    fitted->r_squared);
+    if (config_.min_fit_r2 > 0.0 && fitted->r_squared < config_.min_fit_r2) {
+      // R² collapse: the data no longer looks like the model (e.g. a fault
+      // is polluting the samples) — reject the fit and flag degradation.
+      app_fit_degraded_ = true;
+      DCM_LOG_WARN("dcm: rejected app-tier fit (R²=%.3f < %.3f)", fitted->r_squared,
+                   config_.min_fit_r2);
+    } else {
+      app_fit_degraded_ = false;
+      const double nb = fitted->optimal_concurrency();
+      if (nb >= 2.0 && nb <= 500.0) {
+        config_.app_tier_model.params = fitted->model.params;
+        DCM_LOG_DEBUG("dcm: refined app-tier model online, N_b=%.1f (R²=%.3f)", nb,
+                      fitted->r_squared);
+      }
     }
   }
   if (auto fitted = db_estimator_.fit(std::max(1, db_tier.active_vm_count()),
                                       config_.db_tier_model.visit_ratio)) {
-    const double nb = fitted->optimal_concurrency();
-    if (nb >= 2.0 && nb <= 500.0) {
-      config_.db_tier_model.params = fitted->model.params;
-      DCM_LOG_DEBUG("dcm: refined db-tier model online, N_b=%.1f (R²=%.3f)", nb,
-                    fitted->r_squared);
+    if (config_.min_fit_r2 > 0.0 && fitted->r_squared < config_.min_fit_r2) {
+      db_fit_degraded_ = true;
+      DCM_LOG_WARN("dcm: rejected db-tier fit (R²=%.3f < %.3f)", fitted->r_squared,
+                   config_.min_fit_r2);
+    } else {
+      db_fit_degraded_ = false;
+      const double nb = fitted->optimal_concurrency();
+      if (nb >= 2.0 && nb <= 500.0) {
+        config_.db_tier_model.params = fitted->model.params;
+        DCM_LOG_DEBUG("dcm: refined db-tier model online, N_b=%.1f (R²=%.3f)", nb,
+                      fitted->r_squared);
+      }
     }
   }
 }

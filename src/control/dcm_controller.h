@@ -39,6 +39,15 @@ struct DcmConfig {
   bool online_estimation = false;
   EstimatorConfig estimator;
 
+  /// Graceful degradation (resilience mechanism). With watchdog_periods > 0,
+  /// that many consecutive sample-less control periods freeze soft-resource
+  /// actuation — the controller falls back to the hardware-only EC2 rule
+  /// until fresh telemetry returns. With min_fit_r2 > 0, an online fit whose
+  /// R² falls below it is rejected and likewise freezes soft actuation until
+  /// an acceptable fit arrives. 0 disables each check.
+  int watchdog_periods = 0;
+  double min_fit_r2 = 0.0;
+
   /// Tier indexes of the concurrency-managed pair. Defaults fit the 3-tier
   /// web(0)/app(1)/db(2) layout; the 4-tier layout with a DB load-balancer
   /// tier uses app_tier=1, db_tier=3.
@@ -57,16 +66,26 @@ class DcmController final : public ControllerBase {
   const model::ConcurrencyModel& app_tier_model() const { return config_.app_tier_model; }
   const model::ConcurrencyModel& db_tier_model() const { return config_.db_tier_model; }
 
+  /// True while the watchdog has soft-resource actuation frozen.
+  bool actuation_frozen() const { return frozen_; }
+  /// Consecutive control periods without a single telemetry sample.
+  int silent_periods() const { return silent_periods_; }
+
  protected:
   void decide(const std::vector<TierObservation>& observations) override;
 
  private:
   void reallocate_soft_resources();
   void refine_models_online();
+  void set_frozen(bool frozen, const char* reason);
 
   DcmConfig config_;
   OnlineModelEstimator app_estimator_;
   OnlineModelEstimator db_estimator_;
+  int silent_periods_ = 0;
+  bool app_fit_degraded_ = false;
+  bool db_fit_degraded_ = false;
+  bool frozen_ = false;
 };
 
 }  // namespace dcm::control

@@ -84,6 +84,41 @@ ExperimentConfig experiment_from_config(const Config& config) {
     throw std::runtime_error("config: unknown workload kind '" + workload_kind + "'");
   }
 
+  fault::FaultSpec& faults = experiment.faults;
+  faults.crash_mttf_seconds = config.get_double("faults", "crash_mttf", 0.0);
+  faults.slowdown_mttf_seconds = config.get_double("faults", "slowdown_mttf", 0.0);
+  faults.slowdown_factor = config.get_double("faults", "slowdown_factor", 0.25);
+  faults.slowdown_duration_seconds = config.get_double("faults", "slowdown_duration", 30.0);
+  faults.telemetry_loss_mttf_seconds = config.get_double("faults", "telemetry_loss_mttf", 0.0);
+  faults.telemetry_loss_duration_seconds =
+      config.get_double("faults", "telemetry_loss_duration", 30.0);
+  faults.agent_silence_mttf_seconds = config.get_double("faults", "agent_silence_mttf", 0.0);
+  faults.agent_silence_duration_seconds =
+      config.get_double("faults", "agent_silence_duration", 30.0);
+
+  ResilienceSpec& resilience = experiment.resilience;
+  resilience.enabled = config.get_bool("resilience", "enabled", false);
+  resilience.client_timeout_seconds =
+      config.get_double("resilience", "client_timeout", resilience.client_timeout_seconds);
+  resilience.client_retries = static_cast<int>(
+      config.get_int("resilience", "client_retries", resilience.client_retries));
+  resilience.client_backoff_seconds =
+      config.get_double("resilience", "client_backoff", resilience.client_backoff_seconds);
+  resilience.subrequest_timeout_seconds = config.get_double(
+      "resilience", "subrequest_timeout", resilience.subrequest_timeout_seconds);
+  resilience.subrequest_retries = static_cast<int>(
+      config.get_int("resilience", "subrequest_retries", resilience.subrequest_retries));
+  resilience.health_period_seconds =
+      config.get_double("resilience", "health_period", resilience.health_period_seconds);
+  resilience.health_failure_threshold = static_cast<int>(config.get_int(
+      "resilience", "health_failure_threshold", resilience.health_failure_threshold));
+  resilience.replace_failed =
+      config.get_bool("resilience", "replace_failed", resilience.replace_failed);
+  resilience.watchdog_periods = static_cast<int>(
+      config.get_int("resilience", "watchdog_periods", resilience.watchdog_periods));
+  resilience.min_fit_r2 =
+      config.get_double("resilience", "min_fit_r2", resilience.min_fit_r2);
+
   control::ScalingPolicy policy;
   policy.control_period =
       sim::from_seconds(config.get_double("controller", "control_period", 15.0));

@@ -77,12 +77,29 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   const uint64_t topology_seed = experiment_stream_seed(config.seed, SeedStream::kTopology);
   const uint64_t workload_seed = experiment_stream_seed(config.seed, SeedStream::kWorkload);
+  const uint64_t fault_seed = experiment_stream_seed(config.seed, SeedStream::kFault);
 
   sim::Engine engine;
   ntier::NTierApp app(engine, rubbos_app_config(config.hardware, config.soft, topology_seed,
                                                 config.max_vms_per_tier));
   bus::Broker broker;
   ntier::MonitorFleet fleet(engine, app, broker);
+
+  if (config.resilience.enabled) {
+    // Inter-tier sub-request deadlines/retries on every tier that has a
+    // downstream, and health-checked balancing on every scalable tier.
+    ntier::SubRequestRetryPolicy sub_retry;
+    sub_retry.timeout_seconds = config.resilience.subrequest_timeout_seconds;
+    sub_retry.max_retries = config.resilience.subrequest_retries;
+    ntier::HealthCheckConfig health;
+    health.period_seconds = config.resilience.health_period_seconds;
+    health.failure_threshold = config.resilience.health_failure_threshold;
+    health.replace_failed = config.resilience.replace_failed;
+    for (size_t i = 0; i < app.tier_count(); ++i) {
+      if (i + 1 < app.tier_count()) app.tier(i).set_subrequest_retry(sub_retry);
+      if (i > 0) app.tier(i).enable_health_checks(health);
+    }
+  }
 
   const workload::ServletCatalog catalog = workload::ServletCatalog::browse_only_mix(kDbVisitRatio);
 
@@ -107,6 +124,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                                        config.workload.trace);
       break;
   }
+  if (config.resilience.enabled) {
+    workload::RetryPolicy client_retry;
+    client_retry.timeout_seconds = config.resilience.client_timeout_seconds;
+    client_retry.max_retries = config.resilience.client_retries;
+    client_retry.backoff_base_seconds = config.resilience.client_backoff_seconds;
+    generator->set_retry_policy(client_retry);
+  }
 
   std::unique_ptr<control::ControllerBase> controller;
   switch (config.controller.kind) {
@@ -119,10 +143,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     case ControllerSpec::Kind::kDcm: {
       control::DcmConfig dcm_config = config.controller.dcm;
       dcm_config.policy = config.controller.policy;
+      if (config.resilience.enabled) {
+        dcm_config.watchdog_periods = config.resilience.watchdog_periods;
+        dcm_config.min_fit_r2 = config.resilience.min_fit_r2;
+      }
       controller =
           std::make_unique<control::DcmController>(engine, app, broker, std::move(dcm_config));
       break;
     }
+  }
+
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (config.faults.any_enabled()) {
+    injector = std::make_unique<fault::FaultInjector>(
+        engine, app, broker, &fleet,
+        fault::FaultPlan::synthesize(config.faults, fault_seed, config.duration_seconds));
   }
 
   ExperimentResult result;
@@ -179,6 +214,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.completed = stats.completed();
   result.errors = stats.errors();
   result.mean_throughput = stats.mean_throughput(warmup, end);
+  result.goodput = stats.mean_goodput(warmup, end);
+  result.error_rate = stats.error_rate(warmup, end);
+  result.timeouts = stats.timeouts();
+  result.retries = stats.retries();
+  for (size_t i = 0; i < app.tier_count(); ++i) {
+    result.timeouts += app.tier(i).subrequest_timeouts();
+    result.retries += app.tier(i).subrequest_retries();
+  }
+
+  // Merge the injected faults with every tier's recovery actions into one
+  // time-sorted trail (stable: injector entries before tier events on ties,
+  // tiers in depth order).
+  if (injector) result.fault_log = injector->log();
+  for (size_t i = 0; i < app.tier_count(); ++i) {
+    for (const auto& event : app.tier(i).events()) {
+      result.fault_log.push_back(
+          fault::FaultLogEntry{event.at, event.kind, event.detail, app.tier(i).name()});
+    }
+  }
+  std::stable_sort(
+      result.fault_log.begin(), result.fault_log.end(),
+      [](const fault::FaultLogEntry& a, const fault::FaultLogEntry& b) { return a.at < b.at; });
 
   metrics::Welford rt;
   double rt_max = 0.0;

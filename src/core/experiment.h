@@ -14,6 +14,8 @@
 #include "control/dcm_controller.h"
 #include "control/scaling_policy.h"
 #include "core/topologies.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "metrics/timeseries.h"
 #include "workload/client_stats.h"
 #include "workload/trace.h"
@@ -44,11 +46,34 @@ struct ControllerSpec {
   static ControllerSpec dcm_controller(control::DcmConfig config);
 };
 
+/// End-to-end resilience switchboard. One flag arms the whole stack with
+/// the listed defaults: client deadline/retry, inter-tier sub-request
+/// deadline/retry, tier health checks with replacement launches, and the
+/// DCM watchdog (watchdog fields apply only to the DCM controller).
+struct ResilienceSpec {
+  bool enabled = false;
+  double client_timeout_seconds = 2.0;
+  int client_retries = 2;
+  double client_backoff_seconds = 0.25;
+  double subrequest_timeout_seconds = 1.0;
+  int subrequest_retries = 1;
+  double health_period_seconds = 5.0;
+  int health_failure_threshold = 3;
+  bool replace_failed = true;
+  int watchdog_periods = 2;
+  double min_fit_r2 = 0.0;  // 0 = R² gate off
+};
+
 struct ExperimentConfig {
   HardwareConfig hardware;
   SoftAllocation soft;
   WorkloadSpec workload;
   ControllerSpec controller;
+  /// Fault schedule rates; all-zero (the default) injects nothing. The
+  /// concrete schedule derives from the root seed (SeedStream::kFault), so
+  /// two configs differing only in resilience see the same faults.
+  fault::FaultSpec faults;
+  ResilienceSpec resilience;
   double duration_seconds = 300.0;
   /// Measurement excludes [0, warmup); timelines still cover everything.
   double warmup_seconds = 30.0;
@@ -68,6 +93,7 @@ enum class SeedStream : uint64_t {
   kTopology = 0,  // per-server service-time variation
   kWorkload = 1,  // generator think times / servlet mix draws
   kTrace = 2,     // taxonomy trace synthesis (config-driven runs)
+  kFault = 3,     // fault-plan synthesis (chaos runs)
 };
 
 /// `derive_seed(root, stream)` with a typed stream id.
@@ -95,6 +121,15 @@ struct ExperimentResult {
   double max_response_time = 0.0;
   uint64_t completed = 0;
   uint64_t errors = 0;
+
+  // Failure accounting (chaos runs; all zero on a healthy run).
+  uint64_t timeouts = 0;  // client + inter-tier deadline expirations
+  uint64_t retries = 0;   // client + inter-tier re-issued attempts
+  double goodput = 0.0;   // post-warmup req/s completing within the bound
+  double error_rate = 0.0;  // post-warmup errors / (errors + completions)
+  /// Injected faults and recovery actions (injector log merged with every
+  /// tier's eject/replace events), sorted by time.
+  std::vector<fault::FaultLogEntry> fault_log;
 
   /// Resource-efficiency accounting (the paper's motivation): provisioned
   /// VM-seconds per tier over the whole run (booting + active + draining

@@ -1,0 +1,71 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dcm::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kVmCrash:
+      return "vm_crash";
+    case FaultKind::kVmSlowdown:
+      return "vm_slowdown";
+    case FaultKind::kTelemetryLoss:
+      return "telemetry_loss";
+    case FaultKind::kAgentSilence:
+      return "agent_silence";
+  }
+  return "?";
+}
+
+namespace {
+
+void synthesize_family(std::vector<FaultEvent>& out, FaultKind kind, uint64_t fault_seed,
+                       FaultStream stream, double mttf_seconds, double duration_seconds,
+                       double severity, double horizon_seconds) {
+  if (mttf_seconds <= 0.0) return;
+  Rng rng(derive_seed(fault_seed, static_cast<uint64_t>(stream)));
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(mttf_seconds);
+    if (t >= horizon_seconds) break;
+    FaultEvent event;
+    event.kind = kind;
+    event.at = sim::from_seconds(t);
+    event.duration = sim::from_seconds(duration_seconds);
+    event.severity = severity;
+    out.push_back(event);
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::synthesize(const FaultSpec& spec, uint64_t fault_seed,
+                                double horizon_seconds) {
+  DCM_CHECK(horizon_seconds >= 0.0);
+  DCM_CHECK_MSG(spec.slowdown_factor > 0.0 && spec.slowdown_factor <= 1.0,
+                "slowdown factor must be in (0, 1]");
+  FaultPlan plan;
+  synthesize_family(plan.events, FaultKind::kVmCrash, fault_seed, FaultStream::kCrash,
+                    spec.crash_mttf_seconds, /*duration=*/0.0, /*severity=*/1.0,
+                    horizon_seconds);
+  synthesize_family(plan.events, FaultKind::kVmSlowdown, fault_seed, FaultStream::kSlowdown,
+                    spec.slowdown_mttf_seconds, spec.slowdown_duration_seconds,
+                    spec.slowdown_factor, horizon_seconds);
+  synthesize_family(plan.events, FaultKind::kTelemetryLoss, fault_seed,
+                    FaultStream::kTelemetryLoss, spec.telemetry_loss_mttf_seconds,
+                    spec.telemetry_loss_duration_seconds, /*severity=*/1.0, horizon_seconds);
+  synthesize_family(plan.events, FaultKind::kAgentSilence, fault_seed,
+                    FaultStream::kAgentSilence, spec.agent_silence_mttf_seconds,
+                    spec.agent_silence_duration_seconds, /*severity=*/1.0, horizon_seconds);
+  // Families are generated in enum order; stable sort keeps that order on
+  // time ties, so the plan is fully deterministic.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return plan;
+}
+
+}  // namespace dcm::fault

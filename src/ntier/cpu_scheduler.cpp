@@ -36,13 +36,15 @@ double CpuScheduler::per_job_rate() const {
   if (live_jobs_ == 0) return 0.0;
   const double n = std::max<double>(thread_count_, static_cast<double>(live_jobs_));
   const double cap = config_.capacity(n);
-  return std::min(1.0, cap / static_cast<double>(live_jobs_));
+  // capacity_factor_ scales both total capacity and the single-thread speed
+  // clamp; at exactly 1.0 this multiplies by the IEEE identity.
+  return capacity_factor_ * std::min(1.0, cap / static_cast<double>(live_jobs_));
 }
 
 double CpuScheduler::instantaneous_util() const {
   if (live_jobs_ == 0) return 0.0;
   const double n = std::max<double>(thread_count_, static_cast<double>(live_jobs_));
-  const double cap = config_.capacity(n);
+  const double cap = capacity_factor_ * config_.capacity(n);
   return std::min(1.0, static_cast<double>(live_jobs_) / cap);
 }
 
@@ -105,6 +107,14 @@ void CpuScheduler::abort_all() {
   while (!jobs_.empty()) jobs_.pop();
   live_jobs_ = 0;
   pending_completion_.cancel();
+}
+
+void CpuScheduler::set_capacity_factor(double factor) {
+  DCM_CHECK_MSG(factor > 0.0, "capacity factor must be positive");
+  if (factor == capacity_factor_) return;
+  advance();  // fold elapsed time at the old rate before the change
+  capacity_factor_ = factor;
+  if (live_jobs_ > 0) reschedule();
 }
 
 void CpuScheduler::set_thread_count(int n) {

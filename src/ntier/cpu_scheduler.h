@@ -66,6 +66,12 @@ class CpuScheduler {
   /// the CPU side of a server crash. Accounting up to now is preserved.
   void abort_all();
 
+  /// Fault injection: scales total capacity and the per-thread speed clamp.
+  /// 1.0 (the default) is bit-identical to the unscaled model; 0.25 models a
+  /// VM degraded to a quarter of its speed. Must be > 0.
+  void set_capacity_factor(double factor);
+  double capacity_factor() const { return capacity_factor_; }
+
   int active_jobs() const { return static_cast<int>(live_jobs_); }
   int thread_count() const { return thread_count_; }
 
@@ -108,6 +114,7 @@ class CpuScheduler {
   uint64_t live_jobs_ = 0;
   uint64_t next_seq_ = 0;
   int thread_count_ = 0;
+  double capacity_factor_ = 1.0;
 
   mutable double virtual_clock_ = 0.0;
   mutable double util_integral_ = 0.0;

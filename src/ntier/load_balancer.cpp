@@ -12,6 +12,7 @@ void LoadBalancer::add(Server* server) {
   DCM_CHECK_MSG(std::find(members_.begin(), members_.end(), server) == members_.end(),
                 "server already registered");
   members_.push_back(server);
+  failures_.push_back(0);
 }
 
 void LoadBalancer::remove(Server* server) {
@@ -19,22 +20,65 @@ void LoadBalancer::remove(Server* server) {
   DCM_CHECK_MSG(it != members_.end(), "removing unregistered server");
   const auto idx = static_cast<size_t>(it - members_.begin());
   members_.erase(it);
+  failures_.erase(failures_.begin() + static_cast<std::ptrdiff_t>(idx));
   if (next_ > idx) --next_;
   if (!members_.empty()) next_ %= members_.size();
 }
 
+bool LoadBalancer::contains(const Server* server) const {
+  return std::find(members_.begin(), members_.end(), server) != members_.end();
+}
+
+void LoadBalancer::set_health_policy(int failure_threshold) {
+  DCM_CHECK(failure_threshold >= 0);
+  failure_threshold_ = failure_threshold;
+  if (failure_threshold_ == 0) std::fill(failures_.begin(), failures_.end(), 0);
+}
+
+void LoadBalancer::report_result(const Server* server, bool ok) {
+  if (failure_threshold_ == 0) return;
+  const auto it = std::find(members_.begin(), members_.end(), server);
+  if (it == members_.end()) return;  // already ejected — nothing to track
+  const auto idx = static_cast<size_t>(it - members_.begin());
+  failures_[idx] = ok ? 0 : failures_[idx] + 1;
+}
+
+int LoadBalancer::consecutive_failures(const Server* server) const {
+  const auto it = std::find(members_.begin(), members_.end(), server);
+  if (it == members_.end()) return 0;
+  return failures_[static_cast<size_t>(it - members_.begin())];
+}
+
+bool LoadBalancer::is_down(const Server* server) const {
+  if (failure_threshold_ == 0) return false;
+  return consecutive_failures(server) >= failure_threshold_;
+}
+
 Server* LoadBalancer::pick() {
   if (members_.empty()) return nullptr;
+  const bool health = failure_threshold_ > 0;
   switch (policy_) {
     case LbPolicy::kRoundRobin: {
-      Server* chosen = members_[next_];
-      next_ = (next_ + 1) % members_.size();
-      return chosen;
+      if (!health) {
+        Server* chosen = members_[next_];
+        next_ = (next_ + 1) % members_.size();
+        return chosen;
+      }
+      // Scan at most one full rotation for a member not marked down.
+      for (size_t tried = 0; tried < members_.size(); ++tried) {
+        const size_t idx = next_;
+        next_ = (next_ + 1) % members_.size();
+        if (failures_[idx] < failure_threshold_) return members_[idx];
+      }
+      return nullptr;  // every member is down
     }
     case LbPolicy::kLeastConnections: {
-      Server* best = members_.front();
-      for (Server* s : members_) {
-        if (s->in_flight() < best->in_flight()) best = s;
+      Server* best = nullptr;
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (health && failures_[i] >= failure_threshold_) continue;
+        if (best == nullptr || members_[i]->in_flight() < best->in_flight()) {
+          best = members_[i];
+        }
       }
       return best;
     }

@@ -58,10 +58,15 @@ MetricSample MonitorAgent::collect() {
   return s;
 }
 
+const std::string& MonitorAgent::vm_id() const { return vm_->id(); }
+
+bool MonitorAgent::silenced() const { return engine_->now() < silenced_until_; }
+
 void MonitorAgent::tick() {
   if (vm_->state() == VmState::kStopped || vm_->state() == VmState::kFailed) {
     return;  // dead VMs report nothing (their agent died with them)
   }
+  if (silenced()) return;  // fault-injected agent silence
   MetricSample sample = collect();
   producer_->send(kMetricsTopic, sample.server_id, sample.serialize(), sample.time);
 }
@@ -86,6 +91,16 @@ MonitorFleet::MonitorFleet(sim::Engine& engine, NTierApp& app, bus::Broker& brok
       attach(vm, tier.name(), static_cast<int>(depth));
     });
   }
+}
+
+bool MonitorFleet::silence_vm(const std::string& vm_id, sim::SimTime until) {
+  for (auto& agent : agents_) {
+    if (agent->vm_id() == vm_id) {
+      agent->silence_until(until);
+      return true;
+    }
+  }
+  return false;
 }
 
 void MonitorFleet::attach(Vm& vm, const std::string& tier_name, int depth) {

@@ -33,6 +33,14 @@ class MonitorAgent {
   /// directly by tests).
   MetricSample collect();
 
+  const std::string& vm_id() const;
+
+  /// Fault injection: the agent stops producing samples until `until`
+  /// (exclusive). Windowed deltas still accumulate, so the first sample
+  /// after the silence covers the whole gap.
+  void silence_until(sim::SimTime until) { silenced_until_ = until; }
+  bool silenced() const;
+
  private:
   void tick();
 
@@ -43,6 +51,7 @@ class MonitorAgent {
   bus::Producer* producer_;
   sim::SimTime period_;
   sim::EventHandle timer_;
+  sim::SimTime silenced_until_ = 0;
 
   // Previous-tick snapshot for windowed deltas.
   sim::SimTime last_time_ = 0;
@@ -65,6 +74,10 @@ class MonitorFleet {
 
   size_t agent_count() const { return agents_.size(); }
   bus::Producer& producer() { return producer_; }
+
+  /// Fault injection: silences the agent monitoring `vm_id` until `until`.
+  /// Returns false when no live agent matches.
+  bool silence_vm(const std::string& vm_id, sim::SimTime until);
 
  private:
   void attach(Vm& vm, const std::string& tier_name, int depth);

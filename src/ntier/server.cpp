@@ -1,5 +1,8 @@
 #include "ntier/server.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 #include "ntier/tier.h"
 
@@ -15,6 +18,15 @@ struct Server::VisitState {
   int calls = 0;        // downstream sub-requests still to issue
   bool finished = false;
   bool holds_worker = false;
+};
+
+// Per-attempt settlement record for a retried sub-request. Exactly one of
+// {downstream response, deadline expiry} may settle the attempt; whichever
+// loses the race finds `settled` set and becomes a no-op, so a visit can
+// never complete (or release a connection) twice.
+struct Server::SubAttempt {
+  bool settled = false;
+  sim::EventHandle timeout;
 };
 
 Server::Server(sim::Engine& engine, ServerConfig config, int depth, Rng rng)
@@ -40,7 +52,7 @@ bool Server::visit_is_stale(const std::shared_ptr<VisitState>& visit) const {
 
 void Server::process(const RequestPtr& request, DoneFn done) {
   DCM_CHECK(request != nullptr);
-  if (workers_.queue_length() >= config_.max_queue) {
+  if (!online_ || workers_.queue_length() >= config_.max_queue) {
     ++rejected_;
     done(false);
     return;
@@ -89,6 +101,19 @@ void Server::issue_downstream(const std::shared_ptr<VisitState>& visit, int call
     cpu_.submit(post, [this, visit] { finish_visit(visit, true); });
     return;
   }
+  if (retry_.enabled()) {
+    if (conns_) {
+      conns_->acquire([this, visit, call_index] {
+        if (visit_is_stale(visit)) return;
+        dispatch_downstream(visit, call_index, /*attempt=*/0, /*conn_held=*/true);
+      });
+    } else {
+      dispatch_downstream(visit, call_index, /*attempt=*/0, /*conn_held=*/false);
+    }
+    return;
+  }
+  // Legacy single-attempt path — kept allocation-identical to the
+  // pre-resilience behaviour for the default configuration.
   const auto forward = [this, visit, call_index](bool conn_held) {
     downstream_->dispatch(visit->request, [this, visit, call_index, conn_held](bool ok) {
       // The downstream response may arrive after this server crashed; the
@@ -110,6 +135,58 @@ void Server::issue_downstream(const std::shared_ptr<VisitState>& visit, int call
   } else {
     forward(false);
   }
+}
+
+void Server::dispatch_downstream(const std::shared_ptr<VisitState>& visit, int call_index,
+                                 int attempt, bool conn_held) {
+  auto state = std::make_shared<SubAttempt>();
+  downstream_->dispatch(visit->request,
+                        [this, visit, call_index, attempt, conn_held, state](bool ok) {
+                          if (state->settled) return;  // deadline already expired
+                          state->settled = true;
+                          state->timeout.cancel();
+                          if (visit_is_stale(visit)) return;
+                          on_subrequest_result(visit, call_index, attempt, conn_held, ok);
+                        });
+  if (retry_.timeout_seconds > 0.0 && !state->settled) {
+    state->timeout = engine_->schedule_after(
+        sim::from_seconds(retry_.timeout_seconds),
+        [this, visit, call_index, attempt, conn_held, state] {
+          if (state->settled) return;
+          state->settled = true;  // the late response will be dropped
+          if (visit_is_stale(visit)) return;
+          ++subrequest_timeouts_;
+          on_subrequest_result(visit, call_index, attempt, conn_held, false);
+        });
+  }
+}
+
+void Server::on_subrequest_result(const std::shared_ptr<VisitState>& visit, int call_index,
+                                  int attempt, bool conn_held, bool ok) {
+  if (ok) {
+    if (conn_held) conns_->release();
+    issue_downstream(visit, call_index + 1);
+    return;
+  }
+  if (attempt < retry_.max_retries) {
+    ++subrequest_retries_;
+    // Exponential backoff with deterministic jitter; the connection stays
+    // held across attempts (a blocked app thread keeps its pool slot).
+    const double base =
+        retry_.backoff_base_seconds * std::pow(retry_.backoff_multiplier, attempt);
+    const double jitter =
+        retry_.jitter_fraction > 0.0
+            ? 1.0 + retry_.jitter_fraction * (2.0 * rng_.next_double() - 1.0)
+            : 1.0;
+    engine_->schedule_after(sim::from_seconds(std::max(0.0, base * jitter)),
+                            [this, visit, call_index, attempt, conn_held] {
+                              if (visit_is_stale(visit)) return;
+                              dispatch_downstream(visit, call_index, attempt + 1, conn_held);
+                            });
+    return;
+  }
+  if (conn_held) conns_->release();
+  finish_visit(visit, false);
 }
 
 void Server::finish_visit(const std::shared_ptr<VisitState>& visit, bool ok) {
@@ -169,6 +246,10 @@ void Server::set_thread_pool_size(int size) {
 void Server::set_downstream_connections(int size) {
   DCM_CHECK_MSG(conns_ != nullptr, "server has no downstream connection pool");
   conns_->resize(size);
+}
+
+void Server::set_cpu_capacity_factor(double factor) {
+  cpu_.set_capacity_factor(factor);
 }
 
 }  // namespace dcm::ntier

@@ -23,6 +23,21 @@ namespace dcm::ntier {
 
 class Tier;  // downstream dispatch target
 
+/// Deadline + bounded retry applied to each inter-tier sub-request. All
+/// fields are per-attempt; backoff between attempt k and k+1 is
+/// backoff_base · multiplier^k, jittered ±jitter_fraction from the server's
+/// own deterministic Rng stream. Disabled by default (exactly the legacy
+/// single-attempt behaviour, with no extra allocations on the hot path).
+struct SubRequestRetryPolicy {
+  double timeout_seconds = 0.0;  // 0 = no deadline
+  int max_retries = 0;
+  double backoff_base_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.2;
+
+  bool enabled() const { return timeout_seconds > 0.0 || max_retries > 0; }
+};
+
 class Server {
  public:
   Server(sim::Engine& engine, ServerConfig config, int depth, Rng rng);
@@ -42,6 +57,13 @@ class Server {
   void set_thread_pool_size(int size);
   void set_downstream_connections(int size);
 
+  /// Deadline/retry discipline for inter-tier sub-requests (resilience
+  /// mechanism; the tier propagates one policy to all its servers).
+  void set_subrequest_retry(SubRequestRetryPolicy policy) { retry_ = policy; }
+  const SubRequestRetryPolicy& subrequest_retry() const { return retry_; }
+  uint64_t subrequest_timeouts() const { return subrequest_timeouts_; }
+  uint64_t subrequest_retries() const { return subrequest_retries_; }
+
   /// Failure injection: abrupt crash. Every in-flight and queued visit
   /// fails (done(false) fires for each), pools are force-freed, and CPU
   /// work is dropped. Responses from downstream calls that were pending at
@@ -50,6 +72,13 @@ class Server {
   /// it with a balancer.
   void crash();
   bool crashed_since_start() const { return epoch_ > 0; }
+
+  /// Dead-process switch: an offline server refuses every visit immediately
+  /// (done(false), counted as rejected). `Vm::fail()` flips this so a
+  /// silently-crashed VM left in a balancer fails requests fast instead of
+  /// serving them — health checks and retries are what recover from it.
+  void set_online(bool online) { online_ = online; }
+  bool online() const { return online_; }
 
   // --- observability ---
   const std::string& name() const { return config_.name; }
@@ -73,14 +102,23 @@ class Server {
   const SlotPool* connection_pool() const { return conns_.get(); }
   const CpuScheduler& cpu() const { return cpu_; }
 
+  /// Fault injection: scales this server's CPU capacity (1.0 = healthy,
+  /// 0.25 = a VM degraded to a quarter of its speed).
+  void set_cpu_capacity_factor(double factor);
+
   /// Invoked whenever in_flight returns to zero (used by draining VMs).
   void set_idle_callback(std::function<void()> cb) { idle_callback_ = std::move(cb); }
 
  private:
   struct VisitState;
+  struct SubAttempt;
 
   void start_visit(const std::shared_ptr<VisitState>& visit);
   void issue_downstream(const std::shared_ptr<VisitState>& visit, int call_index);
+  void dispatch_downstream(const std::shared_ptr<VisitState>& visit, int call_index,
+                           int attempt, bool conn_held);
+  void on_subrequest_result(const std::shared_ptr<VisitState>& visit, int call_index,
+                            int attempt, bool conn_held, bool ok);
   void finish_visit(const std::shared_ptr<VisitState>& visit, bool ok);
   void sync_thread_count();
   bool visit_is_stale(const std::shared_ptr<VisitState>& visit) const;
@@ -94,10 +132,14 @@ class Server {
   std::unique_ptr<SlotPool> conns_;  // created when downstream_connections>0
   CpuScheduler cpu_;
   Tier* downstream_ = nullptr;
+  SubRequestRetryPolicy retry_;
 
   uint64_t completed_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t subrequest_timeouts_ = 0;
+  uint64_t subrequest_retries_ = 0;
   double response_time_sum_ = 0.0;
+  bool online_ = true;
   std::function<void()> idle_callback_;
 
   // Crash bookkeeping: visits belong to an epoch; crash() bumps the epoch

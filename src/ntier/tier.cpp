@@ -37,6 +37,7 @@ Vm& Tier::launch_vm(sim::SimTime boot_delay) {
   }
   auto server = std::make_unique<Server>(*engine_, std::move(server_config), depth_, rng_.fork());
   server->set_downstream(downstream_);
+  server->set_subrequest_retry(retry_policy_);
   auto vm = std::make_unique<Vm>(*engine_, str_format("%s-vm%d", config_.name.c_str(),
                                                       next_vm_index_),
                                  std::move(server), boot_delay,
@@ -68,6 +69,14 @@ void Tier::dispatch(const RequestPtr& request, DoneFn done) {
     done(false);
     return;
   }
+  if (health_enabled_) {
+    // Feed the outcome back into the balancer's passive failure tracking.
+    server->process(request, [this, server, done = std::move(done)](bool ok) {
+      balancer_.report_result(server, ok);
+      done(ok);
+    });
+    return;
+  }
   server->process(request, std::move(done));
 }
 
@@ -89,8 +98,9 @@ bool Tier::scale_in() {
   }
   if (victim == nullptr) return false;
   balancer_.remove(&victim->server());
-  victim->begin_drain([this](Vm& v) {
-    DCM_LOG_DEBUG("tier %s: %s stopped", config_.name.c_str(), v.id().c_str());
+  victim->begin_drain([this](Vm& v, bool failed) {
+    DCM_LOG_DEBUG("tier %s: %s %s", config_.name.c_str(), v.id().c_str(),
+                  failed ? "failed mid-drain" : "stopped");
   });
   DCM_LOG_DEBUG("tier %s: scale-in (draining %s)", config_.name.c_str(), victim->id().c_str());
   return true;
@@ -114,6 +124,67 @@ bool Tier::fail_one() {
     if (vm->state() == VmState::kActive) return fail_vm(vm->id());
   }
   return false;
+}
+
+bool Tier::inject_crash(const std::string& vm_id) {
+  for (auto& vm : vms_) {
+    if (vm->id() != vm_id) continue;
+    if (vm->state() == VmState::kStopped || vm->state() == VmState::kFailed) return false;
+    // Deliberately NOT removed from the balancer: nobody has noticed the
+    // crash yet. The offline server fast-fails routed requests until the
+    // health sweep ejects it.
+    vm->fail();
+    DCM_LOG_WARN("tier %s: %s crashed silently at %s", config_.name.c_str(), vm->id().c_str(),
+                 sim::format_time(engine_->now()).c_str());
+    return true;
+  }
+  return false;
+}
+
+Vm* Tier::oldest_active_vm() {
+  for (auto& vm : vms_) {
+    if (vm->state() == VmState::kActive) return vm.get();
+  }
+  return nullptr;
+}
+
+void Tier::record_event(const char* kind, const std::string& detail) {
+  events_.push_back(TierEvent{engine_->now(), kind, detail});
+}
+
+void Tier::enable_health_checks(const HealthCheckConfig& config) {
+  DCM_CHECK_MSG(!health_enabled_, "health checks already enabled");
+  DCM_CHECK(config.period_seconds > 0.0);
+  DCM_CHECK(config.failure_threshold >= 1);
+  health_enabled_ = true;
+  health_ = config;
+  balancer_.set_health_policy(config.failure_threshold);
+  health_event_ = engine_->schedule_periodic(sim::from_seconds(health_.period_seconds),
+                                             [this] { health_sweep(); });
+}
+
+void Tier::health_sweep() {
+  // Active probe: a FAILED VM still registered with the balancer is
+  // detected here, ejected, and (optionally) replaced. Iteration over vms_
+  // is launch-ordered, so ejections are deterministic. Indexed loop over the
+  // pre-sweep size: launch_vm appends to vms_ mid-iteration (the appended
+  // replacements are BOOTING and never need sweeping here).
+  const size_t existing = vms_.size();
+  for (size_t i = 0; i < existing; ++i) {
+    Vm& vm = *vms_[i];
+    if (vm.state() != VmState::kFailed) continue;
+    if (!balancer_.contains(&vm.server())) continue;
+    balancer_.remove(&vm.server());
+    record_event("lb_eject", vm.id());
+    DCM_LOG_WARN("tier %s: health check ejected %s at %s", config_.name.c_str(),
+                 vm.id().c_str(), sim::format_time(engine_->now()).c_str());
+    if (health_.replace_failed && provisioned_vm_count() < config_.max_vms) {
+      Vm& fresh = launch_vm(config_.vm_boot_time);
+      record_event("replace_launch", fresh.id());
+      DCM_LOG_INFO("tier %s: launched replacement %s", config_.name.c_str(),
+                   fresh.id().c_str());
+    }
+  }
 }
 
 int Tier::failed_vm_count() const {
@@ -161,6 +232,14 @@ void Tier::set_downstream_connections(int per_server) {
   }
 }
 
+void Tier::set_subrequest_retry(const SubRequestRetryPolicy& policy) {
+  retry_policy_ = policy;
+  for (auto& vm : vms_) {
+    if (vm->state() == VmState::kStopped || vm->state() == VmState::kFailed) continue;
+    vm->server().set_subrequest_retry(policy);
+  }
+}
+
 uint64_t Tier::completed() const {
   uint64_t total = 0;
   for (const auto& vm : vms_) total += vm->server().completed();
@@ -176,6 +255,18 @@ uint64_t Tier::rejected() const {
 int Tier::total_in_flight() const {
   int total = 0;
   for (const auto& vm : vms_) total += vm->server().in_flight();
+  return total;
+}
+
+uint64_t Tier::subrequest_timeouts() const {
+  uint64_t total = 0;
+  for (const auto& vm : vms_) total += vm->server().subrequest_timeouts();
+  return total;
+}
+
+uint64_t Tier::subrequest_retries() const {
+  uint64_t total = 0;
+  for (const auto& vm : vms_) total += vm->server().subrequest_retries();
   return total;
 }
 

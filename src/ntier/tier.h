@@ -4,6 +4,13 @@
 // the preparation period; scale_in drains the most recent ACTIVE VM) and
 // fans soft-resource re-allocations out to every server, remembering the
 // current allocation so later-booting VMs inherit it.
+//
+// Resilience (opt-in, off by default): enable_health_checks() starts a
+// periodic probe sweep that ejects FAILED VMs from the balancer and launches
+// replacements, and arms the balancer's passive consecutive-failure
+// tracking; set_subrequest_retry() gives every server a deadline/retry
+// discipline on its downstream calls. Recovery actions are recorded in an
+// in-order TierEvent log for the per-fault action trail.
 #pragma once
 
 #include <functional>
@@ -28,6 +35,20 @@ struct TierConfig {
   int max_vms = 8;
   sim::SimTime vm_boot_time = sim::from_seconds(15.0);  // the paper's 15 s
   LbPolicy lb_policy = LbPolicy::kRoundRobin;
+};
+
+/// Health-check sweep configuration (resilience mechanism).
+struct HealthCheckConfig {
+  double period_seconds = 5.0;  // probe sweep interval
+  int failure_threshold = 3;    // consecutive failures before pick() skips
+  bool replace_failed = true;   // launch a replacement for each ejected VM
+};
+
+/// One recovery action taken by the tier (for the chaos action log).
+struct TierEvent {
+  sim::SimTime at = 0;
+  std::string kind;    // "lb_eject" | "replace_launch"
+  std::string detail;  // e.g. the VM id involved
 };
 
 class Tier {
@@ -58,7 +79,23 @@ class Tier {
   bool fail_vm(const std::string& vm_id);
   /// Crashes the oldest ACTIVE VM (convenience for chaos tests).
   bool fail_one();
+  /// Silent crash: like fail_vm but the balancer keeps routing to the dead
+  /// server (requests fail fast) until health checks detect and eject it —
+  /// the realistic failure mode the resilience stack must recover from.
+  bool inject_crash(const std::string& vm_id);
   int failed_vm_count() const;
+
+  /// Oldest ACTIVE VM, or nullptr (deterministic fault-injection target).
+  Vm* oldest_active_vm();
+
+  /// Starts the periodic health sweep: FAILED VMs still in the balancer are
+  /// ejected (and optionally replaced by a fresh BOOTING VM), and the
+  /// balancer's passive consecutive-failure skipping is armed. Call once.
+  void enable_health_checks(const HealthCheckConfig& config);
+  bool health_checks_enabled() const { return health_enabled_; }
+
+  /// Recovery actions taken so far, in simulation order.
+  const std::vector<TierEvent>& events() const { return events_; }
 
   // --- state ---
   const std::string& name() const { return config_.name; }
@@ -73,6 +110,8 @@ class Tier {
   /// All VMs ever launched (including stopped ones, for bookkeeping).
   const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
 
+  const LoadBalancer& balancer() const { return balancer_; }
+
   /// Registers an observer invoked whenever a VM enters service. Initial
   /// VMs activate during construction, before any observer can register —
   /// callers iterate vms() for those and use this for later additions.
@@ -85,14 +124,22 @@ class Tier {
   int current_thread_pool_size() const { return current_stp_; }
   int current_downstream_connections() const { return current_conns_; }
 
+  /// Applies a sub-request deadline/retry policy to every live server; VMs
+  /// launched later inherit it.
+  void set_subrequest_retry(const SubRequestRetryPolicy& policy);
+
   // --- aggregates ---
   uint64_t completed() const;
   uint64_t rejected() const;
   int total_in_flight() const;
+  uint64_t subrequest_timeouts() const;
+  uint64_t subrequest_retries() const;
 
  private:
   Vm& launch_vm(sim::SimTime boot_delay);
   void on_vm_active(Vm& vm);
+  void health_sweep();
+  void record_event(const char* kind, const std::string& detail);
 
   sim::Engine* engine_;
   TierConfig config_;
@@ -104,7 +151,13 @@ class Tier {
   int next_vm_index_ = 0;
   int current_stp_;
   int current_conns_;
+  SubRequestRetryPolicy retry_policy_;
   std::vector<std::function<void(Vm&)>> vm_activated_;
+
+  bool health_enabled_ = false;
+  HealthCheckConfig health_;
+  sim::EventHandle health_event_;
+  std::vector<TierEvent> events_;
 };
 
 }  // namespace dcm::ntier

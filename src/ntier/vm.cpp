@@ -42,23 +42,33 @@ void Vm::fail() {
                 "failing a dead VM");
   boot_event_.cancel();  // a booting VM never activates
   server_->set_idle_callback(nullptr);
+  const bool was_draining = state_ == VmState::kDraining;
   state_ = VmState::kFailed;
+  server_->set_online(false);
   server_->crash();
+  // A crash mid-drain must still complete the drain handshake — with a
+  // failed=true signal — or the scale-in bookkeeping waits forever.
+  if (was_draining) finish_drain(/*failed=*/true);
 }
 
-void Vm::begin_drain(std::function<void(Vm&)> on_stopped) {
+void Vm::begin_drain(DrainCallback on_stopped) {
   DCM_CHECK_MSG(state_ == VmState::kActive, "can only drain an active VM");
   state_ = VmState::kDraining;
-  auto stop = [this, cb = std::move(on_stopped)]() mutable {
-    server_->set_idle_callback(nullptr);
-    state_ = VmState::kStopped;
-    if (cb) cb(*this);
-  };
+  drain_callback_ = std::move(on_stopped);
   if (server_->in_flight() == 0) {
-    stop();
+    finish_drain(/*failed=*/false);
   } else {
-    server_->set_idle_callback(stop);
+    server_->set_idle_callback([this] { finish_drain(/*failed=*/false); });
   }
+}
+
+void Vm::finish_drain(bool failed) {
+  server_->set_idle_callback(nullptr);
+  if (!failed) state_ = VmState::kStopped;
+  // Move out first: the callback may start another drain elsewhere.
+  DrainCallback cb = std::move(drain_callback_);
+  drain_callback_ = nullptr;
+  if (cb) cb(*this, failed);
 }
 
 }  // namespace dcm::ntier

@@ -21,6 +21,12 @@ const char* vm_state_name(VmState state);
 
 class Vm {
  public:
+  /// Drain-completion signal: `failed` is false for a clean drain (VM is
+  /// STOPPED) and true when the VM crashed mid-drain (VM is FAILED) — the
+  /// callback fires exactly once either way, so scale-in bookkeeping never
+  /// leaks a pending drain.
+  using DrainCallback = std::function<void(Vm&, bool failed)>;
+
   /// `on_active` fires when the preparation period elapses (synchronously if
   /// boot_delay == 0).
   Vm(sim::Engine& engine, std::string id, std::unique_ptr<Server> server,
@@ -31,10 +37,12 @@ class Vm {
 
   /// Stops accepting work and fires `on_stopped` once in-flight requests
   /// drain (immediately if already idle). Only valid when ACTIVE.
-  void begin_drain(std::function<void(Vm&)> on_stopped);
+  void begin_drain(DrainCallback on_stopped);
 
   /// Failure injection: abrupt crash of the VM. All in-flight requests fail
-  /// immediately (Server::crash()). Valid in any live state; a booting VM
+  /// immediately (Server::crash()), the server goes offline (new work is
+  /// refused until someone brings it back), and a pending drain callback is
+  /// notified with failed=true. Valid in any live state; a booting VM
   /// simply never comes up.
   void fail();
 
@@ -45,12 +53,15 @@ class Vm {
   sim::SimTime launched_at() const { return launched_at_; }
 
  private:
+  void finish_drain(bool failed);
+
   sim::Engine* engine_;
   std::string id_;
   std::unique_ptr<Server> server_;
   VmState state_ = VmState::kBooting;
   sim::SimTime launched_at_ = 0;
   sim::EventHandle boot_event_;
+  DrainCallback drain_callback_;
 };
 
 }  // namespace dcm::ntier

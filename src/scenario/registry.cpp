@@ -32,6 +32,22 @@ const std::vector<std::pair<std::string, std::string>>& table() {
        "db_model = 7.19e-3, 1e-4, 2.76953125e-7\n"
        "\n[run]\nduration = 700\nwarmup = 30\n"},
 
+      {"chaos-resilience",
+       "[scenario]\n"
+       "name = chaos-resilience\n"
+       "summary = DCM under a deterministic fault schedule with the resilience stack armed "
+       "(sweep resilience.enabled for the ablation)\n"
+       "\n[soft]\napp_threads = 200\n"
+       "\n[workload]\nkind = trace\ntrace = large-variation\npeak_users = 350\n"
+       "\n[controller]\nkind = dcm\nonline_estimation = true\n"
+       // Canonical chaos schedule: roughly two crashes, two slowdowns and
+       // one telemetry blackout per 300 s run, all derived from [run] seed.
+       "\n[faults]\ncrash_mttf = 120\nslowdown_mttf = 150\n"
+       "telemetry_loss_mttf = 250\ntelemetry_loss_duration = 45\n"
+       "agent_silence_mttf = 200\n"
+       "\n[resilience]\nenabled = true\nmin_fit_r2 = 0.5\n"
+       "\n[run]\nduration = 300\nwarmup = 30\n"},
+
       {"fig2b",
        "[scenario]\n"
        "name = fig2b\n"

@@ -83,8 +83,14 @@ uint64_t result_digest(const core::ExperimentResult& result) {
   Fnv1a h;
   h.mix(result.completed);
   h.mix(result.errors);
+  h.mix(result.timeouts);
+  h.mix(result.retries);
+  h.mix(result.goodput);
+  h.mix(result.error_rate);
   mix_series(h, result.client.response_time_series());
   mix_series(h, result.client.throughput_series());
+  mix_series(h, result.client.error_series());
+  mix_series(h, result.client.goodput_series());
   for (const auto& tier : result.tiers) {
     h.mix(tier.name);
     mix_series(h, tier.provisioned_vms);
@@ -97,6 +103,13 @@ uint64_t result_digest(const core::ExperimentResult& result) {
     h.mix(action.tier);
     h.mix(action.action);
     h.mix(action.detail);
+  }
+  h.mix(static_cast<uint64_t>(result.fault_log.size()));
+  for (const auto& entry : result.fault_log) {
+    h.mix(entry.at);
+    h.mix(entry.kind);
+    h.mix(entry.target);
+    h.mix(entry.detail);
   }
   return h.value();
 }
@@ -141,6 +154,10 @@ void write_result_json(std::ostream& out, const std::string& name,
         << "        \"max_response_time\": " << json_number(r.max_response_time) << ",\n"
         << "        \"completed\": " << r.completed << ",\n"
         << "        \"errors\": " << r.errors << ",\n"
+        << "        \"timeouts\": " << r.timeouts << ",\n"
+        << "        \"retries\": " << r.retries << ",\n"
+        << "        \"goodput\": " << json_number(r.goodput) << ",\n"
+        << "        \"error_rate\": " << json_number(r.error_rate) << ",\n"
         << "        \"sla_violation_fraction\": " << json_number(r.sla_violation_fraction)
         << ",\n"
         << "        \"total_vm_seconds\": " << json_number(r.total_vm_seconds) << ",\n"
@@ -150,8 +167,17 @@ void write_result_json(std::ostream& out, const std::string& name,
         << "        \"scale_ins\": " << r.action_count("scale_in") << ",\n"
         << "        \"soft_actions\": "
         << r.action_count("set_stp") + r.action_count("set_conns") << "\n"
-        << "      }\n"
-        << "    }";
+        << "      },\n"
+        << "      \"faults\": [";
+    for (size_t f = 0; f < r.fault_log.size(); ++f) {
+      const auto& entry = r.fault_log[f];
+      out << (f == 0 ? "\n" : ",\n")
+          << "        {\"t\": " << json_number(sim::to_seconds(entry.at))
+          << ", \"kind\": \"" << json_escape(entry.kind) << "\", \"target\": \""
+          << json_escape(entry.target) << "\", \"detail\": \"" << json_escape(entry.detail)
+          << "\"}";
+    }
+    out << (r.fault_log.empty() ? "]\n" : "\n      ]\n") << "    }";
   }
   out << "\n  ]\n}\n";
 }
@@ -163,6 +189,8 @@ void write_timeline_csv(std::ostream& out, const core::ExperimentResult& result,
   if (trace != nullptr) header.push_back("users");
   header.push_back("rt_ms");
   header.push_back("throughput");
+  header.push_back("errors");
+  header.push_back("goodput");
   for (const auto& tier : result.tiers) {
     header.push_back(tier.name + "_vms");
     header.push_back(tier.name + "_util");
@@ -184,6 +212,8 @@ void write_timeline_csv(std::ostream& out, const core::ExperimentResult& result,
     }
     row.push_back(bucket_mean(rt, t) * 1e3);
     row.push_back(bucket_sum(tp, t));
+    row.push_back(bucket_sum(result.client.error_series().buckets(), t));
+    row.push_back(bucket_sum(result.client.goodput_series().buckets(), t));
     for (const auto& tier : result.tiers) {
       row.push_back(bucket_mean(tier.provisioned_vms.buckets(), t));
       row.push_back(bucket_mean(tier.cpu_util.buckets(), t));
@@ -201,12 +231,27 @@ void print_summary(const core::ExperimentResult& result) {
   std::printf("completed / errors    : %llu / %llu\n",
               static_cast<unsigned long long>(result.completed),
               static_cast<unsigned long long>(result.errors));
+  if (result.timeouts > 0 || result.retries > 0 || result.errors > 0 ||
+      !result.fault_log.empty()) {
+    std::printf("goodput / error rate  : %.1f req/s / %.2f%%\n", result.goodput,
+                result.error_rate * 100.0);
+    std::printf("timeouts / retries    : %llu / %llu\n",
+                static_cast<unsigned long long>(result.timeouts),
+                static_cast<unsigned long long>(result.retries));
+  }
   std::printf("SLA violation (>1 s)  : %.1f%% of seconds\n",
               result.sla_violation_fraction * 100.0);
   std::printf("VM-seconds            : %.0f (%.2f req per VM-second)\n",
               result.total_vm_seconds, result.requests_per_vm_second);
   std::printf("control actions       : %zu\n", result.actions.size());
   print_actions(result);
+  if (!result.fault_log.empty()) {
+    std::printf("fault log             : %zu entries\n", result.fault_log.size());
+    for (const auto& entry : result.fault_log) {
+      std::printf("  %8.1fs  %-14s %-10s %s\n", sim::to_seconds(entry.at),
+                  entry.kind.c_str(), entry.target.c_str(), entry.detail.c_str());
+    }
+  }
 }
 
 double series_window_mean(const metrics::TimeSeries& series, size_t from, size_t width,
@@ -279,6 +324,13 @@ void print_comparison(const std::vector<std::string>& labels,
   row("mean throughput (req/s)",
       [](const auto& r) { return format_number(r.mean_throughput, 1); });
   row("completed requests", [](const auto& r) { return std::to_string(r.completed); });
+  row("goodput (req/s, rt<=1s)",
+      [](const auto& r) { return format_number(r.goodput, 1); });
+  row("error rate", [](const auto& r) {
+    return format_number(r.error_rate * 100.0, 2) + "%";
+  });
+  row("timeouts", [](const auto& r) { return std::to_string(r.timeouts); });
+  row("retries", [](const auto& r) { return std::to_string(r.retries); });
   row("scale-out events",
       [](const auto& r) { return std::to_string(r.action_count("scale_out")); });
   row("scale-in events",

@@ -82,12 +82,28 @@ const char* controller_kind_name(ControllerDecl::Kind kind) {
 // The full vocabulary a scenario may use, conditioned on the declared
 // kinds — anything outside this set is a spelling mistake, not a default.
 std::map<std::string, std::set<std::string>> allowed_keys(WorkloadDecl::Kind workload,
-                                                          ControllerDecl::Kind controller) {
+                                                          ControllerDecl::Kind controller,
+                                                          bool resilience_enabled) {
   std::map<std::string, std::set<std::string>> allowed;
   allowed["scenario"] = {"name", "summary"};
   allowed["hardware"] = {"web", "app", "db"};
   allowed["soft"] = {"web_threads", "app_threads", "db_connections"};
   allowed["run"] = {"duration", "warmup", "max_vms", "seed"};
+  allowed["faults"] = {"crash_mttf",          "slowdown_mttf",
+                       "slowdown_factor",     "slowdown_duration",
+                       "telemetry_loss_mttf", "telemetry_loss_duration",
+                       "agent_silence_mttf",  "agent_silence_duration"};
+
+  std::set<std::string>& resilience_keys = allowed["resilience"];
+  resilience_keys.insert("enabled");
+  if (resilience_enabled) {
+    resilience_keys.insert({"client_timeout", "client_retries", "client_backoff",
+                            "subrequest_timeout", "subrequest_retries", "health_period",
+                            "health_failure_threshold", "replace_failed"});
+    if (controller == ControllerDecl::Kind::kDcm) {
+      resilience_keys.insert({"watchdog_periods", "min_fit_r2"});
+    }
+  }
 
   std::set<std::string>& workload_keys = allowed["workload"];
   workload_keys.insert("kind");
@@ -119,8 +135,8 @@ std::map<std::string, std::set<std::string>> allowed_keys(WorkloadDecl::Kind wor
 }
 
 void reject_unknown_keys(const Config& config, WorkloadDecl::Kind workload,
-                         ControllerDecl::Kind controller) {
-  const auto allowed = allowed_keys(workload, controller);
+                         ControllerDecl::Kind controller, bool resilience_enabled) {
+  const auto allowed = allowed_keys(workload, controller, resilience_enabled);
   for (const auto& [section, keys] : config.sections()) {
     const auto entry = allowed.find(section);
     if (entry == allowed.end()) {
@@ -142,7 +158,8 @@ bool scenario_key_applies(const Config& config, const std::string& section,
                           const std::string& key) {
   const auto allowed =
       allowed_keys(parse_workload_kind(config.get_string("workload", "kind", "rubbos")),
-                   parse_controller_kind(config.get_string("controller", "kind", "none")));
+                   parse_controller_kind(config.get_string("controller", "kind", "none")),
+                   config.get_bool("resilience", "enabled", false));
   const auto entry = allowed.find(section);
   return entry != allowed.end() && entry->second.count(key) > 0;
 }
@@ -153,7 +170,9 @@ Scenario Scenario::from_config(const Config& config) {
       parse_workload_kind(config.get_string("workload", "kind", "rubbos"));
   scenario.controller.kind =
       parse_controller_kind(config.get_string("controller", "kind", "none"));
-  reject_unknown_keys(config, scenario.workload.kind, scenario.controller.kind);
+  scenario.resilience.enabled = config.get_bool("resilience", "enabled", false);
+  reject_unknown_keys(config, scenario.workload.kind, scenario.controller.kind,
+                      scenario.resilience.enabled);
 
   scenario.name = config.get_string("scenario", "name", "unnamed");
   scenario.summary = config.get_string("scenario", "summary", "");
@@ -190,6 +209,37 @@ Scenario Scenario::from_config(const Config& config) {
   if (config.has("controller", "db_model")) {
     controller.db_model =
         normalize_model_triple("db_model", config.get_string("controller", "db_model"));
+  }
+
+  FaultDecl& faults = scenario.faults;
+  faults.crash_mttf = config.get_double("faults", "crash_mttf", 0.0);
+  faults.slowdown_mttf = config.get_double("faults", "slowdown_mttf", 0.0);
+  faults.slowdown_factor = config.get_double("faults", "slowdown_factor", 0.25);
+  faults.slowdown_duration = config.get_double("faults", "slowdown_duration", 30.0);
+  faults.telemetry_loss_mttf = config.get_double("faults", "telemetry_loss_mttf", 0.0);
+  faults.telemetry_loss_duration =
+      config.get_double("faults", "telemetry_loss_duration", 30.0);
+  faults.agent_silence_mttf = config.get_double("faults", "agent_silence_mttf", 0.0);
+  faults.agent_silence_duration =
+      config.get_double("faults", "agent_silence_duration", 30.0);
+
+  if (scenario.resilience.enabled) {
+    ResilienceDecl& res = scenario.resilience;
+    res.client_timeout = config.get_double("resilience", "client_timeout", 2.0);
+    res.client_retries = static_cast<int>(config.get_int("resilience", "client_retries", 2));
+    res.client_backoff = config.get_double("resilience", "client_backoff", 0.25);
+    res.subrequest_timeout = config.get_double("resilience", "subrequest_timeout", 1.0);
+    res.subrequest_retries =
+        static_cast<int>(config.get_int("resilience", "subrequest_retries", 1));
+    res.health_period = config.get_double("resilience", "health_period", 5.0);
+    res.health_failure_threshold =
+        static_cast<int>(config.get_int("resilience", "health_failure_threshold", 3));
+    res.replace_failed = config.get_bool("resilience", "replace_failed", true);
+    if (scenario.controller.kind == ControllerDecl::Kind::kDcm) {
+      res.watchdog_periods =
+          static_cast<int>(config.get_int("resilience", "watchdog_periods", 2));
+      res.min_fit_r2 = config.get_double("resilience", "min_fit_r2", 0.0);
+    }
   }
 
   scenario.duration_seconds = config.get_double("run", "duration", 300.0);
@@ -255,6 +305,35 @@ Config Scenario::to_config() const {
     }
     if (!controller.db_model.empty()) {
       config.set("controller", "db_model", controller.db_model);
+    }
+  }
+
+  config.set("faults", "crash_mttf", format_double(faults.crash_mttf));
+  config.set("faults", "slowdown_mttf", format_double(faults.slowdown_mttf));
+  config.set("faults", "slowdown_factor", format_double(faults.slowdown_factor));
+  config.set("faults", "slowdown_duration", format_double(faults.slowdown_duration));
+  config.set("faults", "telemetry_loss_mttf", format_double(faults.telemetry_loss_mttf));
+  config.set("faults", "telemetry_loss_duration",
+             format_double(faults.telemetry_loss_duration));
+  config.set("faults", "agent_silence_mttf", format_double(faults.agent_silence_mttf));
+  config.set("faults", "agent_silence_duration",
+             format_double(faults.agent_silence_duration));
+
+  config.set("resilience", "enabled", resilience.enabled ? "true" : "false");
+  if (resilience.enabled) {
+    config.set("resilience", "client_timeout", format_double(resilience.client_timeout));
+    config.set("resilience", "client_retries", format_int(resilience.client_retries));
+    config.set("resilience", "client_backoff", format_double(resilience.client_backoff));
+    config.set("resilience", "subrequest_timeout",
+               format_double(resilience.subrequest_timeout));
+    config.set("resilience", "subrequest_retries", format_int(resilience.subrequest_retries));
+    config.set("resilience", "health_period", format_double(resilience.health_period));
+    config.set("resilience", "health_failure_threshold",
+               format_int(resilience.health_failure_threshold));
+    config.set("resilience", "replace_failed", resilience.replace_failed ? "true" : "false");
+    if (controller.kind == ControllerDecl::Kind::kDcm) {
+      config.set("resilience", "watchdog_periods", format_int(resilience.watchdog_periods));
+      config.set("resilience", "min_fit_r2", format_double(resilience.min_fit_r2));
     }
   }
 

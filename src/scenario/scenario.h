@@ -60,6 +60,42 @@ struct ControllerDecl {
   bool operator==(const ControllerDecl&) const = default;
 };
 
+/// Declarative fault schedule rates ([faults] section). All-zero MTTFs (the
+/// default) mean a healthy run; the concrete event schedule derives from
+/// the run's root seed, so it is never spelled out in the scenario.
+struct FaultDecl {
+  double crash_mttf = 0.0;
+  double slowdown_mttf = 0.0;
+  double slowdown_factor = 0.25;
+  double slowdown_duration = 30.0;
+  double telemetry_loss_mttf = 0.0;
+  double telemetry_loss_duration = 30.0;
+  double agent_silence_mttf = 0.0;
+  double agent_silence_duration = 30.0;
+
+  bool operator==(const FaultDecl&) const = default;
+};
+
+/// Declarative resilience switchboard ([resilience] section). Detail keys
+/// are only part of the vocabulary when enabled=true; the watchdog keys
+/// additionally require the dcm controller.
+struct ResilienceDecl {
+  bool enabled = false;
+  double client_timeout = 2.0;
+  int client_retries = 2;
+  double client_backoff = 0.25;
+  double subrequest_timeout = 1.0;
+  int subrequest_retries = 1;
+  double health_period = 5.0;
+  int health_failure_threshold = 3;
+  bool replace_failed = true;
+  // kDcm only:
+  int watchdog_periods = 2;
+  double min_fit_r2 = 0.0;
+
+  bool operator==(const ResilienceDecl&) const = default;
+};
+
 struct Scenario {
   std::string name = "unnamed";
   std::string summary;
@@ -67,6 +103,8 @@ struct Scenario {
   core::SoftAllocation soft;
   WorkloadDecl workload;
   ControllerDecl controller;
+  FaultDecl faults;
+  ResilienceDecl resilience;
   double duration_seconds = 300.0;
   double warmup_seconds = 30.0;
   int max_vms = 8;

@@ -7,13 +7,23 @@ namespace dcm::workload {
 ClientStats::ClientStats()
     : rt_series_("response_time", sim::kNanosPerSecond),
       tp_series_("throughput", sim::kNanosPerSecond),
+      error_series_("errors", sim::kNanosPerSecond),
+      goodput_series_("goodput", sim::kNanosPerSecond),
       rt_histogram_(metrics::Histogram::logarithmic(1e-4, 100.0)) {}
+
+void ClientStats::set_goodput_bound(double seconds) {
+  DCM_CHECK(seconds > 0.0);
+  goodput_bound_seconds_ = seconds;
+}
 
 void ClientStats::record_completion(sim::SimTime now, double response_time_seconds,
                                     int servlet) {
   ++completed_;
   rt_series_.add(now, response_time_seconds);
   tp_series_.add(now, 1.0);
+  const bool within_bound = response_time_seconds <= goodput_bound_seconds_;
+  if (within_bound) ++good_;
+  goodput_series_.add(now, within_bound ? 1.0 : 0.0);
   rt_stats_.add(response_time_seconds);
   rt_histogram_.add(response_time_seconds);
   if (servlet >= 0) per_servlet_rt_[servlet].add(response_time_seconds);
@@ -22,15 +32,42 @@ void ClientStats::record_completion(sim::SimTime now, double response_time_secon
 void ClientStats::record_error(sim::SimTime now) {
   ++errors_;
   tp_series_.add(now, 0.0);  // marks the bucket without counting a completion
+  error_series_.add(now, 1.0);
+  goodput_series_.add(now, 0.0);
+}
+
+void ClientStats::record_timeout(sim::SimTime now) {
+  ++timeouts_;
+  (void)now;  // attempt-level; the final outcome lands in another series
+}
+
+void ClientStats::record_retry() { ++retries_; }
+
+double ClientStats::series_count(const metrics::TimeSeries& series, sim::SimTime from,
+                                 sim::SimTime to) {
+  double count = 0.0;
+  for (const auto& b : series.buckets()) {
+    if (b.start >= from && b.start < to) count += b.stat.sum();
+  }
+  return count;
 }
 
 double ClientStats::mean_throughput(sim::SimTime from, sim::SimTime to) const {
   DCM_CHECK(to > from);
-  double count = 0.0;
-  for (const auto& b : tp_series_.buckets()) {
-    if (b.start >= from && b.start < to) count += b.stat.sum();
-  }
-  return count / sim::to_seconds(to - from);
+  return series_count(tp_series_, from, to) / sim::to_seconds(to - from);
+}
+
+double ClientStats::mean_goodput(sim::SimTime from, sim::SimTime to) const {
+  DCM_CHECK(to > from);
+  return series_count(goodput_series_, from, to) / sim::to_seconds(to - from);
+}
+
+double ClientStats::error_rate(sim::SimTime from, sim::SimTime to) const {
+  DCM_CHECK(to > from);
+  const double errors = series_count(error_series_, from, to);
+  const double completions = series_count(tp_series_, from, to);
+  const double total = errors + completions;
+  return total > 0.0 ? errors / total : 0.0;
 }
 
 }  // namespace dcm::workload

@@ -2,7 +2,10 @@
 //
 // Records every completed request's end-to-end response time into per-second
 // series (the Fig. 5 plots), an overall histogram (percentiles) and running
-// aggregates.
+// aggregates. Failure accounting distinguishes errors (requests that
+// ultimately failed), timeouts (per-attempt deadline expirations) and
+// retries (re-issued attempts); goodput counts only completions that beat
+// the goodput latency bound (default 1 s — the paper's SLA threshold).
 #pragma once
 
 #include <cstdint>
@@ -19,23 +22,45 @@ class ClientStats {
  public:
   ClientStats();
 
+  /// Completions at or under this latency count toward goodput. Set before
+  /// recording (it classifies at record time, not retroactively).
+  void set_goodput_bound(double seconds);
+  double goodput_bound() const { return goodput_bound_seconds_; }
+
   /// `servlet` < 0 means "untyped" (no per-servlet attribution).
   void record_completion(sim::SimTime now, double response_time_seconds, int servlet = -1);
   void record_error(sim::SimTime now);
+  /// A per-attempt deadline expired (the request may still be retried —
+  /// record_error fires only on the final failure).
+  void record_timeout(sim::SimTime now);
+  /// An attempt was re-issued after a failure or timeout.
+  void record_retry();
 
   uint64_t completed() const { return completed_; }
   uint64_t errors() const { return errors_; }
+  uint64_t timeouts() const { return timeouts_; }
+  uint64_t retries() const { return retries_; }
+  /// Completions within the goodput bound.
+  uint64_t good() const { return good_; }
 
   /// Per-second mean response time (seconds).
   const metrics::TimeSeries& response_time_series() const { return rt_series_; }
   /// Per-second completions; read with rate_series().
   const metrics::TimeSeries& throughput_series() const { return tp_series_; }
+  /// Per-second final failures.
+  const metrics::TimeSeries& error_series() const { return error_series_; }
+  /// Per-second completions within the goodput bound.
+  const metrics::TimeSeries& goodput_series() const { return goodput_series_; }
 
   const metrics::Welford& response_time_stats() const { return rt_stats_; }
   const metrics::Histogram& response_time_histogram() const { return rt_histogram_; }
 
   /// Mean throughput (req/s) between two instants, from completion counts.
   double mean_throughput(sim::SimTime from, sim::SimTime to) const;
+  /// Mean goodput (bound-beating req/s) between two instants.
+  double mean_goodput(sim::SimTime from, sim::SimTime to) const;
+  /// errors / (errors + completions) in the window; 0 when idle.
+  double error_rate(sim::SimTime from, sim::SimTime to) const;
 
   /// Per-servlet response-time breakdown (RUBBoS reports per-interaction
   /// statistics); keyed by servlet index, untyped requests excluded.
@@ -44,10 +69,19 @@ class ClientStats {
   }
 
  private:
+  static double series_count(const metrics::TimeSeries& series, sim::SimTime from,
+                             sim::SimTime to);
+
   uint64_t completed_ = 0;
   uint64_t errors_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t good_ = 0;
+  double goodput_bound_seconds_ = 1.0;
   metrics::TimeSeries rt_series_;
   metrics::TimeSeries tp_series_;
+  metrics::TimeSeries error_series_;
+  metrics::TimeSeries goodput_series_;
   metrics::Welford rt_stats_;
   metrics::Histogram rt_histogram_;
   std::map<int, metrics::Welford> per_servlet_rt_;

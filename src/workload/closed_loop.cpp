@@ -1,5 +1,8 @@
 #include "workload/closed_loop.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 
 namespace dcm::workload {
@@ -58,6 +61,12 @@ void ClosedLoopGenerator::user_cycle(int user_index) {
   const sim::SimTime issued = engine_->now();
   auto request = factory_(app_->next_request_id(), rng_, issued);
   const int servlet = request->servlet;
+  if (retry_.enabled()) {
+    issue_attempt(user_index, request, servlet, issued, /*attempt=*/0);
+    return;
+  }
+  // Legacy path — byte-for-byte the pre-resilience behaviour when no retry
+  // policy is configured.
   app_->submit(request, [this, user_index, issued, servlet](bool ok) {
     const sim::SimTime now = engine_->now();
     if (ok) {
@@ -72,6 +81,68 @@ void ClosedLoopGenerator::user_cycle(int user_index) {
       user_cycle(user_index);
     });
   });
+}
+
+void ClosedLoopGenerator::issue_attempt(int user_index, const ntier::RequestPtr& request,
+                                        int servlet, sim::SimTime first_issued, int attempt) {
+  // Settlement record shared by the response and the deadline: whichever
+  // fires second finds `settled` set and becomes a no-op.
+  struct Attempt {
+    bool settled = false;
+    sim::EventHandle timeout;
+  };
+  auto state = std::make_shared<Attempt>();
+  app_->submit(request, [this, user_index, request, servlet, first_issued, attempt,
+                         state](bool ok) {
+    if (state->settled) return;  // deadline already expired; drop late response
+    state->settled = true;
+    state->timeout.cancel();
+    if (ok) {
+      const sim::SimTime now = engine_->now();
+      stats_.record_completion(now, sim::to_seconds(now - first_issued), servlet);
+      finish_cycle(user_index);
+      return;
+    }
+    on_attempt_failed(user_index, request, servlet, first_issued, attempt);
+  });
+  if (retry_.timeout_seconds > 0.0 && !state->settled) {
+    state->timeout = engine_->schedule_after(
+        sim::from_seconds(retry_.timeout_seconds),
+        [this, user_index, request, servlet, first_issued, attempt, state] {
+          if (state->settled) return;
+          state->settled = true;
+          stats_.record_timeout(engine_->now());
+          on_attempt_failed(user_index, request, servlet, first_issued, attempt);
+        });
+  }
+}
+
+void ClosedLoopGenerator::on_attempt_failed(int user_index, const ntier::RequestPtr& request,
+                                            int servlet, sim::SimTime first_issued,
+                                            int attempt) {
+  if (attempt < retry_.max_retries) {
+    stats_.record_retry();
+    const double base =
+        retry_.backoff_base_seconds * std::pow(retry_.backoff_multiplier, attempt);
+    const double jitter =
+        retry_.jitter_fraction > 0.0
+            ? 1.0 + retry_.jitter_fraction * (2.0 * rng_.next_double() - 1.0)
+            : 1.0;
+    engine_->schedule_after(
+        sim::from_seconds(std::max(0.0, base * jitter)),
+        [this, user_index, request, servlet, first_issued, attempt] {
+          issue_attempt(user_index, request, servlet, first_issued, attempt + 1);
+        });
+    return;
+  }
+  stats_.record_error(engine_->now());
+  finish_cycle(user_index);
+}
+
+void ClosedLoopGenerator::finish_cycle(int user_index) {
+  const double think = think_time_ ? think_time_->sample(rng_) : 0.0;
+  engine_->schedule_after(sim::from_seconds(think),
+                          [this, user_index] { user_cycle(user_index); });
 }
 
 std::unique_ptr<ClosedLoopGenerator> make_jmeter(sim::Engine& engine, ntier::NTierApp& app,

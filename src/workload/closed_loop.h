@@ -30,6 +30,22 @@ using RequestFactory =
 /// The catalog must outlive the returned factory.
 RequestFactory catalog_factory(const ServletCatalog& catalog);
 
+/// Client-side deadline + bounded retry (resilience mechanism). Disabled by
+/// default — the generator then behaves exactly as before, with no extra
+/// events or rng draws. Backoff before re-issue k→k+1 is
+/// backoff_base · multiplier^k, jittered ±jitter_fraction from the
+/// generator's own deterministic rng stream. Response time is measured from
+/// the first issue to the final success (what the user experienced).
+struct RetryPolicy {
+  double timeout_seconds = 0.0;  // 0 = no deadline
+  int max_retries = 0;
+  double backoff_base_seconds = 0.5;
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.2;
+
+  bool enabled() const { return timeout_seconds > 0.0 || max_retries > 0; }
+};
+
 struct ClosedLoopConfig {
   int users = 1;
   /// Think time between a user's consecutive requests; nullptr = zero.
@@ -58,12 +74,21 @@ class ClosedLoopGenerator {
   int user_count() const { return target_users_; }
   int live_users() const { return live_users_; }
 
+  /// Deadline/retry discipline applied to every request. Set before start().
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
   ClientStats& stats() { return stats_; }
   const ClientStats& stats() const { return stats_; }
 
  private:
   void spawn_user(int user_index, sim::SimTime initial_delay);
   void user_cycle(int user_index);
+  void issue_attempt(int user_index, const ntier::RequestPtr& request, int servlet,
+                     sim::SimTime first_issued, int attempt);
+  void on_attempt_failed(int user_index, const ntier::RequestPtr& request, int servlet,
+                         sim::SimTime first_issued, int attempt);
+  void finish_cycle(int user_index);
 
   sim::Engine* engine_;
   ntier::NTierApp* app_;
@@ -71,6 +96,7 @@ class ClosedLoopGenerator {
   std::unique_ptr<sim::Distribution> think_time_;
   sim::SimTime start_stagger_;
   Rng rng_;
+  RetryPolicy retry_;
 
   bool running_ = false;
   int target_users_ = 0;

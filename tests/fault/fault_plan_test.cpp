@@ -1,0 +1,108 @@
+// FaultPlan synthesis: bit-reproducible schedules from (spec, seed, horizon),
+// with independent per-family streams.
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+
+namespace dcm::fault {
+namespace {
+
+FaultSpec all_families() {
+  FaultSpec spec;
+  spec.crash_mttf_seconds = 60.0;
+  spec.slowdown_mttf_seconds = 80.0;
+  spec.telemetry_loss_mttf_seconds = 120.0;
+  spec.agent_silence_mttf_seconds = 100.0;
+  return spec;
+}
+
+std::vector<sim::SimTime> times_of(const FaultPlan& plan, FaultKind kind) {
+  std::vector<sim::SimTime> times;
+  for (const auto& event : plan.events) {
+    if (event.kind == kind) times.push_back(event.at);
+  }
+  return times;
+}
+
+TEST(FaultPlanTest, EmptySpecYieldsEmptyPlan) {
+  const FaultPlan plan = FaultPlan::synthesize(FaultSpec{}, 1, 600.0);
+  EXPECT_TRUE(plan.events.empty());
+  EXPECT_FALSE(FaultSpec{}.any_enabled());
+}
+
+TEST(FaultPlanTest, SameSeedIsBitIdentical) {
+  const FaultPlan a = FaultPlan::synthesize(all_families(), 99, 600.0);
+  const FaultPlan b = FaultPlan::synthesize(all_families(), 99, 600.0);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_GT(a.events.size(), 0u);
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_EQ(a.events[i].duration, b.events[i].duration);
+    EXPECT_EQ(a.events[i].severity, b.events[i].severity);
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiverge) {
+  const FaultPlan a = FaultPlan::synthesize(all_families(), 1, 600.0);
+  const FaultPlan b = FaultPlan::synthesize(all_families(), 2, 600.0);
+  ASSERT_FALSE(a.events.empty());
+  bool differs = a.events.size() != b.events.size();
+  for (size_t i = 0; !differs && i < a.events.size(); ++i) {
+    differs = a.events[i].at != b.events[i].at;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanTest, EventsSortedAndWithinHorizon) {
+  const FaultPlan plan = FaultPlan::synthesize(all_families(), 7, 300.0);
+  ASSERT_FALSE(plan.events.empty());
+  const sim::SimTime horizon = sim::from_seconds(300.0);
+  sim::SimTime prev = 0;
+  for (const auto& event : plan.events) {
+    EXPECT_GE(event.at, prev);
+    EXPECT_LT(event.at, horizon);
+    prev = event.at;
+  }
+}
+
+TEST(FaultPlanTest, OnlyEnabledFamiliesAppear) {
+  FaultSpec spec;
+  spec.crash_mttf_seconds = 50.0;
+  const FaultPlan plan = FaultPlan::synthesize(spec, 3, 600.0);
+  ASSERT_FALSE(plan.events.empty());
+  for (const auto& event : plan.events) {
+    EXPECT_EQ(event.kind, FaultKind::kVmCrash);
+    EXPECT_STREQ(fault_kind_name(event.kind), "vm_crash");
+  }
+}
+
+TEST(FaultPlanTest, FamilyStreamsAreIndependent) {
+  // Enabling a second family must not shift the first family's times: each
+  // family draws from its own derived stream.
+  FaultSpec crash_only;
+  crash_only.crash_mttf_seconds = 60.0;
+  FaultSpec both = crash_only;
+  both.slowdown_mttf_seconds = 45.0;
+
+  const auto lone = times_of(FaultPlan::synthesize(crash_only, 11, 600.0), FaultKind::kVmCrash);
+  const auto mixed = times_of(FaultPlan::synthesize(both, 11, 600.0), FaultKind::kVmCrash);
+  EXPECT_EQ(lone, mixed);
+}
+
+TEST(FaultPlanTest, WindowedKindsCarryDurationAndSeverity) {
+  FaultSpec spec;
+  spec.slowdown_mttf_seconds = 40.0;
+  spec.slowdown_factor = 0.5;
+  spec.slowdown_duration_seconds = 20.0;
+  const FaultPlan plan = FaultPlan::synthesize(spec, 5, 400.0);
+  ASSERT_FALSE(plan.events.empty());
+  for (const auto& event : plan.events) {
+    EXPECT_EQ(event.kind, FaultKind::kVmSlowdown);
+    EXPECT_EQ(event.duration, sim::from_seconds(20.0));
+    EXPECT_EQ(event.severity, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace dcm::fault

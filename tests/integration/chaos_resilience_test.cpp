@@ -1,0 +1,80 @@
+// End-to-end chaos: the canonical chaos-resilience scenario under the SAME
+// deterministic fault schedule, with and without the resilience stack. The
+// resilient run must sustain strictly higher goodput and a strictly lower
+// error rate — the acceptance bar for the whole resilience subsystem.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "scenario/registry.h"
+#include "scenario/result_writer.h"
+#include "scenario/sweep.h"
+
+namespace dcm {
+namespace {
+
+std::vector<sim::SimTime> injection_times(const core::ExperimentResult& result) {
+  std::vector<sim::SimTime> times;
+  for (const auto& entry : result.fault_log) {
+    // Injector entries only — recovery/tier entries differ by design.
+    if (entry.kind == "vm_crash" || entry.kind == "vm_slowdown" ||
+        entry.kind == "telemetry_loss" || entry.kind == "agent_silence" ||
+        entry.kind == "skipped") {
+      times.push_back(entry.at);
+    }
+  }
+  return times;
+}
+
+TEST(ChaosResilienceTest, ResilientRunBeatsBaselineUnderSameFaultSchedule) {
+  const scenario::Scenario scenario = scenario::get_scenario("chaos-resilience");
+  core::ExperimentConfig resilient = scenario.experiment();
+  ASSERT_TRUE(resilient.resilience.enabled);
+  ASSERT_TRUE(resilient.faults.any_enabled());
+  core::ExperimentConfig baseline = resilient;
+  baseline.resilience.enabled = false;
+
+  const core::ExperimentResult with = core::run_experiment(resilient);
+  const core::ExperimentResult without = core::run_experiment(baseline);
+
+  // Identical root seed → identical fault schedule: the comparison is paired.
+  EXPECT_EQ(injection_times(with), injection_times(without));
+  EXPECT_FALSE(with.fault_log.empty());
+
+  // The acceptance criterion: strictly better goodput AND error rate.
+  EXPECT_GT(with.goodput, without.goodput);
+  EXPECT_LT(with.error_rate, without.error_rate);
+
+  // The mechanisms actually engaged (not a vacuous win).
+  EXPECT_GT(with.timeouts, 0u);
+  EXPECT_GT(with.retries, 0u);
+  EXPECT_EQ(without.timeouts, 0u);
+  EXPECT_EQ(without.retries, 0u);
+}
+
+TEST(ChaosResilienceTest, ChaosRunIsBitReproducible) {
+  scenario::Scenario scenario = scenario::get_scenario("chaos-resilience");
+  scenario.duration_seconds = 120.0;
+  const core::ExperimentConfig config = scenario.experiment();
+  const uint64_t first = scenario::result_digest(core::run_experiment(config));
+  const uint64_t second = scenario::result_digest(core::run_experiment(config));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ChaosResilienceTest, SweepDigestInvariantAcrossThreadCounts) {
+  scenario::SweepPlan plan;
+  plan.base = scenario::get_scenario("chaos-resilience");
+  plan.base.duration_seconds = 120.0;
+  plan.axes.push_back(scenario::parse_axis("resilience.enabled=true,false"));
+  plan.seed_policy = scenario::SeedPolicy::kFixed;
+
+  const uint64_t serial =
+      scenario::sweep_digest(scenario::SweepRunner(plan, /*jobs=*/1).run());
+  const uint64_t parallel =
+      scenario::sweep_digest(scenario::SweepRunner(plan, /*jobs=*/4).run());
+  EXPECT_EQ(serial, parallel)
+      << "chaos sweep digest diverged across --jobs — fault injection or "
+         "resilience bookkeeping is reading shared mutable state";
+}
+
+}  // namespace
+}  // namespace dcm

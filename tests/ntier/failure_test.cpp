@@ -165,6 +165,90 @@ TEST(VmFailTest, FailBootingVmNeverActivates) {
   EXPECT_EQ(tier.failed_vm_count(), 1);
 }
 
+TEST(VmFailTest, FailDuringDrainNotifiesDrainCallbackWithFailed) {
+  // Regression: a crash mid-drain used to clear the idle callback without
+  // firing the drain's on_stopped, leaking the scale-in bookkeeping forever.
+  sim::Engine engine;
+  Vm vm(engine, "vm0", std::make_unique<Server>(engine, slow_leaf(), 0, Rng(9)), 0,
+        [](Vm&) {});
+  vm.server().process(request(), [](bool) {});  // keeps the drain pending
+  int notified = 0;
+  bool failed_flag = false;
+  vm.begin_drain([&](Vm&, bool failed) {
+    ++notified;
+    failed_flag = failed;
+  });
+  ASSERT_EQ(vm.state(), VmState::kDraining);
+
+  vm.fail();
+  EXPECT_EQ(vm.state(), VmState::kFailed);
+  EXPECT_EQ(notified, 1);
+  EXPECT_TRUE(failed_flag);
+  // The server going idle later must not re-fire the callback.
+  engine.run_until(sim::from_seconds(2.0));
+  EXPECT_EQ(notified, 1);
+}
+
+TEST(VmFailTest, CleanDrainStillReportsNotFailed) {
+  sim::Engine engine;
+  Vm vm(engine, "vm0", std::make_unique<Server>(engine, slow_leaf(), 0, Rng(10)), 0,
+        [](Vm&) {});
+  vm.server().process(request(), [](bool) {});
+  bool failed_flag = true;
+  int notified = 0;
+  vm.begin_drain([&](Vm&, bool failed) {
+    ++notified;
+    failed_flag = failed;
+  });
+  engine.run_until(sim::from_seconds(2.0));
+  EXPECT_EQ(vm.state(), VmState::kStopped);
+  EXPECT_EQ(notified, 1);
+  EXPECT_FALSE(failed_flag);
+}
+
+TEST(ServerCrashTest, NestedDownstreamCrashFailsEachVisitExactlyOnce) {
+  // Epoch bookkeeping with nested sub-requests: the DB crashes while app
+  // visits are blocked on it. Each visit's done callback must fire exactly
+  // once (the crash-time failure), with no second completion when stray
+  // events or late responses surface afterwards.
+  sim::Engine engine;
+  Rng rng(11);
+  TierConfig db;
+  db.name = "db";
+  db.server = slow_leaf(8);
+  Tier db_tier(engine, db, 1, rng);
+
+  ServerConfig up;
+  up.name = "app";
+  up.cpu.params = {0.01, 0.0, 0.0};
+  up.max_threads = 8;
+  up.downstream_connections = 8;
+  Server upstream(engine, up, 0, Rng(12));
+  upstream.set_downstream(&db_tier);
+
+  auto req = std::make_shared<RequestContext>();
+  req->demand_scale = {1.0, 1.0};
+  req->downstream_calls = {1, 0};
+  std::vector<int> done_counts(5, 0);
+  std::vector<bool> results(5, true);
+  for (int i = 0; i < 5; ++i) {
+    upstream.process(req, [&done_counts, &results, i](bool ok) {
+      ++done_counts[i];
+      results[i] = ok;
+    });
+  }
+  engine.run_until(sim::from_seconds(0.1));  // queries blocked at the db
+
+  db_tier.fail_vm(db_tier.vms()[0]->id());
+  engine.run_until(sim::from_seconds(2.0));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(done_counts[i], 1) << "visit " << i;
+    EXPECT_FALSE(results[i]) << "visit " << i;
+  }
+  EXPECT_EQ(upstream.in_flight(), 0);
+  EXPECT_EQ(upstream.downstream_connections_in_use(), 0);
+}
+
 TEST(VmFailTest, CannotFailDeadVm) {
   sim::Engine engine;
   Rng rng(8);

@@ -56,7 +56,7 @@ TEST(VmTest, DrainWaitsForInFlight) {
         nullptr);
   vm.server().process(request(), [](bool) {});
   bool stopped = false;
-  vm.begin_drain([&](Vm&) { stopped = true; });
+  vm.begin_drain([&](Vm&, bool) { stopped = true; });
   EXPECT_EQ(vm.state(), VmState::kDraining);
   EXPECT_FALSE(stopped);
   engine.run_until(sim::from_seconds(1.0));
@@ -69,7 +69,7 @@ TEST(VmTest, DrainIdleStopsImmediately) {
   Vm vm(engine, "vm0", std::make_unique<Server>(engine, tier_config().server, 0, Rng(1)), 0,
         nullptr);
   bool stopped = false;
-  vm.begin_drain([&](Vm&) { stopped = true; });
+  vm.begin_drain([&](Vm&, bool) { stopped = true; });
   EXPECT_TRUE(stopped);
 }
 

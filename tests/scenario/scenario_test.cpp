@@ -117,6 +117,66 @@ TEST(ScenarioTest, KeyAppliesFollowsDeclaredKinds) {
   EXPECT_FALSE(scenario_key_applies(config, "run", "sede"));
 }
 
+TEST(ScenarioTest, FaultAndResilienceVocabularyRoundTrips) {
+  const std::string text =
+      "[controller]\nkind=dcm\n"
+      "[faults]\ncrash_mttf=90\nslowdown_mttf=120\nslowdown_factor=0.5\n"
+      "telemetry_loss_mttf=200\nagent_silence_mttf=150\nagent_silence_duration=20\n"
+      "[resilience]\nenabled=true\nclient_timeout=1.5\nclient_retries=3\n"
+      "subrequest_timeout=0.5\nhealth_period=4\nwatchdog_periods=3\nmin_fit_r2=0.6\n";
+  const Scenario first = Scenario::parse(text);
+  EXPECT_DOUBLE_EQ(first.faults.crash_mttf, 90.0);
+  EXPECT_DOUBLE_EQ(first.faults.slowdown_factor, 0.5);
+  EXPECT_DOUBLE_EQ(first.faults.agent_silence_duration, 20.0);
+  EXPECT_TRUE(first.resilience.enabled);
+  EXPECT_DOUBLE_EQ(first.resilience.client_timeout, 1.5);
+  EXPECT_EQ(first.resilience.client_retries, 3);
+  EXPECT_EQ(first.resilience.watchdog_periods, 3);
+  EXPECT_DOUBLE_EQ(first.resilience.min_fit_r2, 0.6);
+
+  const Scenario second = Scenario::parse(first.to_text());
+  EXPECT_TRUE(first == second);
+  EXPECT_EQ(first.to_text(), second.to_text());
+
+  // And the fields survive into the runnable config.
+  const auto experiment = first.experiment();
+  EXPECT_DOUBLE_EQ(experiment.faults.crash_mttf_seconds, 90.0);
+  EXPECT_TRUE(experiment.resilience.enabled);
+  EXPECT_EQ(experiment.resilience.client_retries, 3);
+  EXPECT_EQ(experiment.resilience.watchdog_periods, 3);
+}
+
+TEST(ScenarioTest, ResilienceDetailKeysRequireEnabled) {
+  // Detail keys without enabled=true are dead config, not silent extras.
+  EXPECT_THROW(Scenario::parse("[resilience]\nclient_timeout=1.5\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[resilience]\nenabled=false\nclient_retries=3\n"),
+               std::runtime_error);
+  // The watchdog keys additionally require the dcm controller.
+  EXPECT_THROW(Scenario::parse("[resilience]\nenabled=true\nwatchdog_periods=2\n"),
+               std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=ec2\n"
+                               "[resilience]\nenabled=true\nmin_fit_r2=0.5\n"),
+               std::runtime_error);
+  EXPECT_NO_THROW(Scenario::parse("[resilience]\nenabled=true\nclient_retries=3\n"));
+  EXPECT_NO_THROW(Scenario::parse("[controller]\nkind=dcm\n"
+                                  "[resilience]\nenabled=true\nwatchdog_periods=2\n"));
+  // [faults] keys are always part of the vocabulary.
+  EXPECT_NO_THROW(Scenario::parse("[faults]\ncrash_mttf=120\n"));
+  EXPECT_THROW(Scenario::parse("[faults]\ncrash_mtff=120\n"), std::runtime_error);
+}
+
+TEST(ScenarioTest, KeyAppliesFollowsResilienceGate) {
+  Config config;
+  EXPECT_TRUE(scenario_key_applies(config, "faults", "crash_mttf"));
+  EXPECT_TRUE(scenario_key_applies(config, "resilience", "enabled"));
+  EXPECT_FALSE(scenario_key_applies(config, "resilience", "client_timeout"));
+  config.set("resilience", "enabled", "true");
+  EXPECT_TRUE(scenario_key_applies(config, "resilience", "client_timeout"));
+  EXPECT_FALSE(scenario_key_applies(config, "resilience", "watchdog_periods"));
+  config.set("controller", "kind", "dcm");
+  EXPECT_TRUE(scenario_key_applies(config, "resilience", "watchdog_periods"));
+}
+
 TEST(RegistryTest, AllScenariosParseAndRoundTrip) {
   const auto names = scenario_names();
   ASSERT_FALSE(names.empty());
@@ -130,6 +190,18 @@ TEST(RegistryTest, AllScenariosParseAndRoundTrip) {
     const Scenario reparsed = Scenario::parse(scenario.to_text());
     EXPECT_TRUE(reparsed == scenario);
   }
+}
+
+TEST(RegistryTest, ChaosResilienceScenarioArmsFaultsAndResilience) {
+  const Scenario chaos = get_scenario("chaos-resilience");
+  EXPECT_EQ(chaos.controller.kind, ControllerDecl::Kind::kDcm);
+  EXPECT_TRUE(chaos.controller.online_estimation);
+  EXPECT_TRUE(chaos.resilience.enabled);
+  const auto experiment = chaos.experiment();
+  EXPECT_TRUE(experiment.faults.any_enabled());
+  EXPECT_TRUE(experiment.resilience.enabled);
+  EXPECT_GT(experiment.faults.crash_mttf_seconds, 0.0);
+  EXPECT_GT(experiment.faults.telemetry_loss_mttf_seconds, 0.0);
 }
 
 TEST(RegistryTest, UnknownNameThrowsWithKnownList) {
