@@ -8,6 +8,7 @@ namespace dcm::control {
 void ControlLog::add(sim::SimTime time, std::string tier, std::string action,
                      std::string detail) {
   actions_.push_back(ControlAction{time, std::move(tier), std::move(action), std::move(detail)});
+  if (observer_) observer_(actions_.back());
 }
 
 std::vector<ControlAction> ControlLog::filtered(const std::string& action) const {

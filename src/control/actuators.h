@@ -6,6 +6,7 @@
 // thread pools and DB connection pools.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,8 +29,17 @@ class ControlLog {
   /// Actions of one kind (e.g. all "scale_out"s) for bench reporting.
   std::vector<ControlAction> filtered(const std::string& action) const;
 
+  /// Live tap: invoked (after recording) for every action added. Every
+  /// control-plane mutation — VM scaling, soft-resource resizes, watchdog
+  /// freeze/resume — flows through add(), so one observer sees them all.
+  /// Used by the tracer to annotate in-flight traces with actuation events.
+  void set_observer(std::function<void(const ControlAction&)> observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   std::vector<ControlAction> actions_;
+  std::function<void(const ControlAction&)> observer_;
 };
 
 class VmAgent {

@@ -49,6 +49,10 @@ class ControllerBase {
   void stop();
 
   const ControlLog& log() const { return log_; }
+  /// Live tap on every recorded control action (see ControlLog::set_observer).
+  void set_action_observer(std::function<void(const ControlAction&)> observer) {
+    log_.set_observer(std::move(observer));
+  }
   const std::string& name() const { return name_; }
   /// Per-tier utilisation as seen by the controller, one point per tick —
   /// the Fig. 5(c-f) "CPU util" series.

@@ -119,6 +119,12 @@ ExperimentConfig experiment_from_config(const Config& config) {
   resilience.min_fit_r2 =
       config.get_double("resilience", "min_fit_r2", resilience.min_fit_r2);
 
+  experiment.trace.enabled = config.get_bool("trace", "enabled", false);
+  experiment.trace.rate = config.get_double("trace", "rate", 1.0);
+  if (experiment.trace.rate < 0.0 || experiment.trace.rate > 1.0) {
+    throw std::runtime_error("config: [trace] rate must be in [0, 1]");
+  }
+
   control::ScalingPolicy policy;
   policy.control_period =
       sim::from_seconds(config.get_double("controller", "control_period", 15.0));

@@ -132,6 +132,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     generator->set_retry_policy(client_retry);
   }
 
+  std::unique_ptr<trace::Tracer> tracer;
+  if (config.trace.enabled) {
+    tracer = std::make_unique<trace::Tracer>(
+        experiment_stream_seed(config.seed, SeedStream::kTrace), config.trace);
+    generator->set_tracer(tracer.get());
+  }
+
   std::unique_ptr<control::ControllerBase> controller;
   switch (config.controller.kind) {
     case ControllerSpec::Kind::kNone:
@@ -151,6 +158,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           std::make_unique<control::DcmController>(engine, app, broker, std::move(dcm_config));
       break;
     }
+  }
+
+  if (controller && tracer) {
+    // Soft-actuation / scaling / watchdog events annotate overlapping traces.
+    trace::Tracer* tap = tracer.get();
+    controller->set_action_observer([tap](const control::ControlAction& a) {
+      tap->annotate(a.time, a.action, a.tier + " " + a.detail);
+    });
   }
 
   std::unique_ptr<fault::FaultInjector> injector;
@@ -269,6 +284,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           : 0.0;
 
   if (controller) result.actions = controller->log().actions();
+
+  if (tracer) {
+    // Fault-injection events (already time-sorted) join the annotation
+    // stream post-run; the report overlays them on overlapping traces.
+    for (const auto& entry : result.fault_log) {
+      tracer->annotate(entry.at, entry.kind,
+                       entry.target.empty() ? entry.detail
+                                            : entry.target + " " + entry.detail);
+    }
+    result.trace_report = trace::build_report(*tracer);
+  }
   return result;
 }
 

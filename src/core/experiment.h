@@ -17,6 +17,7 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "metrics/timeseries.h"
+#include "trace/attribution.h"
 #include "workload/client_stats.h"
 #include "workload/trace.h"
 
@@ -74,6 +75,10 @@ struct ExperimentConfig {
   /// two configs differing only in resilience see the same faults.
   fault::FaultSpec faults;
   ResilienceSpec resilience;
+  /// Request tracing (off by default). Sampling is a pure hash of the
+  /// derived kTrace seed and the request id, so enabling it — at any rate —
+  /// leaves the simulation's event and draw sequence bit-identical.
+  trace::TraceSpec trace;
   double duration_seconds = 300.0;
   /// Measurement excludes [0, warmup); timelines still cover everything.
   double warmup_seconds = 30.0;
@@ -92,7 +97,8 @@ struct ExperimentConfig {
 enum class SeedStream : uint64_t {
   kTopology = 0,  // per-server service-time variation
   kWorkload = 1,  // generator think times / servlet mix draws
-  kTrace = 2,     // taxonomy trace synthesis (config-driven runs)
+  kTrace = 2,     // taxonomy trace synthesis; also keys request-trace
+                  // sampling (a pure hash — consumes nothing from the stream)
   kFault = 3,     // fault-plan synthesis (chaos runs)
 };
 
@@ -142,6 +148,10 @@ struct ExperimentResult {
   /// exceeded the bound (1 s by default, the paper's visual SLA line).
   double sla_violation_fraction = 0.0;
   double sla_bound_seconds = 1.0;
+
+  /// Present only when config.trace.enabled: sampled span streams plus the
+  /// folded latency-attribution table. Never feeds the result digest.
+  std::shared_ptr<const trace::TraceReport> trace_report;
 
   /// Count of actions of a given kind on a given tier ("" = any tier).
   int action_count(const std::string& action, const std::string& tier = "") const;

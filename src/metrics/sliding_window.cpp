@@ -58,6 +58,10 @@ void SlidingRate::evict(sim::SimTime now) {
     sum_ -= events_.front().second;
     events_.pop_front();
   }
+  // Incremental add/subtract accumulates floating-point residue; an empty
+  // window must report exactly 0, not the drift, so re-anchor the sum here.
+  // Every later sum restarts from this exact zero.
+  if (events_.empty()) sum_ = 0.0;
 }
 
 double SlidingRate::rate(sim::SimTime now) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace dcm::ntier {
 
@@ -24,6 +25,11 @@ struct RequestContext {
   std::vector<double> demand_scale;
   /// downstream_calls[d] = number of sub-requests tier d sends to tier d+1.
   std::vector<int> downstream_calls;
+
+  /// Null unless this request was head-sampled by the run's Tracer. Every
+  /// instrumentation hook is gated on this pointer — the untraced hot path
+  /// pays exactly one branch.
+  std::shared_ptr<trace::TraceContext> trace;
 };
 
 using RequestPtr = std::shared_ptr<RequestContext>;

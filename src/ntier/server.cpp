@@ -18,6 +18,13 @@ struct Server::VisitState {
   int calls = 0;        // downstream sub-requests still to issue
   bool finished = false;
   bool holds_worker = false;
+
+  // Tracing scratch (written only when request->trace is non-null; the
+  // visit's phases are strictly sequential, so one slot per kind suffices).
+  sim::SimTime cpu_submitted = 0;
+  double cpu_work = 0.0;
+  sim::SimTime conn_requested = 0;
+  sim::SimTime downstream_started = 0;
 };
 
 // Per-attempt settlement record for a retried sub-request. Exactly one of
@@ -66,10 +73,32 @@ void Server::process(const RequestPtr& request, DoneFn done) {
   active_visits_.emplace(visit->visit_id, visit);
   workers_.acquire([this, visit] {
     if (visit_is_stale(visit)) return;
+    if (trace::TraceContext* tr = visit->request->trace.get()) {
+      tr->add_span(trace::SpanKind::kPoolWait, depth_, visit->arrived, engine_->now());
+    }
     visit->holds_worker = true;
     sync_thread_count();
     start_visit(visit);
   });
+}
+
+void Server::begin_cpu_span(const std::shared_ptr<VisitState>& visit, double work) {
+  if (visit->request->trace == nullptr) return;
+  visit->cpu_submitted = engine_->now();
+  visit->cpu_work = work;
+}
+
+void Server::end_cpu_span(const std::shared_ptr<VisitState>& visit) {
+  trace::TraceContext* tr = visit->request->trace.get();
+  if (tr == nullptr) return;
+  const sim::SimTime now = engine_->now();
+  const sim::SimTime nominal_end =
+      std::min(now, visit->cpu_submitted + sim::from_seconds(visit->cpu_work));
+  tr->add_span(trace::SpanKind::kService, depth_, visit->cpu_submitted, nominal_end,
+               visit->cpu_work);
+  // Anything past the nominal demand is run-queue wait / multithreading
+  // inflation — the S*(N) − S0 share of the visit.
+  if (now > nominal_end) tr->add_span(trace::SpanKind::kCpuWait, depth_, nominal_end, now);
 }
 
 void Server::start_visit(const std::shared_ptr<VisitState>& visit) {
@@ -87,24 +116,41 @@ void Server::start_visit(const std::shared_ptr<VisitState>& visit) {
                      : 0;
 
   if (visit->calls == 0) {
-    cpu_.submit(visit->demand, [this, visit] { finish_visit(visit, true); });
+    begin_cpu_span(visit, visit->demand);
+    cpu_.submit(visit->demand, [this, visit] {
+      end_cpu_span(visit);
+      finish_visit(visit, true);
+    });
     return;
   }
   const double pre = visit->demand * config_.pre_fraction;
-  cpu_.submit(pre, [this, visit] { issue_downstream(visit, 0); });
+  begin_cpu_span(visit, pre);
+  cpu_.submit(pre, [this, visit] {
+    end_cpu_span(visit);
+    issue_downstream(visit, 0);
+  });
 }
 
 void Server::issue_downstream(const std::shared_ptr<VisitState>& visit, int call_index) {
   if (visit_is_stale(visit)) return;
   if (call_index >= visit->calls) {
     const double post = visit->demand * (1.0 - config_.pre_fraction);
-    cpu_.submit(post, [this, visit] { finish_visit(visit, true); });
+    begin_cpu_span(visit, post);
+    cpu_.submit(post, [this, visit] {
+      end_cpu_span(visit);
+      finish_visit(visit, true);
+    });
     return;
   }
+  if (visit->request->trace != nullptr) visit->conn_requested = engine_->now();
   if (retry_.enabled()) {
     if (conns_) {
       conns_->acquire([this, visit, call_index] {
         if (visit_is_stale(visit)) return;
+        if (trace::TraceContext* tr = visit->request->trace.get()) {
+          tr->add_span(trace::SpanKind::kConnWait, depth_, visit->conn_requested,
+                       engine_->now());
+        }
         dispatch_downstream(visit, call_index, /*attempt=*/0, /*conn_held=*/true);
       });
     } else {
@@ -115,10 +161,15 @@ void Server::issue_downstream(const std::shared_ptr<VisitState>& visit, int call
   // Legacy single-attempt path — kept allocation-identical to the
   // pre-resilience behaviour for the default configuration.
   const auto forward = [this, visit, call_index](bool conn_held) {
+    if (visit->request->trace != nullptr) visit->downstream_started = engine_->now();
     downstream_->dispatch(visit->request, [this, visit, call_index, conn_held](bool ok) {
       // The downstream response may arrive after this server crashed; the
       // visit (and its pool slots) are already gone — drop it.
       if (visit_is_stale(visit)) return;
+      if (trace::TraceContext* tr = visit->request->trace.get()) {
+        tr->add_span(trace::SpanKind::kDownstream, depth_, visit->downstream_started,
+                     engine_->now());
+      }
       if (conn_held) conns_->release();
       if (!ok) {
         finish_visit(visit, false);
@@ -130,6 +181,10 @@ void Server::issue_downstream(const std::shared_ptr<VisitState>& visit, int call
   if (conns_) {
     conns_->acquire([this, visit, forward] {
       if (visit_is_stale(visit)) return;
+      if (trace::TraceContext* tr = visit->request->trace.get()) {
+        tr->add_span(trace::SpanKind::kConnWait, depth_, visit->conn_requested,
+                     engine_->now());
+      }
       forward(true);
     });
   } else {
@@ -140,12 +195,17 @@ void Server::issue_downstream(const std::shared_ptr<VisitState>& visit, int call
 void Server::dispatch_downstream(const std::shared_ptr<VisitState>& visit, int call_index,
                                  int attempt, bool conn_held) {
   auto state = std::make_shared<SubAttempt>();
+  if (visit->request->trace != nullptr) visit->downstream_started = engine_->now();
   downstream_->dispatch(visit->request,
                         [this, visit, call_index, attempt, conn_held, state](bool ok) {
                           if (state->settled) return;  // deadline already expired
                           state->settled = true;
                           state->timeout.cancel();
                           if (visit_is_stale(visit)) return;
+                          if (trace::TraceContext* tr = visit->request->trace.get()) {
+                            tr->add_span(trace::SpanKind::kDownstream, depth_,
+                                         visit->downstream_started, engine_->now());
+                          }
                           on_subrequest_result(visit, call_index, attempt, conn_held, ok);
                         });
   if (retry_.timeout_seconds > 0.0 && !state->settled) {
@@ -156,6 +216,10 @@ void Server::dispatch_downstream(const std::shared_ptr<VisitState>& visit, int c
           state->settled = true;  // the late response will be dropped
           if (visit_is_stale(visit)) return;
           ++subrequest_timeouts_;
+          if (trace::TraceContext* tr = visit->request->trace.get()) {
+            tr->add_span(trace::SpanKind::kTimeoutWait, depth_,
+                         visit->downstream_started, engine_->now());
+          }
           on_subrequest_result(visit, call_index, attempt, conn_held, false);
         });
   }
@@ -178,7 +242,12 @@ void Server::on_subrequest_result(const std::shared_ptr<VisitState>& visit, int 
         retry_.jitter_fraction > 0.0
             ? 1.0 + retry_.jitter_fraction * (2.0 * rng_.next_double() - 1.0)
             : 1.0;
-    engine_->schedule_after(sim::from_seconds(std::max(0.0, base * jitter)),
+    const double delay = std::max(0.0, base * jitter);
+    if (trace::TraceContext* tr = visit->request->trace.get()) {
+      tr->add_span(trace::SpanKind::kBackoff, depth_, engine_->now(),
+                   engine_->now() + sim::from_seconds(delay));
+    }
+    engine_->schedule_after(sim::from_seconds(delay),
                             [this, visit, call_index, attempt, conn_held] {
                               if (visit_is_stale(visit)) return;
                               dispatch_downstream(visit, call_index, attempt + 1, conn_held);

@@ -120,6 +120,8 @@ class Server {
   void on_subrequest_result(const std::shared_ptr<VisitState>& visit, int call_index,
                             int attempt, bool conn_held, bool ok);
   void finish_visit(const std::shared_ptr<VisitState>& visit, bool ok);
+  void begin_cpu_span(const std::shared_ptr<VisitState>& visit, double work);
+  void end_cpu_span(const std::shared_ptr<VisitState>& visit);
   void sync_thread_count();
   bool visit_is_stale(const std::shared_ptr<VisitState>& visit) const;
 

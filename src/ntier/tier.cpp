@@ -69,6 +69,12 @@ void Tier::dispatch(const RequestPtr& request, DoneFn done) {
     done(false);
     return;
   }
+  if (trace::TraceContext* tr = request->trace.get()) {
+    // Zero-width marker: the pick itself is instantaneous in sim time;
+    // `value` records the member count the balancer chose from.
+    tr->add_span(trace::SpanKind::kLbPick, depth_, engine_->now(), engine_->now(),
+                 static_cast<double>(balancer_.member_count()));
+  }
   if (health_enabled_) {
     // Feed the outcome back into the balancer's passive failure tracking.
     server->process(request, [this, server, done = std::move(done)](bool ok) {

@@ -111,6 +111,18 @@ const std::vector<std::pair<std::string, std::string>>& table() {
        "\n[soft]\ndb_connections = 400\n"
        "\n[workload]\nkind = jmeter\nusers = 20\n"
        "\n[run]\nduration = 90\nwarmup = 30\n"},
+
+      {"trace-attribution",
+       "[scenario]\n"
+       "name = trace-attribution\n"
+       "summary = saturated app tier under full request tracing: the latency waterfall "
+       "should pin the p99 on app-tier pool-queue wait\n"
+       // The undersized app thread pool is the bottleneck fig4a sweeps
+       // around; at 300 users it queues heavily while web and db stay lean.
+       "\n[soft]\napp_threads = 20\n"
+       "\n[workload]\nkind = rubbos\nusers = 300\n"
+       "\n[trace]\nenabled = true\nrate = 1\n"
+       "\n[run]\nduration = 120\nwarmup = 30\nseed = 7\n"},
   };
   return kScenarios;
 }

@@ -56,6 +56,13 @@ void print_actions(const core::ExperimentResult& result) {
   }
 }
 
+// Span tiers map onto the run's tier names; kClientTier is the client side.
+std::string trace_tier_name(const core::ExperimentResult& result, int tier) {
+  if (tier < 0) return "client";
+  if (static_cast<size_t>(tier) < result.tiers.size()) return result.tiers[tier].name;
+  return "tier" + std::to_string(tier);
+}
+
 }  // namespace
 
 void Fnv1a::mix_bytes(const void* data, size_t size) {
@@ -110,6 +117,50 @@ uint64_t result_digest(const core::ExperimentResult& result) {
     h.mix(entry.kind);
     h.mix(entry.target);
     h.mix(entry.detail);
+  }
+  return h.value();
+}
+
+uint64_t trace_digest(const trace::TraceReport& report) {
+  Fnv1a h;
+  h.mix(static_cast<uint64_t>(report.spec.enabled ? 1 : 0));
+  h.mix(report.spec.rate);
+  h.mix(report.sampled);
+  h.mix(report.finalized);
+  h.mix(report.completed);
+  h.mix(static_cast<uint64_t>(report.traces.size()));
+  for (const auto& context : report.traces) {
+    h.mix(context->request_id);
+    h.mix(static_cast<int64_t>(context->servlet));
+    h.mix(context->started);
+    h.mix(context->finished);
+    h.mix(static_cast<uint64_t>(context->ok ? 1 : 0));
+    h.mix(static_cast<int64_t>(context->attempts));
+    h.mix(static_cast<uint64_t>(context->spans.size()));
+    for (const auto& span : context->spans) {
+      h.mix(static_cast<uint64_t>(span.kind));
+      h.mix(static_cast<int64_t>(span.tier));
+      h.mix(span.start);
+      h.mix(span.end);
+      h.mix(span.value);
+    }
+  }
+  h.mix(static_cast<uint64_t>(report.annotations.size()));
+  for (const auto& annotation : report.annotations) {
+    h.mix(annotation.at);
+    h.mix(annotation.kind);
+    h.mix(annotation.detail);
+  }
+  h.mix(static_cast<uint64_t>(report.attribution.size()));
+  for (const auto& row : report.attribution) {
+    h.mix(static_cast<int64_t>(row.tier));
+    h.mix(static_cast<uint64_t>(row.cause));
+    h.mix(row.traces);
+    h.mix(row.total_seconds);
+    h.mix(row.mean_seconds);
+    h.mix(row.p50_share);
+    h.mix(row.p95_share);
+    h.mix(row.p99_share);
   }
   return h.value();
 }
@@ -177,7 +228,31 @@ void write_result_json(std::ostream& out, const std::string& name,
           << json_escape(entry.target) << "\", \"detail\": \"" << json_escape(entry.detail)
           << "\"}";
     }
-    out << (r.fault_log.empty() ? "]\n" : "\n      ]\n") << "    }";
+    out << (r.fault_log.empty() ? "]" : "\n      ]");
+    if (r.trace_report != nullptr) {
+      const trace::TraceReport& tr = *r.trace_report;
+      out << ",\n      \"trace\": {\n"
+          << "        \"rate\": " << json_number(tr.spec.rate) << ",\n"
+          << "        \"sampled\": " << tr.sampled << ",\n"
+          << "        \"finalized\": " << tr.finalized << ",\n"
+          << "        \"completed\": " << tr.completed << ",\n"
+          << "        \"digest\": \"" << trace_digest(tr) << "\",\n"
+          << "        \"attribution\": [";
+      for (size_t a = 0; a < tr.attribution.size(); ++a) {
+        const auto& arow = tr.attribution[a];
+        out << (a == 0 ? "\n" : ",\n")
+            << "          {\"tier\": \"" << json_escape(trace_tier_name(r, arow.tier))
+            << "\", \"cause\": \"" << trace::span_kind_name(arow.cause)
+            << "\", \"traces\": " << arow.traces
+            << ", \"total_seconds\": " << json_number(arow.total_seconds)
+            << ", \"mean_seconds\": " << json_number(arow.mean_seconds)
+            << ", \"p50_share\": " << json_number(arow.p50_share)
+            << ", \"p95_share\": " << json_number(arow.p95_share)
+            << ", \"p99_share\": " << json_number(arow.p99_share) << "}";
+      }
+      out << (tr.attribution.empty() ? "]\n" : "\n        ]\n") << "      }";
+    }
+    out << "\n    }";
   }
   out << "\n  ]\n}\n";
 }
@@ -220,6 +295,51 @@ void write_timeline_csv(std::ostream& out, const core::ExperimentResult& result,
       row.push_back(bucket_mean(tier.concurrency.buckets(), t));
     }
     writer.write_row(row);
+  }
+}
+
+void write_spans_csv(std::ostream& out, const core::ExperimentResult& result) {
+  if (result.trace_report == nullptr) return;
+  CsvWriter writer(out);
+  writer.write_header({"request_id", "servlet", "ok", "attempts", "span", "kind", "tier",
+                       "start_s", "end_s", "duration_s", "value"});
+  for (const auto& context : result.trace_report->traces) {
+    for (size_t s = 0; s < context->spans.size(); ++s) {
+      const trace::Span& span = context->spans[s];
+      writer.write_row(std::vector<std::string>{
+          std::to_string(context->request_id), std::to_string(context->servlet),
+          context->ok ? "1" : "0", std::to_string(context->attempts), std::to_string(s),
+          trace::span_kind_name(span.kind), trace_tier_name(result, span.tier),
+          str_format("%.9f", sim::to_seconds(span.start)),
+          str_format("%.9f", sim::to_seconds(span.end)),
+          str_format("%.9f", sim::to_seconds(span.end - span.start)),
+          str_format("%.9g", span.value)});
+    }
+  }
+}
+
+void print_trace_summary(const core::ExperimentResult& result) {
+  if (result.trace_report == nullptr) return;
+  const trace::TraceReport& report = *result.trace_report;
+  std::printf("trace                 : rate %.3g, sampled %llu, finalized %llu, ok %llu\n",
+              report.spec.rate, static_cast<unsigned long long>(report.sampled),
+              static_cast<unsigned long long>(report.finalized),
+              static_cast<unsigned long long>(report.completed));
+  if (report.attribution.empty()) return;
+  std::printf("latency attribution (share of end-to-end latency per cause):\n");
+  TextTable table({"tier", "cause", "traces", "total_s", "mean_ms", "p50", "p95", "p99"});
+  for (const auto& row : report.attribution) {
+    table.add_row(std::vector<std::string>{
+        trace_tier_name(result, row.tier), trace::span_kind_name(row.cause),
+        std::to_string(row.traces), format_number(row.total_seconds, 1),
+        format_number(row.mean_seconds * 1e3, 2), format_number(row.p50_share * 100.0, 1) + "%",
+        format_number(row.p95_share * 100.0, 1) + "%",
+        format_number(row.p99_share * 100.0, 1) + "%"});
+  }
+  table.print();
+  if (!report.annotations.empty()) {
+    std::printf("trace annotations     : %zu control/fault events overlap the run\n",
+                report.annotations.size());
   }
 }
 

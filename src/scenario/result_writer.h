@@ -48,6 +48,12 @@ uint64_t result_digest(const core::ExperimentResult& result);
 /// order. Identical across thread counts by the SweepRunner contract.
 uint64_t sweep_digest(const std::vector<SweepRun>& runs);
 
+/// Digest of one run's trace report: every sampled span stream, the
+/// annotation log and the folded attribution table, bit-for-bit. Kept
+/// separate from result_digest on purpose — tracing must never perturb the
+/// core result digest, and this digest is what pins the tracing itself.
+uint64_t trace_digest(const trace::TraceReport& report);
+
 /// dcm-result-v1 JSON: schema marker, sweep name, one entry per run with
 /// index/scenario/seed/overrides/digest and the post-warmup summary stats.
 void write_result_json(std::ostream& out, const std::string& name,
@@ -59,8 +65,17 @@ void write_result_json(std::ostream& out, const std::string& name,
 void write_timeline_csv(std::ostream& out, const core::ExperimentResult& result,
                         const workload::Trace* trace = nullptr);
 
+/// Per-span CSV of one traced run (request_id, servlet, ok, attempts, span
+/// index, kind, tier name, start/end/duration seconds, kind-specific
+/// value). No-op when the result carries no trace report.
+void write_spans_csv(std::ostream& out, const core::ExperimentResult& result);
+
 /// dcm_runner-style console summary of one run (plus its action log).
 void print_summary(const core::ExperimentResult& result);
+
+/// Console waterfall of a traced run: sampling counters plus the per-tier,
+/// per-cause latency-attribution table. No-op without a trace report.
+void print_trace_summary(const core::ExperimentResult& result);
 
 /// fig5-style windowed series table (panels a/c/e): means over
 /// `window_seconds`-wide windows of rt/throughput and the app/db tier

@@ -83,7 +83,8 @@ const char* controller_kind_name(ControllerDecl::Kind kind) {
 // kinds — anything outside this set is a spelling mistake, not a default.
 std::map<std::string, std::set<std::string>> allowed_keys(WorkloadDecl::Kind workload,
                                                           ControllerDecl::Kind controller,
-                                                          bool resilience_enabled) {
+                                                          bool resilience_enabled,
+                                                          bool trace_enabled) {
   std::map<std::string, std::set<std::string>> allowed;
   allowed["scenario"] = {"name", "summary"};
   allowed["hardware"] = {"web", "app", "db"};
@@ -104,6 +105,10 @@ std::map<std::string, std::set<std::string>> allowed_keys(WorkloadDecl::Kind wor
       resilience_keys.insert({"watchdog_periods", "min_fit_r2"});
     }
   }
+
+  std::set<std::string>& trace_keys = allowed["trace"];
+  trace_keys.insert("enabled");
+  if (trace_enabled) trace_keys.insert("rate");
 
   std::set<std::string>& workload_keys = allowed["workload"];
   workload_keys.insert("kind");
@@ -135,8 +140,9 @@ std::map<std::string, std::set<std::string>> allowed_keys(WorkloadDecl::Kind wor
 }
 
 void reject_unknown_keys(const Config& config, WorkloadDecl::Kind workload,
-                         ControllerDecl::Kind controller, bool resilience_enabled) {
-  const auto allowed = allowed_keys(workload, controller, resilience_enabled);
+                         ControllerDecl::Kind controller, bool resilience_enabled,
+                         bool trace_enabled) {
+  const auto allowed = allowed_keys(workload, controller, resilience_enabled, trace_enabled);
   for (const auto& [section, keys] : config.sections()) {
     const auto entry = allowed.find(section);
     if (entry == allowed.end()) {
@@ -159,7 +165,8 @@ bool scenario_key_applies(const Config& config, const std::string& section,
   const auto allowed =
       allowed_keys(parse_workload_kind(config.get_string("workload", "kind", "rubbos")),
                    parse_controller_kind(config.get_string("controller", "kind", "none")),
-                   config.get_bool("resilience", "enabled", false));
+                   config.get_bool("resilience", "enabled", false),
+                   config.get_bool("trace", "enabled", false));
   const auto entry = allowed.find(section);
   return entry != allowed.end() && entry->second.count(key) > 0;
 }
@@ -171,8 +178,9 @@ Scenario Scenario::from_config(const Config& config) {
   scenario.controller.kind =
       parse_controller_kind(config.get_string("controller", "kind", "none"));
   scenario.resilience.enabled = config.get_bool("resilience", "enabled", false);
+  scenario.trace.enabled = config.get_bool("trace", "enabled", false);
   reject_unknown_keys(config, scenario.workload.kind, scenario.controller.kind,
-                      scenario.resilience.enabled);
+                      scenario.resilience.enabled, scenario.trace.enabled);
 
   scenario.name = config.get_string("scenario", "name", "unnamed");
   scenario.summary = config.get_string("scenario", "summary", "");
@@ -239,6 +247,13 @@ Scenario Scenario::from_config(const Config& config) {
       res.watchdog_periods =
           static_cast<int>(config.get_int("resilience", "watchdog_periods", 2));
       res.min_fit_r2 = config.get_double("resilience", "min_fit_r2", 0.0);
+    }
+  }
+
+  if (scenario.trace.enabled) {
+    scenario.trace.rate = config.get_double("trace", "rate", 1.0);
+    if (scenario.trace.rate < 0.0 || scenario.trace.rate > 1.0) {
+      fail("[trace] rate must be in [0, 1]");
     }
   }
 
@@ -335,6 +350,11 @@ Config Scenario::to_config() const {
       config.set("resilience", "watchdog_periods", format_int(resilience.watchdog_periods));
       config.set("resilience", "min_fit_r2", format_double(resilience.min_fit_r2));
     }
+  }
+
+  if (trace.enabled) {
+    config.set("trace", "enabled", "true");
+    config.set("trace", "rate", format_double(trace.rate));
   }
 
   config.set("run", "duration", format_double(duration_seconds));

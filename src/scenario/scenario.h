@@ -96,6 +96,16 @@ struct ResilienceDecl {
   bool operator==(const ResilienceDecl&) const = default;
 };
 
+/// Declarative tracing knobs ([trace] section). `rate` is only part of the
+/// vocabulary when enabled=true; a disabled declaration is emitted as
+/// nothing at all (the section's absence is its canonical "off" spelling).
+struct TraceDecl {
+  bool enabled = false;
+  double rate = 1.0;
+
+  bool operator==(const TraceDecl&) const = default;
+};
+
 struct Scenario {
   std::string name = "unnamed";
   std::string summary;
@@ -105,6 +115,7 @@ struct Scenario {
   ControllerDecl controller;
   FaultDecl faults;
   ResilienceDecl resilience;
+  TraceDecl trace;
   double duration_seconds = 300.0;
   double warmup_seconds = 30.0;
   int max_vms = 8;

@@ -1,0 +1,77 @@
+// LatencyAttribution — folds sampled traces into the per-tier, per-cause
+// waterfall the paper's Fig. 2/4 story needs: for each (tier, cause) pair,
+// how many seconds requests sank there and what *share* of end-to-end
+// latency that cause owned at the median and at the tail.
+//
+// Only leaf causes enter the fold (is_leaf_cause): pool-queue wait,
+// connection-pool wait, CPU run-queue wait, nominal service, retry backoff
+// and deadline waits. kDownstream spans are containers — the downstream
+// tier's own leaf spans carry that wall-clock — and kThink precedes the
+// request. Under retries a timed-out attempt's server-side spans still
+// record, so cause shares can sum past 1 in storms; on a healthy run the
+// leaf causes partition the latency up to scheduling gaps.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "trace/tracer.h"
+
+namespace dcm::trace {
+
+struct AttributionRow {
+  int tier = kClientTier;
+  SpanKind cause = SpanKind::kPoolWait;
+  uint64_t traces = 0;        // traces in which this cause appeared
+  double total_seconds = 0.0;
+  double mean_seconds = 0.0;  // mean over the traces it appeared in
+  // Percentiles (nearest-rank) of this cause's share of its trace's
+  // end-to-end latency, over the traces it appeared in.
+  double p50_share = 0.0;
+  double p95_share = 0.0;
+  double p99_share = 0.0;
+};
+
+class LatencyAttribution {
+ public:
+  /// Folds one finalized successful trace (ignores anything else).
+  void add(const TraceContext& trace);
+
+  uint64_t trace_count() const { return trace_count_; }
+
+  /// Rows sorted by (tier, cause) — a deterministic table.
+  std::vector<AttributionRow> rows() const;
+
+ private:
+  struct CauseAgg {
+    std::vector<double> shares;  // per-trace share of end-to-end latency
+    double total_seconds = 0.0;
+  };
+
+  uint64_t trace_count_ = 0;
+  std::map<std::pair<int, int>, CauseAgg> causes_;  // (tier, SpanKind)
+};
+
+/// The exported view of one run's tracing: counts, every finalized trace
+/// (span streams in sampling order), run-level annotations, and the folded
+/// attribution table.
+struct TraceReport {
+  TraceSpec spec;
+  uint64_t sampled = 0;    // contexts handed out
+  uint64_t finalized = 0;  // settled before the run ended
+  uint64_t completed = 0;  // finalized with ok=true
+  std::vector<std::shared_ptr<const TraceContext>> traces;  // finalized only
+  std::vector<TraceAnnotation> annotations;
+  std::vector<AttributionRow> attribution;
+};
+
+/// Builds the report from everything the tracer collected.
+std::shared_ptr<const TraceReport> build_report(const Tracer& tracer);
+
+/// Annotations overlapping [trace.started, trace.finished].
+std::vector<TraceAnnotation> annotations_overlapping(const TraceReport& report,
+                                                     const TraceContext& trace);
+
+}  // namespace dcm::trace

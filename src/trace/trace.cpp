@@ -1,0 +1,46 @@
+#include "trace/trace.h"
+
+namespace dcm::trace {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kThink:
+      return "think";
+    case SpanKind::kLbPick:
+      return "lb_pick";
+    case SpanKind::kPoolWait:
+      return "pool_wait";
+    case SpanKind::kConnWait:
+      return "conn_wait";
+    case SpanKind::kService:
+      return "service";
+    case SpanKind::kCpuWait:
+      return "cpu_wait";
+    case SpanKind::kDownstream:
+      return "downstream";
+    case SpanKind::kBackoff:
+      return "backoff";
+    case SpanKind::kTimeoutWait:
+      return "timeout_wait";
+  }
+  return "unknown";
+}
+
+bool is_leaf_cause(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPoolWait:
+    case SpanKind::kConnWait:
+    case SpanKind::kService:
+    case SpanKind::kCpuWait:
+    case SpanKind::kBackoff:
+    case SpanKind::kTimeoutWait:
+      return true;
+    case SpanKind::kThink:
+    case SpanKind::kLbPick:
+    case SpanKind::kDownstream:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace dcm::trace

@@ -1,0 +1,85 @@
+// Request-level tracing: typed spans on sampled requests.
+//
+// A sampled request carries one TraceContext for its whole journey —
+// client issue through every tier visit, retries included — and each
+// instrumentation hook appends a typed Span. The contract that keeps the
+// simulation digest bit-identical whether tracing is on or off:
+//
+//   * recording only appends to this side structure — it never schedules
+//     events, draws from an Rng stream, or touches simulation state;
+//   * the untraced fast path is a single null-pointer check (requests that
+//     were not sampled carry a null TraceContext);
+//   * sampling is a pure hash of (trace seed, request id), so enabling
+//     tracing at any rate consumes nothing from any random stream.
+//
+// Span times are SimTime (ns). `tier` is the tier depth the span occurred
+// at; kClientTier marks client-side spans (think, client backoff, client
+// deadline waits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dcm::trace {
+
+/// Client-side spans carry this instead of a tier depth.
+inline constexpr int kClientTier = -1;
+
+enum class SpanKind : uint8_t {
+  kThink = 0,     // client think time preceding the issue (informational)
+  kLbPick,        // load-balancer pick (zero-width marker; value = members)
+  kPoolWait,      // worker-pool queue wait at a tier
+  kConnWait,      // downstream-connection-pool wait at a tier
+  kService,       // nominal CPU demand (value = work seconds)
+  kCpuWait,       // CPU run-queue wait: elapsed minus nominal demand
+  kDownstream,    // whole downstream sub-request (nested; not a leaf cause)
+  kBackoff,       // retry backoff sleep (client or inter-tier)
+  kTimeoutWait,   // time sunk into an attempt that hit its deadline
+};
+
+/// Stable lower_snake name ("pool_wait", ...) used in CSV/JSON output.
+const char* span_kind_name(SpanKind kind);
+
+/// True for the kinds that own wall-clock exclusively and therefore enter
+/// the latency-attribution sum (kThink precedes the request, kLbPick is a
+/// marker, kDownstream aggregates the next tier's own leaf spans).
+bool is_leaf_cause(SpanKind kind);
+
+struct Span {
+  SpanKind kind = SpanKind::kThink;
+  int tier = kClientTier;    // tier depth, or kClientTier
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  double value = 0.0;        // kind-specific payload (see SpanKind)
+};
+
+struct TraceContext {
+  uint64_t request_id = 0;
+  int servlet = -1;
+  sim::SimTime started = 0;   // first client issue
+  sim::SimTime finished = 0;  // final settlement (success or final failure)
+  bool ok = false;
+  bool finalized = false;
+  int attempts = 1;           // client-side issue attempts
+  std::vector<Span> spans;
+
+  /// Appends a span; drops it silently once the trace is finalized (late
+  /// responses of attempts the client already settled still try to record).
+  void add_span(SpanKind kind, int tier, sim::SimTime start, sim::SimTime end,
+                double value = 0.0) {
+    if (finalized) return;
+    spans.push_back(Span{kind, tier, start, end, value});
+  }
+
+  /// Settles the trace; no spans are accepted afterwards.
+  void finalize(sim::SimTime at, bool success) {
+    if (finalized) return;
+    finished = at;
+    ok = success;
+    finalized = true;
+  }
+};
+
+}  // namespace dcm::trace

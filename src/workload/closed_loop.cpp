@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "trace/tracer.h"
 
 namespace dcm::workload {
 
@@ -53,7 +54,7 @@ void ClosedLoopGenerator::spawn_user(int user_index, sim::SimTime initial_delay)
   engine_->schedule_after(initial_delay, [this, user_index] { user_cycle(user_index); });
 }
 
-void ClosedLoopGenerator::user_cycle(int user_index) {
+void ClosedLoopGenerator::user_cycle(int user_index, double prior_think) {
   if (!running_ || live_users_ > target_users_) {
     --live_users_;
     return;
@@ -61,24 +62,35 @@ void ClosedLoopGenerator::user_cycle(int user_index) {
   const sim::SimTime issued = engine_->now();
   auto request = factory_(app_->next_request_id(), rng_, issued);
   const int servlet = request->servlet;
+  if (tracer_ != nullptr) {
+    request->trace = tracer_->maybe_sample(request->id, servlet, issued);
+    if (request->trace != nullptr && prior_think > 0.0) {
+      request->trace->add_span(trace::SpanKind::kThink, trace::kClientTier,
+                               issued - sim::from_seconds(prior_think), issued,
+                               prior_think);
+    }
+  }
   if (retry_.enabled()) {
     issue_attempt(user_index, request, servlet, issued, /*attempt=*/0);
     return;
   }
   // Legacy path — byte-for-byte the pre-resilience behaviour when no retry
-  // policy is configured.
-  app_->submit(request, [this, user_index, issued, servlet](bool ok) {
+  // policy is configured. The raw TraceContext pointer (kept alive by the
+  // Tracer) costs one lambda slot; it is null for every untraced request.
+  trace::TraceContext* tr = request->trace.get();
+  app_->submit(request, [this, user_index, issued, servlet, tr](bool ok) {
     const sim::SimTime now = engine_->now();
     if (ok) {
       stats_.record_completion(now, sim::to_seconds(now - issued), servlet);
     } else {
       stats_.record_error(now);
     }
+    if (tr != nullptr) tr->finalize(now, ok);
     const double think = think_time_ ? think_time_->sample(rng_) : 0.0;
     // Always reschedule through the engine — a zero think time must not
     // recurse synchronously.
-    engine_->schedule_after(sim::from_seconds(think), [this, user_index] {
-      user_cycle(user_index);
+    engine_->schedule_after(sim::from_seconds(think), [this, user_index, think] {
+      user_cycle(user_index, think);
     });
   });
 }
@@ -92,6 +104,7 @@ void ClosedLoopGenerator::issue_attempt(int user_index, const ntier::RequestPtr&
     sim::EventHandle timeout;
   };
   auto state = std::make_shared<Attempt>();
+  if (trace::TraceContext* tr = request->trace.get()) tr->attempts = attempt + 1;
   app_->submit(request, [this, user_index, request, servlet, first_issued, attempt,
                          state](bool ok) {
     if (state->settled) return;  // deadline already expired; drop late response
@@ -100,6 +113,7 @@ void ClosedLoopGenerator::issue_attempt(int user_index, const ntier::RequestPtr&
     if (ok) {
       const sim::SimTime now = engine_->now();
       stats_.record_completion(now, sim::to_seconds(now - first_issued), servlet);
+      if (trace::TraceContext* tr = request->trace.get()) tr->finalize(now, true);
       finish_cycle(user_index);
       return;
     }
@@ -111,7 +125,12 @@ void ClosedLoopGenerator::issue_attempt(int user_index, const ntier::RequestPtr&
         [this, user_index, request, servlet, first_issued, attempt, state] {
           if (state->settled) return;
           state->settled = true;
-          stats_.record_timeout(engine_->now());
+          const sim::SimTime now = engine_->now();
+          stats_.record_timeout(now);
+          if (trace::TraceContext* tr = request->trace.get()) {
+            tr->add_span(trace::SpanKind::kTimeoutWait, trace::kClientTier,
+                         now - sim::from_seconds(retry_.timeout_seconds), now);
+          }
           on_attempt_failed(user_index, request, servlet, first_issued, attempt);
         });
   }
@@ -128,21 +147,29 @@ void ClosedLoopGenerator::on_attempt_failed(int user_index, const ntier::Request
         retry_.jitter_fraction > 0.0
             ? 1.0 + retry_.jitter_fraction * (2.0 * rng_.next_double() - 1.0)
             : 1.0;
+    const double delay = std::max(0.0, base * jitter);
+    if (trace::TraceContext* tr = request->trace.get()) {
+      tr->add_span(trace::SpanKind::kBackoff, trace::kClientTier, engine_->now(),
+                   engine_->now() + sim::from_seconds(delay));
+    }
     engine_->schedule_after(
-        sim::from_seconds(std::max(0.0, base * jitter)),
+        sim::from_seconds(delay),
         [this, user_index, request, servlet, first_issued, attempt] {
           issue_attempt(user_index, request, servlet, first_issued, attempt + 1);
         });
     return;
   }
   stats_.record_error(engine_->now());
+  if (trace::TraceContext* tr = request->trace.get()) {
+    tr->finalize(engine_->now(), false);
+  }
   finish_cycle(user_index);
 }
 
 void ClosedLoopGenerator::finish_cycle(int user_index) {
   const double think = think_time_ ? think_time_->sample(rng_) : 0.0;
   engine_->schedule_after(sim::from_seconds(think),
-                          [this, user_index] { user_cycle(user_index); });
+                          [this, user_index, think] { user_cycle(user_index, think); });
 }
 
 std::unique_ptr<ClosedLoopGenerator> make_jmeter(sim::Engine& engine, ntier::NTierApp& app,

@@ -20,6 +20,10 @@
 #include "workload/client_stats.h"
 #include "workload/servlet.h"
 
+namespace dcm::trace {
+class Tracer;
+}
+
 namespace dcm::workload {
 
 /// Builds the next request a user issues.
@@ -78,12 +82,20 @@ class ClosedLoopGenerator {
   void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Head-samples new requests through `tracer` (nullptr = tracing off, the
+  /// default — the generator then issues byte-for-byte the same event
+  /// sequence as before). Set before start().
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   ClientStats& stats() { return stats_; }
   const ClientStats& stats() const { return stats_; }
 
  private:
   void spawn_user(int user_index, sim::SimTime initial_delay);
-  void user_cycle(int user_index);
+  /// `prior_think` is the think-time (seconds) the user just finished, so a
+  /// newly sampled trace can record it as a leading kThink span; < 0 means
+  /// "first request, no preceding think".
+  void user_cycle(int user_index, double prior_think = -1.0);
   void issue_attempt(int user_index, const ntier::RequestPtr& request, int servlet,
                      sim::SimTime first_issued, int attempt);
   void on_attempt_failed(int user_index, const ntier::RequestPtr& request, int servlet,
@@ -97,6 +109,7 @@ class ClosedLoopGenerator {
   sim::SimTime start_stagger_;
   Rng rng_;
   RetryPolicy retry_;
+  trace::Tracer* tracer_ = nullptr;
 
   bool running_ = false;
   int target_users_ = 0;

@@ -58,6 +58,52 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_DOUBLE_EQ(h.p95(), 0.0);
 }
 
+TEST(HistogramTest, QuantileZeroIsLowerEdgeOfFirstNonEmptyBucket) {
+  Histogram h = Histogram::linear(0.0, 10.0, 10);
+  h.add(5.5);  // bucket [5, 6)
+  h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+}
+
+TEST(HistogramTest, QuantileOneIsUpperEdgeOfLastNonEmptyBucket) {
+  Histogram h = Histogram::linear(0.0, 10.0, 10);
+  h.add(1.5);
+  h.add(3.5);  // bucket [3, 4)
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(HistogramTest, AllMassInUnderflowClampsEveryQuantile) {
+  Histogram h = Histogram::linear(1.0, 2.0, 4);
+  h.add(-3.0, 10);
+  // The underflow bucket is unbounded below; quantiles must clamp to the
+  // range's lower edge, never interpolate into it.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, AllMassInOverflowClampsEveryQuantile) {
+  Histogram h = Histogram::linear(1.0, 2.0, 4);
+  h.add(50.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(HistogramTest, SampleOnUpperRangeEdgeReportsExactlyTheEdge) {
+  Histogram h = Histogram::linear(0.0, 1.0, 4);
+  h.add(1.0);  // x == hi lands in overflow, which clamps to exactly hi
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, EmptyHistogramEveryQuantileZero) {
+  Histogram h = Histogram::logarithmic(1e-3, 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
 TEST(HistogramTest, MonotoneQuantiles) {
   Histogram h = Histogram::logarithmic(1e-3, 10.0);
   for (int i = 1; i <= 1000; ++i) h.add(0.001 * i);

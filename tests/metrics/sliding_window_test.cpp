@@ -59,5 +59,52 @@ TEST(SlidingRateTest, WeightedEvents) {
   EXPECT_NEAR(r.rate(from_seconds(3.0)), 1.0, 1e-9);
 }
 
+// Both window types share one boundary convention: a sample sitting exactly
+// on the trailing edge (timestamp == now - window) is OUT. "The last
+// window seconds" means (now - window, now], never a closed interval —
+// otherwise a sample is counted in window+1 distinct whole-second reads.
+TEST(SlidingWindowStatTest, SampleExactlyOnWindowEdgeIsEvicted) {
+  SlidingWindowStat w(from_seconds(10.0));
+  w.add(from_seconds(2.0), 5.0);
+  w.add(from_seconds(4.0), 7.0);
+  // cutoff = 12 - 10 = 2: the t=2 sample is exactly on the edge → out.
+  EXPECT_EQ(w.count(from_seconds(12.0)), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(from_seconds(12.0)), 7.0);
+  // One tick earlier both are still in.
+  SlidingWindowStat v(from_seconds(10.0));
+  v.add(from_seconds(2.0), 5.0);
+  v.add(from_seconds(4.0), 7.0);
+  EXPECT_EQ(v.count(from_seconds(12.0) - 1), 2u);
+}
+
+TEST(SlidingRateTest, EventExactlyOnWindowEdgeIsEvicted) {
+  SlidingRate r(from_seconds(10.0));
+  r.add(from_seconds(2.0), 1.0);
+  r.add(from_seconds(4.0), 1.0);
+  EXPECT_NEAR(r.rate(from_seconds(12.0)), 0.1, 1e-12);  // only the t=4 event
+  SlidingRate s(from_seconds(10.0));
+  s.add(from_seconds(2.0), 1.0);
+  s.add(from_seconds(4.0), 1.0);
+  EXPECT_NEAR(s.rate(from_seconds(12.0) - 1), 0.2, 1e-12);
+}
+
+// Regression: the incremental sum accumulates floating-point residue as
+// events are added and subtracted; once every event has aged out the rate
+// must be exactly zero, not the leftover drift. (0.1 is not representable
+// in binary, so thousands of add/subtract pairs leave a nonzero residue
+// without the empty-window re-anchor in evict().)
+TEST(SlidingRateTest, EmptyWindowReportsExactlyZeroAfterDrift) {
+  SlidingRate r(from_seconds(1.0));
+  for (int i = 0; i < 5000; ++i) {
+    const sim::SimTime t = from_seconds(0.001 * i);
+    r.add(t, 0.1);
+    r.rate(t);  // interleave evictions so sum_ is incrementally adjusted
+  }
+  EXPECT_DOUBLE_EQ(r.rate(from_seconds(1000.0)), 0.0);
+  // And the window refills cleanly from the re-anchored zero.
+  r.add(from_seconds(2000.0), 3.0);
+  EXPECT_DOUBLE_EQ(r.rate(from_seconds(2000.5)), 3.0);
+}
+
 }  // namespace
 }  // namespace dcm::metrics

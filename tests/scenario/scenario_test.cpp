@@ -165,6 +165,44 @@ TEST(ScenarioTest, ResilienceDetailKeysRequireEnabled) {
   EXPECT_THROW(Scenario::parse("[faults]\ncrash_mtff=120\n"), std::runtime_error);
 }
 
+TEST(ScenarioTest, TraceVocabularyRoundTrips) {
+  const Scenario first = Scenario::parse("[trace]\nenabled=true\nrate=0.25\n");
+  EXPECT_TRUE(first.trace.enabled);
+  EXPECT_DOUBLE_EQ(first.trace.rate, 0.25);
+
+  const Scenario second = Scenario::parse(first.to_text());
+  EXPECT_TRUE(first == second);
+  EXPECT_EQ(first.to_text(), second.to_text());
+
+  const auto experiment = first.experiment();
+  EXPECT_TRUE(experiment.trace.enabled);
+  EXPECT_DOUBLE_EQ(experiment.trace.rate, 0.25);
+
+  // Disabled tracing emits no [trace] section at all, so a default
+  // scenario's canonical text is untouched by the feature.
+  EXPECT_EQ(Scenario().to_text().find("[trace]"), std::string::npos);
+  EXPECT_FALSE(Scenario().experiment().trace.enabled);
+}
+
+TEST(ScenarioTest, TraceDetailKeysRequireEnabled) {
+  EXPECT_THROW(Scenario::parse("[trace]\nrate=0.5\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[trace]\nenabled=false\nrate=0.5\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[trace]\nenabled=true\nsample=0.5\n"), std::runtime_error);
+  // Rate is a probability; reject anything outside [0, 1].
+  EXPECT_THROW(Scenario::parse("[trace]\nenabled=true\nrate=1.5\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[trace]\nenabled=true\nrate=-0.1\n"), std::runtime_error);
+  EXPECT_NO_THROW(Scenario::parse("[trace]\nenabled=true\n"));
+  EXPECT_NO_THROW(Scenario::parse("[trace]\nenabled=true\nrate=1\n"));
+}
+
+TEST(ScenarioTest, KeyAppliesFollowsTraceGate) {
+  Config config;
+  EXPECT_TRUE(scenario_key_applies(config, "trace", "enabled"));
+  EXPECT_FALSE(scenario_key_applies(config, "trace", "rate"));
+  config.set("trace", "enabled", "true");
+  EXPECT_TRUE(scenario_key_applies(config, "trace", "rate"));
+}
+
 TEST(ScenarioTest, KeyAppliesFollowsResilienceGate) {
   Config config;
   EXPECT_TRUE(scenario_key_applies(config, "faults", "crash_mttf"));
@@ -202,6 +240,18 @@ TEST(RegistryTest, ChaosResilienceScenarioArmsFaultsAndResilience) {
   EXPECT_TRUE(experiment.resilience.enabled);
   EXPECT_GT(experiment.faults.crash_mttf_seconds, 0.0);
   EXPECT_GT(experiment.faults.telemetry_loss_mttf_seconds, 0.0);
+}
+
+TEST(RegistryTest, TraceAttributionScenarioArmsFullTracing) {
+  const Scenario scenario = get_scenario("trace-attribution");
+  EXPECT_TRUE(scenario.trace.enabled);
+  EXPECT_DOUBLE_EQ(scenario.trace.rate, 1.0);
+  // Saturated app tier: far more users than app worker threads, so the
+  // waterfall's dominant cause is the app tier's pool-queue wait.
+  EXPECT_GT(scenario.workload.users, scenario.soft.app_threads);
+  const auto experiment = scenario.experiment();
+  EXPECT_TRUE(experiment.trace.enabled);
+  EXPECT_DOUBLE_EQ(experiment.trace.rate, 1.0);
 }
 
 TEST(RegistryTest, UnknownNameThrowsWithKnownList) {

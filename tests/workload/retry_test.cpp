@@ -92,6 +92,46 @@ TEST(ClientStatsAccountingTest, GoodputCountsOnlyBoundBeatingCompletions) {
   EXPECT_DOUBLE_EQ(stats.error_rate(sim::from_seconds(50.0), sim::from_seconds(60.0)), 0.0);
 }
 
+// Retry-storm goodput audit: a request that settles on a later attempt is
+// ONE completion whose response time spans every attempt — timeout waits
+// and backoff sleeps included. Each attempt here is individually fast
+// (fail-fast crash or ~10 ms of service), but the 2 s backoff puts every
+// retried request past the 1 s goodput bound. If completions were recorded
+// per attempt, or response time measured from the last re-issue, goodput
+// would (wrongly) count these.
+TEST(ClientStatsAccountingTest, RetriedCompletionIsOneRequestMeasuredEndToEnd) {
+  sim::Engine engine;
+  ntier::NTierApp app(engine, core::rubbos_app_config({1, 2, 1}, {1000, 100, 80}));
+  ASSERT_TRUE(app.tier(1).inject_crash("tomcat-vm0"));
+
+  const ServletCatalog catalog = ServletCatalog::browse_only_mix();
+  auto generator = make_jmeter(engine, app, catalog, 1);
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_base_seconds = 2.0;  // jitter 0.2 keeps this in [1.6, 2.4] s
+  generator->set_retry_policy(policy);
+  ASSERT_DOUBLE_EQ(generator->stats().goodput_bound(), 1.0);
+  generator->start();
+  engine.run_until(sim::from_seconds(60.0));
+
+  const ClientStats& stats = generator->stats();
+  EXPECT_EQ(stats.errors(), 0u);  // the survivor always answers eventually
+  EXPECT_GT(stats.retries(), 0u);
+  EXPECT_GT(stats.completed(), 0u);
+  // One sequential user against a 2-member round-robin balancer: each cycle
+  // makes exactly two picks (fail on the crashed VM, succeed on the
+  // survivor), so EVERY request's first attempt lands on the crashed VM and
+  // every completion carries >= 1.6 s of backoff. Each attempt was
+  // individually fast — goodput must still be zero, because response time
+  // is end-to-end across attempts.
+  EXPECT_EQ(stats.good(), 0u);
+  // Each retried completion is one request and one re-issue: completions
+  // missing the bound can never outnumber the re-issued attempts.
+  EXPECT_LE(stats.completed() - stats.good(), stats.retries());
+  // The histogram saw the retried requests' true end-to-end times.
+  EXPECT_GT(stats.response_time_stats().max(), 1.6);
+}
+
 TEST(ClientStatsAccountingTest, TimeoutsAndRetriesAreIndependentCounters) {
   ClientStats stats;
   stats.record_timeout(sim::from_seconds(1.0));

@@ -133,7 +133,7 @@ class NoUnorderedIteration final : public Rule {
   bool applies_to(std::string_view path) const override {
     return under(path, "src/sim/") || under(path, "src/ntier/") ||
            under(path, "src/control/") || under(path, "src/scenario/") ||
-           under(path, "src/fault/") || in_dcm_run(path);
+           under(path, "src/fault/") || under(path, "src/trace/") || in_dcm_run(path);
   }
 
   void run(const FileContext& ctx, std::vector<Diagnostic>& out) const override {

@@ -11,6 +11,10 @@
 //
 // Options (run and sweep):
 //   --set section.key=value   override a base-scenario field (repeatable)
+//   --trace                   enable request tracing (same as --set
+//                             trace.enabled=true; core digests unchanged)
+//   --trace-rate R            head-sampling probability in [0,1] (implies
+//                             --trace; default 1)
 //   --jobs N                  worker threads (sweep; 0 = all cores; default 1)
 //   --seed-policy derive|fixed  per-run seeds derived from the root seed
 //                             (default) or pinned to it (paired comparisons)
@@ -52,6 +56,8 @@ struct Options {
   std::string csv_prefix;
   bool digest_only = false;
   bool quiet = false;
+  bool trace = false;
+  double trace_rate = -1.0;  // < 0 = keep the scenario's rate
 };
 
 int usage(const char* argv0) {
@@ -59,10 +65,11 @@ int usage(const char* argv0) {
                "usage: %s list\n"
                "       %s show <scenario|file.ini>\n"
                "       %s run <scenario|file.ini> [--set s.k=v]... [--json path|-]\n"
-               "             [--csv prefix] [--digest] [--quiet]\n"
+               "             [--csv prefix] [--trace] [--trace-rate R] [--digest] [--quiet]\n"
                "       %s sweep <scenario|file.ini> --axis s.k=v1,v2,... [--axis ...]\n"
                "             [--jobs N] [--seed-policy derive|fixed] [--set s.k=v]...\n"
-               "             [--json path|-] [--csv prefix] [--digest] [--quiet]\n",
+               "             [--json path|-] [--csv prefix] [--trace] [--trace-rate R]\n"
+               "             [--digest] [--quiet]\n",
                argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -126,6 +133,14 @@ void write_outputs(const Options& opts, const std::string& name,
               : nullptr;
       scenario::write_timeline_csv(out, run.result, trace);
       if (!opts.digest_only) std::printf("wrote %s\n", path.c_str());
+      if (run.result.trace_report != nullptr) {
+        const std::string spans_path =
+            opts.csv_prefix + "_run" + std::to_string(run.index) + "_spans.csv";
+        std::ofstream spans_out(spans_path);
+        if (!spans_out) throw std::runtime_error("cannot open " + spans_path);
+        scenario::write_spans_csv(spans_out, run.result);
+        if (!opts.digest_only) std::printf("wrote %s\n", spans_path.c_str());
+      }
     }
   }
 }
@@ -134,6 +149,15 @@ int cmd_run_or_sweep(const Options& opts) {
   scenario::SweepPlan plan;
   plan.base = load_target(opts.target);
   plan.seed_policy = opts.seed_policy;
+  if (opts.trace) {
+    // Applied before --set so an explicit --set trace.* still wins.
+    Config config = plan.base.to_config();
+    config.set("trace", "enabled", "true");
+    if (opts.trace_rate >= 0.0) {
+      config.set("trace", "rate", str_format("%.17g", opts.trace_rate));
+    }
+    plan.base = scenario::Scenario::from_config(config);
+  }
   for (const auto& set : opts.sets) {
     // --set is a single-value axis applied to the base, not a dimension.
     const scenario::SweepAxis axis = scenario::parse_axis(set);
@@ -160,6 +184,7 @@ int cmd_run_or_sweep(const Options& opts) {
       }
       std::printf(" (seed %llu) ---\n", static_cast<unsigned long long>(run.scenario.seed));
       scenario::print_summary(run.result);
+      scenario::print_trace_summary(run.result);
       std::puts("");
     }
   }
@@ -205,6 +230,16 @@ int main(int argc, char** argv) {
       opts.json_path = next();
     } else if (arg == "--csv") {
       opts.csv_prefix = next();
+    } else if (arg == "--trace") {
+      opts.trace = true;
+    } else if (arg == "--trace-rate") {
+      const auto parsed = parse_double(next());
+      if (!parsed || *parsed < 0.0 || *parsed > 1.0) {
+        std::fprintf(stderr, "dcm_run: --trace-rate needs a value in [0, 1]\n");
+        return 2;
+      }
+      opts.trace = true;
+      opts.trace_rate = *parsed;
     } else if (arg == "--digest") {
       opts.digest_only = true;
     } else if (arg == "--quiet") {
