@@ -1,0 +1,42 @@
+// Macro benchmark driver — end-to-end events/sec over the registry suite.
+//
+// Thin main over scenario::run_macro_suite (the same engine behind
+// `dcm_run bench`). Prints the console table and, when DCM_BENCH_JSON names
+// a path, writes the dcm-bench-v1 "macro" JSON there — mirroring
+// micro_benchmarks' reporter contract so CI uploads both trajectories the
+// same way. Exits non-zero if any run's result digest deviates from the
+// registry reference: a throughput number from a wrong simulation is
+// worthless.
+//
+// Usage: macro_benchmarks [reps]   (default 3)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "scenario/macro_bench.h"
+
+int main(int argc, char** argv) {
+  dcm::scenario::MacroBenchOptions options;
+  if (argc > 1) options.repetitions = std::atoi(argv[1]);
+  if (options.repetitions < 1) options.repetitions = 1;
+
+  const auto rows = dcm::scenario::run_macro_suite(options);
+  dcm::scenario::print_macro_table(rows);
+
+  if (const char* path = std::getenv("DCM_BENCH_JSON")) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "macro_benchmarks: cannot open %s\n", path);
+      return 1;
+    }
+    dcm::scenario::write_macro_json(out, rows);
+    std::printf("wrote %s\n", path);
+  }
+  if (!dcm::scenario::all_digests_ok(rows)) {
+    std::fprintf(stderr,
+                 "macro_benchmarks: result digest mismatch against the scenario "
+                 "registry — the simulation's output changed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fixed-capacity inline vector for small per-request arrays.
+//
+// RequestContext carries a handful of per-tier doubles/ints; storing them in
+// std::vector costs two heap allocations per request on the hottest path in
+// the simulator. InlineVec keeps up to N elements in the object itself with
+// the same read API (size()/operator[]/iteration/initializer-list init), so
+// existing call sites compile unchanged and requests become one flat block.
+//
+// Only what the request path needs is implemented: trivially-copyable
+// element types, no erase/insert, capacity overflow is a DCM_CHECK failure
+// (the deepest registered topology is 4 tiers; N leaves headroom).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace dcm {
+
+template <typename T, size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for small POD payloads");
+
+ public:
+  InlineVec() = default;
+  InlineVec(std::initializer_list<T> init) { assign(init); }
+  InlineVec& operator=(std::initializer_list<T> init) {
+    assign(init);
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr size_t capacity() { return N; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void push_back(const T& value) {
+    DCM_CHECK_MSG(size_ < N, "InlineVec overflow");
+    data_[size_++] = value;
+  }
+  void clear() { size_ = 0; }
+
+ private:
+  void assign(std::initializer_list<T> init) {
+    DCM_CHECK_MSG(init.size() <= N, "InlineVec overflow");
+    size_ = init.size();
+    size_t i = 0;
+    for (const T& value : init) data_[i++] = value;
+  }
+
+  T data_[N] = {};
+  size_t size_ = 0;
+};
+
+}  // namespace dcm

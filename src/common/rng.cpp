@@ -98,6 +98,8 @@ double Rng::lognormal_mean_cv(double mean, double cv) {
   return std::exp(normal(mu, std::sqrt(sigma2)));
 }
 
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
 bool Rng::bernoulli(double p) { return next_double() < p; }
 
 Rng Rng::fork() { return Rng(next_u64()); }

@@ -48,6 +48,12 @@ class Rng {
   /// variation (cv = stddev/mean), both > 0. Handy for service times.
   double lognormal_mean_cv(double mean, double cv);
 
+  /// Lognormal with the underlying normal's (mu, sigma) given directly.
+  /// Bit-identical to lognormal_mean_cv when (mu, sigma) were derived with
+  /// its formulas — callers with fixed parameters hoist the two logs and the
+  /// sqrt out of their per-draw path.
+  double lognormal(double mu, double sigma);
+
   /// Bernoulli trial.
   bool bernoulli(double p);
 

@@ -32,14 +32,27 @@ DcmController::DcmController(sim::Engine& engine, ntier::NTierApp& app, bus::Bro
   reallocate_soft_resources();
 }
 
+int DcmController::cached_nb(const model::ConcurrencyModel& m, NbCache& cache) {
+  const bool same = cache.valid && m.params.s0 == cache.model.params.s0 &&
+                    m.params.alpha == cache.model.params.alpha &&
+                    m.params.beta == cache.model.params.beta && m.gamma == cache.model.gamma &&
+                    m.servers == cache.model.servers && m.visit_ratio == cache.model.visit_ratio;
+  if (!same) {
+    cache.model = m;
+    cache.nb = m.optimal_concurrency_int();
+    cache.valid = true;
+  }
+  return cache.nb;
+}
+
 int DcmController::app_tier_nb() const {
-  const int nb = config_.app_tier_model.optimal_concurrency_int();
+  const int nb = cached_nb(config_.app_tier_model, app_nb_cache_);
   const int with_headroom = static_cast<int>(std::lround(nb * config_.stp_headroom));
   return std::clamp(with_headroom, config_.min_stp, config_.max_stp);
 }
 
 int DcmController::db_tier_nb() const {
-  return std::max(1, config_.db_tier_model.optimal_concurrency_int());
+  return std::max(1, cached_nb(config_.db_tier_model, db_nb_cache_));
 }
 
 void DcmController::decide(const std::vector<TierObservation>& observations) {

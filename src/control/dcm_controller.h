@@ -75,6 +75,17 @@ class DcmController final : public ControllerBase {
   void decide(const std::vector<TierObservation>& observations) override;
 
  private:
+  /// Memoized optimal_concurrency_int(): the argmax scan evaluates the model
+  /// ~4k times, reallocation runs every control period plus on every VM
+  /// activation, and the model only actually changes when an online refit
+  /// lands. Keyed on every field the scan reads.
+  struct NbCache {
+    model::ConcurrencyModel model;
+    int nb = 0;
+    bool valid = false;
+  };
+  static int cached_nb(const model::ConcurrencyModel& m, NbCache& cache);
+
   void reallocate_soft_resources();
   void refine_models_online();
   void set_frozen(bool frozen, const char* reason);
@@ -82,6 +93,8 @@ class DcmController final : public ControllerBase {
   DcmConfig config_;
   OnlineModelEstimator app_estimator_;
   OnlineModelEstimator db_estimator_;
+  mutable NbCache app_nb_cache_;
+  mutable NbCache db_nb_cache_;
   int silent_periods_ = 0;
   bool app_fit_degraded_ = false;
   bool db_fit_degraded_ = false;

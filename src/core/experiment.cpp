@@ -295,6 +295,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
     result.trace_report = trace::build_report(*tracer);
   }
+  result.events_dispatched = engine.events_dispatched();
   return result;
 }
 

@@ -149,6 +149,10 @@ struct ExperimentResult {
   double sla_violation_fraction = 0.0;
   double sla_bound_seconds = 1.0;
 
+  /// Engine events dispatched over the whole run — the macro benchmark's
+  /// work unit (events/sec). Diagnostic only; never feeds the result digest.
+  uint64_t events_dispatched = 0;
+
   /// Present only when config.trace.enabled: sampled span streams plus the
   /// folded latency-attribution table. Never feeds the result digest.
   std::shared_ptr<const trace::TraceReport> trace_report;

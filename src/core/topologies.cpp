@@ -102,10 +102,10 @@ ntier::AppConfig rubbos_4tier_app_config(HardwareConfig hw, SoftAllocation soft,
 }
 
 workload::RequestFactory four_tier_request_factory(const workload::ServletCatalog& catalog) {
-  return [&catalog](uint64_t id, Rng& rng, sim::SimTime now) {
+  return [&catalog](sim::Arena* arena, uint64_t id, Rng& rng, sim::SimTime now) {
     const size_t index = catalog.sample(rng);
     const auto& servlet = catalog.servlet(index);
-    auto req = std::make_shared<ntier::RequestContext>();
+    auto req = ntier::make_request_context(arena);
     req->id = id;
     req->servlet = static_cast<int>(index);
     req->created = now;
@@ -135,9 +135,9 @@ ntier::AppConfig mysql_only_app_config(int worker_cap, uint64_t seed) {
 }
 
 workload::RequestFactory mysql_query_factory(const workload::ServletCatalog& catalog) {
-  return [&catalog](uint64_t id, Rng& rng, sim::SimTime now) {
+  return [&catalog](sim::Arena* arena, uint64_t id, Rng& rng, sim::SimTime now) {
     const auto& servlet = catalog.servlet(catalog.sample(rng));
-    auto req = std::make_shared<ntier::RequestContext>();
+    auto req = ntier::make_request_context(arena);
     req->id = id;
     req->created = now;
     req->demand_scale = {servlet.db_scale};

@@ -11,10 +11,16 @@ TimeSeries::TimeSeries(std::string name, sim::SimTime bucket_width)
 
 size_t TimeSeries::bucket_index(sim::SimTime t) {
   DCM_CHECK(t >= 0);
+  // Samples arrive in near-monotonic time order, so consecutive adds almost
+  // always land in the bucket hit last — one comparison instead of a 64-bit
+  // division per sample.
+  if (t >= cached_start_ && t - cached_start_ < bucket_width_) return cached_index_;
   const auto idx = static_cast<size_t>(t / bucket_width_);
   while (buckets_.size() <= idx) {
     buckets_.push_back(BucketStat{static_cast<sim::SimTime>(buckets_.size()) * bucket_width_, {}});
   }
+  cached_index_ = idx;
+  cached_start_ = static_cast<sim::SimTime>(idx) * bucket_width_;
   return idx;
 }
 

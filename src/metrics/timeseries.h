@@ -44,6 +44,10 @@ class TimeSeries {
   std::string name_;
   sim::SimTime bucket_width_;
   std::vector<BucketStat> buckets_;
+  // Last-bucket fast path; kMaxSimTime start marks "no bucket cached yet"
+  // (no sample time satisfies t >= kMaxSimTime with room below the width).
+  sim::SimTime cached_start_ = sim::kMaxSimTime;
+  size_t cached_index_ = 0;
 };
 
 }  // namespace dcm::metrics

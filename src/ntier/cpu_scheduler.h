@@ -56,8 +56,18 @@ class CpuScheduler {
   CpuScheduler& operator=(const CpuScheduler&) = delete;
 
   /// Submits `work` seconds of single-threaded CPU work; `done` fires when
-  /// it completes under processor sharing.
-  void submit(double work, std::function<void()> done);
+  /// it completes under processor sharing. The callback type is the engine's
+  /// SBO EventFn: small captures ride through the slab as plain byte copies
+  /// instead of indirect std::function manager calls — this path runs once
+  /// per CPU span, the hottest callback churn in the simulator.
+  void submit(double work, sim::EventFn done);
+
+  /// Fused set_thread_count(n) + submit(work, done) for the worker-grant
+  /// path, where the two always happen back to back at the same instant.
+  /// Bit-identical end state and completion timing; the intermediate
+  /// reschedule (whose event the submit would immediately cancel) and the
+  /// duplicate rate refresh are elided.
+  void submit_with_thread_count(int n, double work, sim::EventFn done);
 
   /// The owning server reports its busy worker-thread count (capacity input).
   void set_thread_count(int n);
@@ -88,10 +98,14 @@ class CpuScheduler {
   const CpuModelConfig& config() const { return config_; }
 
  private:
+  /// 32-byte POD heap entry: the completion callback lives in done_slab_
+  /// (indexed by done_slot), so priority-queue sifts copy plain bytes
+  /// instead of moving a std::function per level.
   struct Job {
     double finish_virtual;
     uint64_t seq;
-    std::function<void()> done;
+    double work;  // nominal work-seconds (exact completed-work accounting)
+    uint32_t done_slot;
   };
   struct LaterFinish {
     bool operator()(const Job& a, const Job& b) const {
@@ -102,15 +116,33 @@ class CpuScheduler {
 
   /// Folds elapsed wall time into the virtual clock and the util integral.
   void advance() const;
-  double per_job_rate() const;  // work-sec/sec each active job receives
-  double instantaneous_util() const;
+  /// Recomputes the cached per-job rate / utilisation. Both depend only on
+  /// (live_jobs_, thread_count_, capacity_factor_), so they are refreshed
+  /// once per state change instead of on every advance() — bit-identical
+  /// values, computed once per dispatch step instead of per query.
+  void refresh_rates();
+  /// FP-drift fix: once the virtual clock has grown past a threshold, the
+  /// accumulated `rate · dt` increments carry visible rounding error. When
+  /// the CPU idles no job is in flight, so the true total work equals the
+  /// exact sum of completed work and the virtual clock's absolute value is
+  /// meaningless (only differences matter) — re-anchor both. The threshold
+  /// sits far above what any registered scenario reaches, so committed
+  /// digests are untouched; million-event soak runs get the correction.
+  void maybe_reanchor();
   void reschedule();
   void on_completion_event();
+  uint32_t alloc_done_slot(sim::EventFn done);
+
+  static constexpr double kReanchorVirtualClock = 4096.0;
 
   sim::Engine* engine_;
   CpuModelConfig config_;
 
   std::priority_queue<Job, std::vector<Job>, LaterFinish> jobs_;
+  /// Completion callbacks for in-flight jobs, parallel to jobs_ via
+  /// Job::done_slot; freed slots are recycled through done_free_.
+  std::vector<sim::EventFn> done_slab_;
+  std::vector<uint32_t> done_free_;
   uint64_t live_jobs_ = 0;
   uint64_t next_seq_ = 0;
   int thread_count_ = 0;
@@ -120,9 +152,36 @@ class CpuScheduler {
   mutable double util_integral_ = 0.0;
   mutable sim::SimTime last_advance_ = 0;
 
+  // Cached refresh_rates() outputs (see above).
+  double cached_rate_ = 0.0;
+  double cached_util_ = 0.0;
+  // Two-entry memo of config_.capacity(n) keyed by effective concurrency n
+  // (-1 never matches a real key: n >= 1 in refresh_rates). cap(n) is a pure
+  // function of n, so hits are bit-identical to recomputation.
+  double cap_memo_key_[2] = {-1.0, -1.0};
+  double cap_memo_val_[2] = {0.0, 0.0};
+
   sim::EventHandle pending_completion_;
+  /// Absolute fire time of pending_completion_ while pending_live_. Lets
+  /// reschedule() keep the already-scheduled event when the recomputed fire
+  /// instant is identical (common under worker-churn: set_thread_count fires
+  /// on every acquire/release but n = max(threads, jobs) is often pinned by
+  /// the job count) — skipping a cancel + heap push pair per no-op call.
+  sim::SimTime pending_fire_at_ = 0;
+  bool pending_live_ = false;
+  /// True while on_completion_event() runs the popped jobs' callbacks; state
+  /// mutations they trigger (submit, thread-count changes) skip their own
+  /// reschedule — on_completion_event issues one against the settled state.
+  bool in_callbacks_ = false;
   mutable double work_done_ = 0.0;
+  /// Exact sum of completed jobs' nominal work — the drift-free reference
+  /// maybe_reanchor() restores work_done_ to. abort_all() re-baselines it
+  /// (dropped jobs leave partial progress that has no exact expression).
+  double completed_work_exact_ = 0.0;
   uint64_t jobs_completed_ = 0;
+  /// Completion-callback scratch, reused across events so a steady-state
+  /// dispatch step allocates nothing.
+  std::vector<sim::EventFn> done_scratch_;
 };
 
 }  // namespace dcm::ntier

@@ -61,13 +61,13 @@ Server* LoadBalancer::pick() {
     case LbPolicy::kRoundRobin: {
       if (!health) {
         Server* chosen = members_[next_];
-        next_ = (next_ + 1) % members_.size();
+        if (++next_ >= members_.size()) next_ = 0;  // avoids a hot-path division
         return chosen;
       }
       // Scan at most one full rotation for a member not marked down.
       for (size_t tried = 0; tried < members_.size(); ++tried) {
         const size_t idx = next_;
-        next_ = (next_ + 1) % members_.size();
+        if (++next_ >= members_.size()) next_ = 0;
         if (failures_[idx] < failure_threshold_) return members_[idx];
       }
       return nullptr;  // every member is down

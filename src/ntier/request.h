@@ -9,12 +9,17 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <vector>
 
+#include "common/inline_vec.h"
+#include "sim/arena.h"
 #include "sim/time.h"
 #include "trace/trace.h"
 
 namespace dcm::ntier {
+
+/// Upper bound on tier-chain depth for the inline per-tier arrays below.
+/// The deepest registered topology is 4 tiers; 8 leaves headroom.
+inline constexpr size_t kMaxTiers = 8;
 
 struct RequestContext {
   uint64_t id = 0;
@@ -22,9 +27,10 @@ struct RequestContext {
   sim::SimTime created = 0;
 
   /// demand_scale[d] multiplies tier d's base CPU demand for this request.
-  std::vector<double> demand_scale;
+  /// Inline (no heap) — a request is one flat allocation.
+  InlineVec<double, kMaxTiers> demand_scale;
   /// downstream_calls[d] = number of sub-requests tier d sends to tier d+1.
-  std::vector<int> downstream_calls;
+  InlineVec<int, kMaxTiers> downstream_calls;
 
   /// Null unless this request was head-sampled by the run's Tracer. Every
   /// instrumentation hook is gated on this pointer — the untraced hot path
@@ -33,6 +39,17 @@ struct RequestContext {
 };
 
 using RequestPtr = std::shared_ptr<RequestContext>;
+
+/// Allocates a RequestContext (object + shared_ptr control block fused) from
+/// `arena` when one is supplied, else from the global heap. Ownership and
+/// lifetime semantics are exactly std::shared_ptr either way; the arena
+/// variant recycles freed blocks so steady state never touches the global
+/// allocator. The arena must outlive every RequestPtr it backs — use the
+/// owning engine's arena (destroyed after the event queue).
+inline RequestPtr make_request_context(sim::Arena* arena) {
+  if (arena == nullptr) return std::make_shared<RequestContext>();
+  return std::allocate_shared<RequestContext>(sim::ArenaAllocator<RequestContext>(arena));
+}
 
 /// Completion callback: ok=false means the request was rejected (accept
 /// queue overflow) somewhere along the chain.

@@ -2,60 +2,96 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "ntier/tier.h"
 
 namespace dcm::ntier {
 
-struct Server::VisitState {
-  uint64_t visit_id = 0;
-  uint64_t epoch = 0;  // crash generation this visit belongs to
-  RequestPtr request;
-  DoneFn done;
-  sim::SimTime arrived = 0;
-  double demand = 0.0;  // sampled total CPU demand for this visit
-  int calls = 0;        // downstream sub-requests still to issue
-  bool finished = false;
-  bool holds_worker = false;
-
-  // Tracing scratch (written only when request->trace is non-null; the
-  // visit's phases are strictly sequential, so one slot per kind suffices).
-  sim::SimTime cpu_submitted = 0;
-  double cpu_work = 0.0;
-  sim::SimTime conn_requested = 0;
-  sim::SimTime downstream_started = 0;
-};
-
-// Per-attempt settlement record for a retried sub-request. Exactly one of
-// {downstream response, deadline expiry} may settle the attempt; whichever
-// loses the race finds `settled` set and becomes a no-op, so a visit can
-// never complete (or release a connection) twice.
-struct Server::SubAttempt {
-  bool settled = false;
-  sim::EventHandle timeout;
-};
-
 Server::Server(sim::Engine& engine, ServerConfig config, int depth, Rng rng)
     : engine_(&engine),
       config_(std::move(config)),
       depth_(depth),
       rng_(rng),
-      workers_(engine, config_.name + ".workers", config_.max_threads),
+      workers_(engine, config_.name, ".workers", config_.max_threads),
       cpu_(engine, config_.cpu) {
   DCM_CHECK(depth_ >= 0);
   DCM_CHECK(config_.pre_fraction >= 0.0 && config_.pre_fraction <= 1.0);
+  if (config_.demand_cv > 0.0) {
+    // Hoisted lognormal_mean_cv(1.0, cv) constants: same formulas, computed
+    // once — per-visit draws keep only the Box–Muller normal and the exp.
+    const double sigma2 = std::log(1.0 + config_.demand_cv * config_.demand_cv);
+    demand_ln_mu_ = -0.5 * sigma2;  // log(mean)=log(1)=0 exactly
+    demand_ln_sigma_ = std::sqrt(sigma2);
+  }
   if (config_.downstream_connections > 0) {
-    conns_ = std::make_unique<SlotPool>(engine, config_.name + ".conns",
+    conns_ = std::make_unique<SlotPool>(engine, config_.name, ".conns",
                                         config_.downstream_connections);
   }
 }
 
-void Server::sync_thread_count() { cpu_.set_thread_count(workers_.in_use()); }
+// --- slab plumbing ---------------------------------------------------------
 
-bool Server::visit_is_stale(const std::shared_ptr<VisitState>& visit) const {
-  return visit->finished || visit->epoch != epoch_;
+Server::VisitHandle Server::alloc_visit() {
+  uint32_t idx;
+  if (visit_free_head_ != kNilIndex) {
+    idx = visit_free_head_;
+    visit_free_head_ = visit_slab_[idx].next_free;
+  } else {
+    idx = static_cast<uint32_t>(visit_slab_.size());
+    visit_slab_.emplace_back();
+  }
+  VisitSlot& slot = visit_slab_[idx];
+  slot.live = true;
+  return {idx, slot.gen};
 }
+
+void Server::free_visit(VisitHandle h) {
+  VisitSlot& slot = visit_slab_[h.index];
+  slot.live = false;
+  ++slot.gen;  // every outstanding handle to this slot is now stale
+  slot.state.request.reset();
+  slot.state.done = nullptr;
+  slot.next_free = visit_free_head_;
+  visit_free_head_ = h.index;
+}
+
+Server::VisitState* Server::visit(VisitHandle h) {
+  VisitSlot& slot = visit_slab_[h.index];
+  return (slot.live && slot.gen == h.gen) ? &slot.state : nullptr;
+}
+
+Server::AttemptHandle Server::alloc_attempt() {
+  uint32_t idx;
+  if (attempt_free_head_ != kNilIndex) {
+    idx = attempt_free_head_;
+    attempt_free_head_ = attempt_slab_[idx].next_free;
+  } else {
+    idx = static_cast<uint32_t>(attempt_slab_.size());
+    attempt_slab_.emplace_back();
+  }
+  AttemptSlot& slot = attempt_slab_[idx];
+  slot.live = true;
+  return {idx, slot.gen};
+}
+
+void Server::free_attempt(AttemptHandle h) {
+  AttemptSlot& slot = attempt_slab_[h.index];
+  slot.live = false;
+  ++slot.gen;
+  slot.next_free = attempt_free_head_;
+  attempt_free_head_ = h.index;
+}
+
+Server::AttemptState* Server::attempt(AttemptHandle h) {
+  AttemptSlot& slot = attempt_slab_[h.index];
+  return (slot.live && slot.gen == h.gen) ? &slot.state : nullptr;
+}
+
+// --- request path ----------------------------------------------------------
+
+void Server::sync_thread_count() { cpu_.set_thread_count(workers_.in_use()); }
 
 void Server::process(const RequestPtr& request, DoneFn done) {
   DCM_CHECK(request != nullptr);
@@ -64,172 +100,223 @@ void Server::process(const RequestPtr& request, DoneFn done) {
     done(false);
     return;
   }
-  auto visit = std::make_shared<VisitState>();
-  visit->visit_id = next_visit_id_++;
-  visit->epoch = epoch_;
-  visit->request = request;
-  visit->done = std::move(done);
-  visit->arrived = engine_->now();
-  active_visits_.emplace(visit->visit_id, visit);
-  workers_.acquire([this, visit] {
-    if (visit_is_stale(visit)) return;
-    if (trace::TraceContext* tr = visit->request->trace.get()) {
-      tr->add_span(trace::SpanKind::kPoolWait, depth_, visit->arrived, engine_->now());
-    }
-    visit->holds_worker = true;
-    sync_thread_count();
-    start_visit(visit);
-  });
+  const VisitHandle h = alloc_visit();
+  VisitState& v = visit_slab_[h.index].state;
+  v.visit_id = next_visit_id_++;
+  v.request = request;
+  v.done = std::move(done);
+  v.arrived = engine_->now();
+  v.demand = 0.0;
+  v.calls = 0;
+  v.call_index = 0;
+  v.conn_held = false;
+  v.holds_worker = false;
+  workers_.acquire([this, h] { on_worker_granted(h); });
 }
 
-void Server::begin_cpu_span(const std::shared_ptr<VisitState>& visit, double work) {
-  if (visit->request->trace == nullptr) return;
-  visit->cpu_submitted = engine_->now();
-  visit->cpu_work = work;
+void Server::on_worker_granted(VisitHandle h) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;  // crashed while queued
+  if (trace::TraceContext* tr = v->request->trace.get()) {
+    tr->add_span(trace::SpanKind::kPoolWait, depth_, v->arrived, engine_->now());
+  }
+  v->holds_worker = true;
+  // start_visit reports the new busy-worker count fused with its CPU submit
+  // (one advance/refresh/reschedule instead of two — same end state).
+  start_visit(h);
 }
 
-void Server::end_cpu_span(const std::shared_ptr<VisitState>& visit) {
-  trace::TraceContext* tr = visit->request->trace.get();
+void Server::begin_cpu_span(VisitState& visit, double work) {
+  if (visit.request->trace == nullptr) return;
+  visit.cpu_submitted = engine_->now();
+  visit.cpu_work = work;
+}
+
+void Server::end_cpu_span(VisitState& visit) {
+  trace::TraceContext* tr = visit.request->trace.get();
   if (tr == nullptr) return;
   const sim::SimTime now = engine_->now();
   const sim::SimTime nominal_end =
-      std::min(now, visit->cpu_submitted + sim::from_seconds(visit->cpu_work));
-  tr->add_span(trace::SpanKind::kService, depth_, visit->cpu_submitted, nominal_end,
-               visit->cpu_work);
+      std::min(now, visit.cpu_submitted + sim::from_seconds(visit.cpu_work));
+  tr->add_span(trace::SpanKind::kService, depth_, visit.cpu_submitted, nominal_end,
+               visit.cpu_work);
   // Anything past the nominal demand is run-queue wait / multithreading
   // inflation — the S*(N) − S0 share of the visit.
   if (now > nominal_end) tr->add_span(trace::SpanKind::kCpuWait, depth_, nominal_end, now);
 }
 
-void Server::start_visit(const std::shared_ptr<VisitState>& visit) {
-  const auto& req = *visit->request;
+void Server::start_visit(VisitHandle h) {
+  VisitState* v = visit(h);
+  const auto& req = *v->request;
   const double scale =
       req.demand_scale.size() > static_cast<size_t>(depth_)
           ? req.demand_scale[static_cast<size_t>(depth_)]
           : 1.0;
   const double variability =
-      config_.demand_cv > 0.0 ? rng_.lognormal_mean_cv(1.0, config_.demand_cv) : 1.0;
-  visit->demand = config_.cpu.params.s0 * scale * variability;
-  visit->calls = (downstream_ != nullptr &&
-                  req.downstream_calls.size() > static_cast<size_t>(depth_))
-                     ? req.downstream_calls[static_cast<size_t>(depth_)]
-                     : 0;
+      config_.demand_cv > 0.0 ? rng_.lognormal(demand_ln_mu_, demand_ln_sigma_) : 1.0;
+  v->demand = config_.cpu.params.s0 * scale * variability;
+  v->calls = (downstream_ != nullptr &&
+              req.downstream_calls.size() > static_cast<size_t>(depth_))
+                 ? req.downstream_calls[static_cast<size_t>(depth_)]
+                 : 0;
 
-  if (visit->calls == 0) {
-    begin_cpu_span(visit, visit->demand);
-    cpu_.submit(visit->demand, [this, visit] {
-      end_cpu_span(visit);
-      finish_visit(visit, true);
-    });
+  const int busy_workers = workers_.in_use();
+  if (v->calls == 0) {
+    begin_cpu_span(*v, v->demand);
+    cpu_.submit_with_thread_count(busy_workers, v->demand, [this, h] { on_cpu_done_finish(h); });
     return;
   }
-  const double pre = visit->demand * config_.pre_fraction;
-  begin_cpu_span(visit, pre);
-  cpu_.submit(pre, [this, visit] {
-    end_cpu_span(visit);
-    issue_downstream(visit, 0);
-  });
+  const double pre = v->demand * config_.pre_fraction;
+  begin_cpu_span(*v, pre);
+  cpu_.submit_with_thread_count(busy_workers, pre, [this, h] { on_cpu_done_downstream(h); });
 }
 
-void Server::issue_downstream(const std::shared_ptr<VisitState>& visit, int call_index) {
-  if (visit_is_stale(visit)) return;
-  if (call_index >= visit->calls) {
-    const double post = visit->demand * (1.0 - config_.pre_fraction);
-    begin_cpu_span(visit, post);
-    cpu_.submit(post, [this, visit] {
-      end_cpu_span(visit);
-      finish_visit(visit, true);
-    });
+void Server::on_cpu_done_finish(VisitHandle h) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;  // crash dropped this visit (and its CPU job)
+  end_cpu_span(*v);
+  finish_visit(h, true);
+}
+
+void Server::on_cpu_done_downstream(VisitHandle h) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;
+  end_cpu_span(*v);
+  v->call_index = 0;
+  issue_downstream(h);
+}
+
+void Server::issue_downstream(VisitHandle h) {
+  VisitState* v = visit(h);
+  if (v->call_index >= v->calls) {
+    const double post = v->demand * (1.0 - config_.pre_fraction);
+    begin_cpu_span(*v, post);
+    cpu_.submit(post, [this, h] { on_cpu_done_finish(h); });
     return;
   }
-  if (visit->request->trace != nullptr) visit->conn_requested = engine_->now();
+  if (v->request->trace != nullptr) v->conn_requested = engine_->now();
   if (retry_.enabled()) {
     if (conns_) {
-      conns_->acquire([this, visit, call_index] {
-        if (visit_is_stale(visit)) return;
-        if (trace::TraceContext* tr = visit->request->trace.get()) {
-          tr->add_span(trace::SpanKind::kConnWait, depth_, visit->conn_requested,
-                       engine_->now());
-        }
-        dispatch_downstream(visit, call_index, /*attempt=*/0, /*conn_held=*/true);
-      });
+      conns_->acquire([this, h] { on_conn_granted_retry(h); });
     } else {
-      dispatch_downstream(visit, call_index, /*attempt=*/0, /*conn_held=*/false);
+      dispatch_downstream(h, /*attempt=*/0, /*conn_held=*/false);
     }
     return;
   }
-  // Legacy single-attempt path — kept allocation-identical to the
-  // pre-resilience behaviour for the default configuration.
-  const auto forward = [this, visit, call_index](bool conn_held) {
-    if (visit->request->trace != nullptr) visit->downstream_started = engine_->now();
-    downstream_->dispatch(visit->request, [this, visit, call_index, conn_held](bool ok) {
-      // The downstream response may arrive after this server crashed; the
-      // visit (and its pool slots) are already gone — drop it.
-      if (visit_is_stale(visit)) return;
-      if (trace::TraceContext* tr = visit->request->trace.get()) {
-        tr->add_span(trace::SpanKind::kDownstream, depth_, visit->downstream_started,
-                     engine_->now());
-      }
-      if (conn_held) conns_->release();
-      if (!ok) {
-        finish_visit(visit, false);
-        return;
-      }
-      issue_downstream(visit, call_index + 1);
-    });
-  };
+  // Legacy single-attempt path — event-for-event the pre-resilience
+  // behaviour for the default configuration.
   if (conns_) {
-    conns_->acquire([this, visit, forward] {
-      if (visit_is_stale(visit)) return;
-      if (trace::TraceContext* tr = visit->request->trace.get()) {
-        tr->add_span(trace::SpanKind::kConnWait, depth_, visit->conn_requested,
-                     engine_->now());
-      }
-      forward(true);
-    });
+    conns_->acquire([this, h] { on_conn_granted_legacy(h); });
   } else {
-    forward(false);
+    forward_legacy(h, /*conn_held=*/false);
   }
 }
 
-void Server::dispatch_downstream(const std::shared_ptr<VisitState>& visit, int call_index,
-                                 int attempt, bool conn_held) {
-  auto state = std::make_shared<SubAttempt>();
-  if (visit->request->trace != nullptr) visit->downstream_started = engine_->now();
-  downstream_->dispatch(visit->request,
-                        [this, visit, call_index, attempt, conn_held, state](bool ok) {
-                          if (state->settled) return;  // deadline already expired
-                          state->settled = true;
-                          state->timeout.cancel();
-                          if (visit_is_stale(visit)) return;
-                          if (trace::TraceContext* tr = visit->request->trace.get()) {
-                            tr->add_span(trace::SpanKind::kDownstream, depth_,
-                                         visit->downstream_started, engine_->now());
-                          }
-                          on_subrequest_result(visit, call_index, attempt, conn_held, ok);
-                        });
-  if (retry_.timeout_seconds > 0.0 && !state->settled) {
-    state->timeout = engine_->schedule_after(
-        sim::from_seconds(retry_.timeout_seconds),
-        [this, visit, call_index, attempt, conn_held, state] {
-          if (state->settled) return;
-          state->settled = true;  // the late response will be dropped
-          if (visit_is_stale(visit)) return;
-          ++subrequest_timeouts_;
-          if (trace::TraceContext* tr = visit->request->trace.get()) {
-            tr->add_span(trace::SpanKind::kTimeoutWait, depth_,
-                         visit->downstream_started, engine_->now());
-          }
-          on_subrequest_result(visit, call_index, attempt, conn_held, false);
-        });
+void Server::on_conn_granted_legacy(VisitHandle h) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;  // crashed while waiting for a connection
+  if (trace::TraceContext* tr = v->request->trace.get()) {
+    tr->add_span(trace::SpanKind::kConnWait, depth_, v->conn_requested, engine_->now());
+  }
+  forward_legacy(h, /*conn_held=*/true);
+}
+
+void Server::forward_legacy(VisitHandle h, bool conn_held) {
+  VisitState* v = visit(h);
+  v->conn_held = conn_held;
+  if (v->request->trace != nullptr) v->downstream_started = engine_->now();
+  downstream_->dispatch(v->request, [this, h](bool ok) { on_legacy_response(h, ok); });
+}
+
+void Server::on_legacy_response(VisitHandle h, bool ok) {
+  // The downstream response may arrive after this server crashed; the visit
+  // (and its pool slots) are already gone — drop it.
+  VisitState* v = visit(h);
+  if (v == nullptr) return;
+  if (trace::TraceContext* tr = v->request->trace.get()) {
+    tr->add_span(trace::SpanKind::kDownstream, depth_, v->downstream_started,
+                 engine_->now());
+  }
+  if (v->conn_held) conns_->release();
+  if (!ok) {
+    finish_visit(h, false);
+    return;
+  }
+  // release() cannot touch this slot (only this visit's own continuations
+  // finish it), but it can admit other traffic — refetch for safety.
+  v = visit(h);
+  v->call_index += 1;
+  issue_downstream(h);
+}
+
+void Server::on_conn_granted_retry(VisitHandle h) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;
+  if (trace::TraceContext* tr = v->request->trace.get()) {
+    tr->add_span(trace::SpanKind::kConnWait, depth_, v->conn_requested, engine_->now());
+  }
+  dispatch_downstream(h, /*attempt=*/0, /*conn_held=*/true);
+}
+
+void Server::dispatch_downstream(VisitHandle h, int attempt_no, bool conn_held) {
+  VisitState* v = visit(h);
+  const AttemptHandle ah = alloc_attempt();
+  AttemptState& a = attempt_slab_[ah.index].state;
+  a.visit = h;
+  a.attempt = attempt_no;
+  a.conn_held = conn_held;
+  a.timeout = sim::EventHandle();
+  if (v->request->trace != nullptr) v->downstream_started = engine_->now();
+  downstream_->dispatch(v->request, [this, ah](bool ok) { on_attempt_response(ah, ok); });
+  // The dispatch can settle synchronously (downstream rejects) and even grow
+  // the attempt slab via re-entry — refetch before arming the deadline.
+  AttemptState* armed = attempt(ah);
+  if (retry_.timeout_seconds > 0.0 && armed != nullptr) {
+    armed->timeout = engine_->schedule_after(sim::from_seconds(retry_.timeout_seconds),
+                                             [this, ah] { on_attempt_timeout(ah); });
   }
 }
 
-void Server::on_subrequest_result(const std::shared_ptr<VisitState>& visit, int call_index,
-                                  int attempt, bool conn_held, bool ok) {
+void Server::on_attempt_response(AttemptHandle ah, bool ok) {
+  AttemptState* a = attempt(ah);
+  if (a == nullptr) return;  // deadline already expired; drop late response
+  const VisitHandle h = a->visit;
+  const int attempt_no = a->attempt;
+  const bool conn_held = a->conn_held;
+  a->timeout.cancel();
+  free_attempt(ah);
+  VisitState* v = visit(h);
+  if (v == nullptr) return;  // server crashed while the call was in flight
+  if (trace::TraceContext* tr = v->request->trace.get()) {
+    tr->add_span(trace::SpanKind::kDownstream, depth_, v->downstream_started,
+                 engine_->now());
+  }
+  on_subrequest_result(h, attempt_no, conn_held, ok);
+}
+
+void Server::on_attempt_timeout(AttemptHandle ah) {
+  AttemptState* a = attempt(ah);
+  if (a == nullptr) return;  // response won the race
+  const VisitHandle h = a->visit;
+  const int attempt_no = a->attempt;
+  const bool conn_held = a->conn_held;
+  free_attempt(ah);  // the late response will find a stale handle
+  VisitState* v = visit(h);
+  if (v == nullptr) return;
+  ++subrequest_timeouts_;
+  if (trace::TraceContext* tr = v->request->trace.get()) {
+    tr->add_span(trace::SpanKind::kTimeoutWait, depth_, v->downstream_started,
+                 engine_->now());
+  }
+  on_subrequest_result(h, attempt_no, conn_held, false);
+}
+
+void Server::on_subrequest_result(VisitHandle h, int attempt, bool conn_held, bool ok) {
   if (ok) {
     if (conn_held) conns_->release();
-    issue_downstream(visit, call_index + 1);
+    VisitState* v = visit(h);  // release cannot free this slot; see above
+    v->call_index += 1;
+    issue_downstream(h);
     return;
   }
   if (attempt < retry_.max_retries) {
@@ -243,34 +330,36 @@ void Server::on_subrequest_result(const std::shared_ptr<VisitState>& visit, int 
             ? 1.0 + retry_.jitter_fraction * (2.0 * rng_.next_double() - 1.0)
             : 1.0;
     const double delay = std::max(0.0, base * jitter);
-    if (trace::TraceContext* tr = visit->request->trace.get()) {
+    if (trace::TraceContext* tr = visit(h)->request->trace.get()) {
       tr->add_span(trace::SpanKind::kBackoff, depth_, engine_->now(),
                    engine_->now() + sim::from_seconds(delay));
     }
-    engine_->schedule_after(sim::from_seconds(delay),
-                            [this, visit, call_index, attempt, conn_held] {
-                              if (visit_is_stale(visit)) return;
-                              dispatch_downstream(visit, call_index, attempt + 1, conn_held);
-                            });
+    engine_->schedule_after(sim::from_seconds(delay), [this, h, attempt, conn_held] {
+      if (visit(h) == nullptr) return;
+      dispatch_downstream(h, attempt + 1, conn_held);
+    });
     return;
   }
   if (conn_held) conns_->release();
-  finish_visit(visit, false);
+  finish_visit(h, false);
 }
 
-void Server::finish_visit(const std::shared_ptr<VisitState>& visit, bool ok) {
-  if (visit_is_stale(visit)) return;
-  visit->finished = true;
-  active_visits_.erase(visit->visit_id);
+void Server::finish_visit(VisitHandle h, bool ok) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;
   if (ok) {
     ++completed_;
-    response_time_sum_ += sim::to_seconds(engine_->now() - visit->arrived);
+    response_time_sum_ += sim::to_seconds(engine_->now() - v->arrived);
   } else {
     ++rejected_;
   }
-  DoneFn done = std::move(visit->done);
-  if (visit->holds_worker) {
-    visit->holds_worker = false;
+  DoneFn done = std::move(v->done);
+  const bool held_worker = v->holds_worker;
+  // Free before releasing the worker: the release can synchronously admit a
+  // queued visit, which may reuse this very slot. The bumped generation is
+  // what marks any continuation still holding `h` as stale.
+  free_visit(h);
+  if (held_worker) {
     workers_.release();
     sync_thread_count();
   }
@@ -290,15 +379,23 @@ void Server::crash() {
   if (conns_) conns_->reset();
   cpu_.set_thread_count(0);
 
-  // Fail every visit that was in flight or queued. Their continuations are
-  // epoch-guarded, so firing done(false) here is the only signal that runs.
-  auto failed = std::move(active_visits_);
-  active_visits_.clear();
-  for (auto& [id, visit] : failed) {
-    if (visit->finished) continue;
-    visit->finished = true;
+  // Fail every visit that was in flight or queued, in visit-id order (the
+  // deterministic order the old id-keyed map iterated in). Freeing the slot
+  // first makes every pre-crash continuation stale; firing done(false) here
+  // is the only signal that runs.
+  crash_scratch_.clear();
+  for (uint32_t i = 0; i < visit_slab_.size(); ++i) {
+    if (visit_slab_[i].live) {
+      crash_scratch_.emplace_back(visit_slab_[i].state.visit_id, i);
+    }
+  }
+  std::sort(crash_scratch_.begin(), crash_scratch_.end());
+  for (const auto& [id, idx] : crash_scratch_) {
+    VisitSlot& slot = visit_slab_[idx];
+    if (!slot.live || slot.state.visit_id != id) continue;  // slot was reused
     ++rejected_;
-    DoneFn done = std::move(visit->done);
+    DoneFn done = std::move(slot.state.done);
+    free_visit({idx, slot.gen});
     if (done) done(false);
   }
   if (idle_callback_) {

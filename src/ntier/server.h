@@ -5,12 +5,20 @@
 // still contributes multithreading overhead, which is why over-sized pools
 // hurt). Downstream sub-requests go through this server's connection pool
 // and the downstream tier's load balancer.
+//
+// Hot-path storage: visits and retry attempts live in generation-counted
+// slabs owned by the server, not in per-visit shared_ptrs. Continuations
+// capture [this, handle] — 16 bytes, inside std::function's inline buffer —
+// so the steady-state request path performs no heap allocation. A freed slot
+// bumps its generation, which makes every outstanding handle stale; that
+// replaces both the old `finished` flag and the crash-epoch guard (crash()
+// frees all live slots, instantly invalidating pre-crash continuations).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "metrics/welford.h"
@@ -110,25 +118,96 @@ class Server {
   void set_idle_callback(std::function<void()> cb) { idle_callback_ = std::move(cb); }
 
  private:
-  struct VisitState;
-  struct SubAttempt;
+  static constexpr uint32_t kNilIndex = 0xffffffffu;
 
-  void start_visit(const std::shared_ptr<VisitState>& visit);
-  void issue_downstream(const std::shared_ptr<VisitState>& visit, int call_index);
-  void dispatch_downstream(const std::shared_ptr<VisitState>& visit, int call_index,
-                           int attempt, bool conn_held);
-  void on_subrequest_result(const std::shared_ptr<VisitState>& visit, int call_index,
-                            int attempt, bool conn_held, bool ok);
-  void finish_visit(const std::shared_ptr<VisitState>& visit, bool ok);
-  void begin_cpu_span(const std::shared_ptr<VisitState>& visit, double work);
-  void end_cpu_span(const std::shared_ptr<VisitState>& visit);
+  /// 8-byte ticket into a slab. A handle is stale (lookup returns nullptr)
+  /// once its slot was freed — the generation no longer matches.
+  struct VisitHandle {
+    uint32_t index = 0;
+    uint32_t gen = 0;
+  };
+  struct AttemptHandle {
+    uint32_t index = 0;
+    uint32_t gen = 0;
+  };
+
+  struct VisitState {
+    uint64_t visit_id = 0;
+    RequestPtr request;
+    DoneFn done;
+    sim::SimTime arrived = 0;
+    double demand = 0.0;  // sampled total CPU demand for this visit
+    int calls = 0;        // downstream sub-requests this visit issues
+    int call_index = 0;   // current sub-request (they are strictly sequential)
+    bool conn_held = false;  // legacy path: connection held for current call
+    bool holds_worker = false;
+
+    // Tracing scratch (written only when request->trace is non-null; the
+    // visit's phases are strictly sequential, so one slot per kind suffices).
+    sim::SimTime cpu_submitted = 0;
+    double cpu_work = 0.0;
+    sim::SimTime conn_requested = 0;
+    sim::SimTime downstream_started = 0;
+  };
+
+  /// Per-attempt settlement record for a retried sub-request. Exactly one of
+  /// {downstream response, deadline expiry} settles the attempt by freeing
+  /// its slot; whichever loses the race finds a stale handle and becomes a
+  /// no-op, so a visit can never complete (or release a connection) twice.
+  struct AttemptState {
+    VisitHandle visit;
+    int attempt = 0;
+    bool conn_held = false;
+    sim::EventHandle timeout;
+  };
+
+  struct VisitSlot {
+    VisitState state;
+    uint32_t gen = 0;
+    uint32_t next_free = kNilIndex;
+    bool live = false;
+  };
+  struct AttemptSlot {
+    AttemptState state;
+    uint32_t gen = 0;
+    uint32_t next_free = kNilIndex;
+    bool live = false;
+  };
+
+  VisitHandle alloc_visit();
+  void free_visit(VisitHandle h);
+  /// nullptr if `h` is stale. The pointer is invalidated by alloc_visit
+  /// (slab growth) — refetch after any call that can admit a new visit.
+  VisitState* visit(VisitHandle h);
+  AttemptHandle alloc_attempt();
+  void free_attempt(AttemptHandle h);
+  AttemptState* attempt(AttemptHandle h);
+
+  void on_worker_granted(VisitHandle h);
+  void start_visit(VisitHandle h);
+  void on_cpu_done_finish(VisitHandle h);      // CPU-only / post phase done
+  void on_cpu_done_downstream(VisitHandle h);  // pre phase done
+  void issue_downstream(VisitHandle h);
+  void on_conn_granted_legacy(VisitHandle h);
+  void forward_legacy(VisitHandle h, bool conn_held);
+  void on_legacy_response(VisitHandle h, bool ok);
+  void on_conn_granted_retry(VisitHandle h);
+  void dispatch_downstream(VisitHandle h, int attempt, bool conn_held);
+  void on_attempt_response(AttemptHandle ah, bool ok);
+  void on_attempt_timeout(AttemptHandle ah);
+  void on_subrequest_result(VisitHandle h, int attempt, bool conn_held, bool ok);
+  void finish_visit(VisitHandle h, bool ok);
+  void begin_cpu_span(VisitState& visit, double work);
+  void end_cpu_span(VisitState& visit);
   void sync_thread_count();
-  bool visit_is_stale(const std::shared_ptr<VisitState>& visit) const;
 
   sim::Engine* engine_;
   ServerConfig config_;
   int depth_;
   Rng rng_;
+  // Precomputed lognormal(1.0, demand_cv) parameters (see constructor).
+  double demand_ln_mu_ = 0.0;
+  double demand_ln_sigma_ = 0.0;
 
   SlotPool workers_;
   std::unique_ptr<SlotPool> conns_;  // created when downstream_connections>0
@@ -144,11 +223,14 @@ class Server {
   bool online_ = true;
   std::function<void()> idle_callback_;
 
-  // Crash bookkeeping: visits belong to an epoch; crash() bumps the epoch
-  // so continuations created before the crash become no-ops.
-  uint64_t epoch_ = 0;
+  uint64_t epoch_ = 0;  // crash count (crashed_since_start)
   uint64_t next_visit_id_ = 0;
-  std::map<uint64_t, std::shared_ptr<VisitState>> active_visits_;
+
+  std::vector<VisitSlot> visit_slab_;
+  uint32_t visit_free_head_ = kNilIndex;
+  std::vector<AttemptSlot> attempt_slab_;
+  uint32_t attempt_free_head_ = kNilIndex;
+  std::vector<std::pair<uint64_t, uint32_t>> crash_scratch_;  // (visit_id, slot)
 };
 
 }  // namespace dcm::ntier

@@ -1,5 +1,8 @@
 #include "ntier/slot_pool.h"
 
+#include <cstring>
+#include <utility>
+
 #include "common/check.h"
 
 namespace dcm::ntier {
@@ -8,6 +11,22 @@ SlotPool::SlotPool(sim::Engine& engine, std::string name, int capacity)
     : engine_(&engine), name_(std::move(name)), capacity_(capacity) {
   DCM_CHECK_MSG(capacity >= 1, "pool needs at least one slot");
   integral_updated_ = engine_->now();
+}
+
+SlotPool::SlotPool(sim::Engine& engine, const std::string& base, const char* suffix,
+                   int capacity)
+    : engine_(&engine), name_base_(&base), name_suffix_(suffix), capacity_(capacity) {
+  DCM_CHECK_MSG(capacity >= 1, "pool needs at least one slot");
+  integral_updated_ = engine_->now();
+}
+
+const std::string& SlotPool::name() const {
+  if (name_.empty() && name_base_ != nullptr) {
+    name_.reserve(name_base_->size() + std::strlen(name_suffix_));
+    name_ = *name_base_;
+    name_ += name_suffix_;
+  }
+  return name_;
 }
 
 void SlotPool::accumulate_integral() const {
@@ -22,7 +41,51 @@ double SlotPool::in_use_integral() const {
   return in_use_integral_;
 }
 
-void SlotPool::grant_now(std::function<void()> grant, sim::SimTime enqueued) {
+void SlotPool::acquire(sim::EventFn grant) {
+  if (in_use_ < capacity_) [[likely]] {
+    // Uncontended admission: one predicted branch, then straight-line
+    // bookkeeping. wait_stats_ still sees an exact 0.0 sample so the
+    // aggregate statistics are bit-identical to the queued path's formula.
+    accumulate_integral();
+    ++in_use_;
+    ++total_acquired_;
+    wait_stats_.add(0.0);
+    grant();
+    return;
+  }
+  enqueue_waiter(std::move(grant));
+}
+
+void SlotPool::enqueue_waiter(sim::EventFn grant) {
+  if (waiter_count_ == waiters_.size()) {
+    // Grow to the next power of two, linearizing live waiters at the front.
+    std::vector<Waiter> grown(waiters_.empty() ? 8 : waiters_.size() * 2);
+    for (size_t i = 0; i < waiter_count_; ++i) {
+      grown[i] = std::move(waiters_[(waiter_head_ + i) & (waiters_.size() - 1)]);
+    }
+    waiters_ = std::move(grown);
+    waiter_head_ = 0;
+  }
+  Waiter& slot = waiters_[(waiter_head_ + waiter_count_) & (waiters_.size() - 1)];
+  slot.grant = std::move(grant);
+  slot.enqueued = engine_->now();
+  ++waiter_count_;
+}
+
+void SlotPool::release() {
+  DCM_CHECK_MSG(in_use_ > 0, "release without acquire");
+  accumulate_integral();
+  --in_use_;
+  if (waiter_count_ == 0 || in_use_ >= capacity_) [[likely]] return;
+  grant_from_queue();
+}
+
+void SlotPool::grant_from_queue() {
+  Waiter& head = waiters_[waiter_head_];
+  sim::EventFn grant = std::move(head.grant);
+  const sim::SimTime enqueued = head.enqueued;
+  waiter_head_ = (waiter_head_ + 1) & (waiters_.size() - 1);
+  --waiter_count_;
   accumulate_integral();
   ++in_use_;
   ++total_acquired_;
@@ -30,38 +93,21 @@ void SlotPool::grant_now(std::function<void()> grant, sim::SimTime enqueued) {
   grant();
 }
 
-void SlotPool::acquire(std::function<void()> grant) {
-  if (in_use_ < capacity_) {
-    grant_now(std::move(grant), engine_->now());
-  } else {
-    waiters_.push_back(Waiter{std::move(grant), engine_->now()});
-  }
-}
-
-void SlotPool::release() {
-  DCM_CHECK_MSG(in_use_ > 0, "release without acquire");
-  accumulate_integral();
-  --in_use_;
-  if (!waiters_.empty() && in_use_ < capacity_) {
-    Waiter next = std::move(waiters_.front());
-    waiters_.pop_front();
-    grant_now(std::move(next.grant), next.enqueued);
-  }
-}
-
 void SlotPool::reset() {
   accumulate_integral();
   in_use_ = 0;
-  waiters_.clear();
+  for (size_t i = 0; i < waiter_count_; ++i) {
+    waiters_[(waiter_head_ + i) & (waiters_.size() - 1)].grant.reset();
+  }
+  waiter_head_ = 0;
+  waiter_count_ = 0;
 }
 
 void SlotPool::resize(int capacity) {
   DCM_CHECK_MSG(capacity >= 1, "pool needs at least one slot");
   capacity_ = capacity;
-  while (!waiters_.empty() && in_use_ < capacity_) {
-    Waiter next = std::move(waiters_.front());
-    waiters_.pop_front();
-    grant_now(std::move(next.grant), next.enqueued);
+  while (waiter_count_ > 0 && in_use_ < capacity_) {
+    grant_from_queue();
   }
 }
 

@@ -7,12 +7,17 @@
 // growing; shrinking is lazy — excess holders finish naturally and the pool
 // re-admits only below the new capacity (this is exactly how the paper's
 // APP-agent adjusts pools "on the fly without interrupting the runtime").
+//
+// Hot path: the uncontended acquire/release pair is a single predictable
+// branch each; waiters live in a power-of-two ring buffer that reallocates
+// only when the high-water mark grows, so steady-state queueing churns no
+// heap memory (std::deque allocates/frees node blocks as it drains).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "metrics/welford.h"
 #include "sim/engine.h"
@@ -24,12 +29,20 @@ class SlotPool {
   /// The engine reference is used only for wait-time accounting.
   SlotPool(sim::Engine& engine, std::string name, int capacity);
 
+  /// Lazy-named variant: the pool's name is `base + suffix`, composed only
+  /// if somebody asks for it. `base` must outlive the pool (Server passes
+  /// its own config_.name) — this keeps string concatenation out of server
+  /// construction, which sits on the VM-churn actuation path.
+  SlotPool(sim::Engine& engine, const std::string& base, const char* suffix, int capacity);
+
   SlotPool(const SlotPool&) = delete;
   SlotPool& operator=(const SlotPool&) = delete;
 
   /// Requests a slot. If one is free the grant callback runs synchronously
   /// (before acquire returns); otherwise the request joins a FIFO queue.
-  void acquire(std::function<void()> grant);
+  /// Grants are SBO EventFn callables — small captures queue and dispatch
+  /// without std::function manager indirection (once per tier visit).
+  void acquire(sim::EventFn grant);
 
   /// Returns a slot; dispatches the next waiter if capacity allows.
   void release();
@@ -44,10 +57,10 @@ class SlotPool {
   /// held/awaited the slots.
   void reset();
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const;
   int capacity() const { return capacity_; }
   int in_use() const { return in_use_; }
-  int queue_length() const { return static_cast<int>(waiters_.size()); }
+  int queue_length() const { return static_cast<int>(waiter_count_); }
 
   /// ∫ in_use dt in seconds — lets a sampler compute the time-weighted mean
   /// concurrency over any window by differencing.
@@ -58,18 +71,27 @@ class SlotPool {
 
  private:
   struct Waiter {
-    std::function<void()> grant;
-    sim::SimTime enqueued;
+    sim::EventFn grant;
+    sim::SimTime enqueued = 0;
   };
 
-  void grant_now(std::function<void()> grant, sim::SimTime enqueued);
+  void enqueue_waiter(sim::EventFn grant);
+  void grant_from_queue();
   void accumulate_integral() const;
 
   sim::Engine* engine_;
-  std::string name_;
+  mutable std::string name_;          // eager name, or lazily composed cache
+  const std::string* name_base_ = nullptr;  // lazy mode only; owner-stable
+  const char* name_suffix_ = "";
   int capacity_;
   int in_use_ = 0;
-  std::deque<Waiter> waiters_;
+
+  // FIFO ring: live waiters occupy [head, head+count) mod size; size is a
+  // power of two and only ever grows.
+  std::vector<Waiter> waiters_;
+  size_t waiter_head_ = 0;
+  size_t waiter_count_ = 0;
+
   uint64_t total_acquired_ = 0;
   metrics::Welford wait_stats_;
 

@@ -1,8 +1,9 @@
 #include "ntier/tier.h"
 
+#include <cstdio>
+
 #include "common/check.h"
 #include "common/logging.h"
-#include "common/strings.h"
 
 namespace dcm::ntier {
 
@@ -27,8 +28,14 @@ void Tier::set_downstream(Tier* tier) {
 }
 
 Vm& Tier::launch_vm(sim::SimTime boot_delay) {
+  // Compose both names in one stack buffer: VM churn under chaos schedules
+  // runs through here, and str_format's format/copy round-trips would put
+  // heap traffic on the actuation path. The stored std::string copies below
+  // are the only (owned, unavoidable) allocations.
+  char name_buf[160];
   ServerConfig server_config = config_.server;
-  server_config.name = str_format("%s-%d", config_.name.c_str(), next_vm_index_);
+  std::snprintf(name_buf, sizeof(name_buf), "%s-%d", config_.name.c_str(), next_vm_index_);
+  server_config.name.assign(name_buf);
   // Later-launched VMs inherit the tier's current soft-resource allocation,
   // not the template's.
   server_config.max_threads = current_stp_;
@@ -38,10 +45,10 @@ Vm& Tier::launch_vm(sim::SimTime boot_delay) {
   auto server = std::make_unique<Server>(*engine_, std::move(server_config), depth_, rng_.fork());
   server->set_downstream(downstream_);
   server->set_subrequest_retry(retry_policy_);
-  auto vm = std::make_unique<Vm>(*engine_, str_format("%s-vm%d", config_.name.c_str(),
-                                                      next_vm_index_),
-                                 std::move(server), boot_delay,
-                                 [this](Vm& v) { on_vm_active(v); });
+  std::snprintf(name_buf, sizeof(name_buf), "%s-vm%d", config_.name.c_str(),
+                next_vm_index_);
+  auto vm = std::make_unique<Vm>(*engine_, std::string(name_buf), std::move(server),
+                                 boot_delay, [this](Vm& v) { on_vm_active(v); });
   ++next_vm_index_;
   vms_.push_back(std::move(vm));
   return *vms_.back();
@@ -155,7 +162,7 @@ Vm* Tier::oldest_active_vm() {
 }
 
 void Tier::record_event(const char* kind, const std::string& detail) {
-  events_.push_back(TierEvent{engine_->now(), kind, detail});
+  events_.push(TierEvent{engine_->now(), kind, detail});
 }
 
 void Tier::enable_health_checks(const HealthCheckConfig& config) {

@@ -13,9 +13,11 @@
 // in-order TierEvent log for the per-fault action trail.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -49,6 +51,59 @@ struct TierEvent {
   sim::SimTime at = 0;
   std::string kind;    // "lb_eject" | "replace_launch"
   std::string detail;  // e.g. the VM id involved
+};
+
+/// Bounded recovery-action log. The old unbounded vector grew for the whole
+/// run, which made an endless chaos soak an unbounded memory leak; the ring
+/// keeps the most recent kCapacity events and counts what it sheds. Every
+/// registered scenario produces far fewer than kCapacity events, so below
+/// the cap the observable sequence (size, order, contents) is identical to
+/// the vector it replaced — result digests are unchanged.
+class TierEventLog {
+ public:
+  static constexpr size_t kCapacity = 1024;
+
+  void push(TierEvent event) {
+    if (ring_.size() < kCapacity) {
+      ring_.push_back(std::move(event));
+      return;
+    }
+    ring_[head_] = std::move(event);  // overwrite the oldest
+    head_ = (head_ + 1) % kCapacity;
+    ++dropped_;
+  }
+
+  /// Events currently retained, oldest first.
+  size_t size() const { return ring_.size(); }
+  /// Oldest events shed to stay within kCapacity.
+  uint64_t dropped() const { return dropped_; }
+  const TierEvent& operator[](size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const TierEventLog* log, size_t i) : log_(log), i_(i) {}
+    const TierEvent& operator*() const { return (*log_)[i_]; }
+    const TierEvent* operator->() const { return &(*log_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& other) const { return i_ != other.i_; }
+    bool operator==(const const_iterator& other) const { return i_ == other.i_; }
+
+   private:
+    const TierEventLog* log_;
+    size_t i_;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, ring_.size()}; }
+
+ private:
+  std::vector<TierEvent> ring_;  // grows once to kCapacity, then wraps
+  size_t head_ = 0;              // index of the oldest retained event
+  uint64_t dropped_ = 0;
 };
 
 class Tier {
@@ -94,8 +149,9 @@ class Tier {
   void enable_health_checks(const HealthCheckConfig& config);
   bool health_checks_enabled() const { return health_enabled_; }
 
-  /// Recovery actions taken so far, in simulation order.
-  const std::vector<TierEvent>& events() const { return events_; }
+  /// Recovery actions taken so far, in simulation order (bounded; see
+  /// TierEventLog).
+  const TierEventLog& events() const { return events_; }
 
   // --- state ---
   const std::string& name() const { return config_.name; }
@@ -157,7 +213,7 @@ class Tier {
   bool health_enabled_ = false;
   HealthCheckConfig health_;
   sim::EventHandle health_event_;
-  std::vector<TierEvent> events_;
+  TierEventLog events_;
 };
 
 }  // namespace dcm::ntier

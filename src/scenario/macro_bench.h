@@ -1,0 +1,68 @@
+// Macro benchmark — end-to-end simulator throughput over registered
+// scenarios.
+//
+// BENCH_micro.json tracks two engine primitives; this suite tracks how fast
+// the simulator actually simulates: engine events per wall-second and
+// simulated seconds per wall-second, measured around `run_experiment` for a
+// fixed set of registry scenarios. Every run's result digest is checked
+// against the registry's pinned reference value, so a "faster" run that
+// changes any reproduced number fails loudly instead of silently shipping a
+// wrong optimisation.
+//
+// Consumed by `tools/dcm_run bench` and `bench/macro_benchmarks`, both of
+// which emit the committed BENCH_macro.json schema (`dcm-bench-v1` suite
+// "macro").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcm::scenario {
+
+struct MacroBenchOptions {
+  /// Scenarios to run; empty = default_macro_suite().
+  std::vector<std::string> scenarios;
+  /// Repetitions per scenario; the reported wall time is the fastest rep
+  /// (the standard best-of discipline — slower reps are scheduler noise).
+  int repetitions = 3;
+  /// Verify each run's result digest against the registry reference.
+  bool verify_digests = true;
+};
+
+struct MacroBenchRow {
+  std::string scenario;
+  int repetitions = 0;
+  double best_wall_seconds = 0.0;
+  /// Engine events dispatched by one run (identical across reps — the
+  /// simulation is deterministic; only the wall clock varies).
+  uint64_t events = 0;
+  double events_per_second = 0.0;
+  /// Configured simulated duration and the time-compression ratio
+  /// (simulated seconds per wall second) — the ROADMAP's 10x metric.
+  double sim_seconds = 0.0;
+  double sim_seconds_per_wall_second = 0.0;
+  uint64_t digest = 0;
+  /// Registry reference (0 = scenario has no pinned digest).
+  uint64_t expected_digest = 0;
+  bool digest_ok = true;
+};
+
+/// The committed trajectory suite: quickstart, fig5, fig5-ec2,
+/// chaos-resilience, trace-attribution.
+const std::vector<std::string>& default_macro_suite();
+
+/// Runs the suite; throws std::runtime_error on unknown scenario names.
+std::vector<MacroBenchRow> run_macro_suite(const MacroBenchOptions& options);
+
+bool all_digests_ok(const std::vector<MacroBenchRow>& rows);
+
+/// dcm-bench-v1 JSON (suite "macro"): one row per scenario with
+/// events/sec, sim-seconds/wall-second and the digest verdict.
+void write_macro_json(std::ostream& out, const std::vector<MacroBenchRow>& rows);
+
+/// Console table for interactive runs.
+void print_macro_table(const std::vector<MacroBenchRow>& rows);
+
+}  // namespace dcm::scenario

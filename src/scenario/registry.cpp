@@ -158,4 +158,31 @@ Scenario get_scenario(const std::string& name) {
   return Scenario::parse(scenario_text(name));
 }
 
+std::optional<uint64_t> expected_result_digest(const std::string& name) {
+  // result_digest of one canonical, override-free run per scenario. These
+  // are bit-for-bit reference values: they were captured before the
+  // slab/arena request-path refactor and must never change as a side effect
+  // of a performance change. Re-capture ONLY when a scenario's definition
+  // or the simulation model itself intentionally changes, and say so in the
+  // commit message.
+  static const std::vector<std::pair<std::string, uint64_t>> kDigests = {
+      {"ablation-soft-only", 5015007590498637810ull},
+      {"ablation-wrong-models", 3915615181683623565ull},
+      {"chaos-resilience", 11487354307476855148ull},
+      {"fig2b", 13818073293857242208ull},
+      {"fig4a", 1906107478622041724ull},
+      {"fig4b", 14887783658272758290ull},
+      {"fig5", 2825516737655928980ull},
+      {"fig5-ec2", 3725650455189126203ull},
+      {"quickstart", 8007654335316031933ull},
+      {"table1-mysql", 9121944041707887455ull},
+      {"table1-tomcat", 12912515698735263347ull},
+      {"trace-attribution", 11860974645080426256ull},
+  };
+  for (const auto& [known, digest] : kDigests) {
+    if (known == name) return digest;
+  }
+  return std::nullopt;
+}
+
 }  // namespace dcm::scenario

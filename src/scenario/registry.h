@@ -7,6 +7,8 @@
 // that tweak one or two fields per point).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,13 @@ namespace dcm::scenario {
 std::vector<std::string> scenario_names();
 
 bool has_scenario(const std::string& name);
+
+/// Expected `result_digest` of one canonical run of the named scenario
+/// (`run_experiment(get_scenario(name).experiment())`, no overrides). The
+/// macro benchmark and the digest regression tests verify against these, so
+/// a hot-path "optimisation" that changes any reproduced number fails
+/// loudly. nullopt for scenarios without a pinned digest.
+std::optional<uint64_t> expected_result_digest(const std::string& name);
 
 /// The registered INI text, verbatim. Throws std::runtime_error on an
 /// unknown name (with the known names listed).

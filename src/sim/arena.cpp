@@ -1,0 +1,15 @@
+#include "sim/arena.h"
+
+namespace dcm::sim {
+
+void* Arena::carve(size_t bytes) {
+  if (chunk_used_ + bytes > kChunkBytes) {
+    chunks_.push_back(std::make_unique<std::byte[]>(kChunkBytes));
+    chunk_used_ = 0;
+  }
+  std::byte* block = chunks_.back().get() + chunk_used_;
+  chunk_used_ += bytes;
+  return block;
+}
+
+}  // namespace dcm::sim

@@ -1,0 +1,143 @@
+// Size-bucketed free-list arena for hot-path simulation objects.
+//
+// The request path allocates and frees the same small control blocks
+// (RequestContext + its shared_ptr control block) millions of times per run.
+// A general-purpose heap pays lock/metadata costs and fragments; this arena
+// hands out 16-byte-granular blocks carved from large chunks and recycles
+// freed blocks through per-size free lists, so steady state performs ZERO
+// calls into the global allocator.
+//
+// Design:
+//  - Blocks <= kMaxBucketBytes round up to a 16-byte bucket. Each bucket is
+//    an intrusive singly-linked free list threaded through the freed blocks
+//    themselves (a freed block stores the next pointer in its first 8 bytes).
+//  - A bucket miss bump-allocates from the current chunk; a chunk miss
+//    reserves a fresh kChunkBytes chunk. Chunks are only released when the
+//    arena is destroyed — freed blocks go back to the bucket, never to the
+//    chunk, which keeps deallocation O(1) and branch-free.
+//  - Oversized or over-aligned requests fall through to the global heap so
+//    the arena never has to say no.
+//
+// Thread safety: none, by design. Each sim::Engine owns one Arena and the
+// engine is single-threaded; parallel sweeps give every run its own engine
+// (and therefore its own arena).
+//
+// Lifetime: the arena must outlive every block it handed out. sim::Engine
+// declares its arena as the FIRST data member so it is destroyed last, after
+// the event queue has released any callbacks still holding arena-backed
+// shared_ptrs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dcm::sim {
+
+class Arena {
+ public:
+  static constexpr size_t kAlign = 16;
+  static constexpr size_t kMaxBucketBytes = 512;
+  static constexpr size_t kChunkBytes = 64 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a block of at least `bytes` bytes, aligned to kAlign. Blocks up
+  /// to kMaxBucketBytes recycle through the free lists; larger ones hit the
+  /// global heap.
+  void* allocate(size_t bytes) {
+    if (bytes == 0) bytes = 1;
+    if (bytes > kMaxBucketBytes) {
+      ++oversized_live_;
+      return ::operator new(bytes);  // dcm-lint: allow(no-raw-new-in-hot-path)
+    }
+    const size_t bucket = (bytes + kAlign - 1) / kAlign - 1;
+    void* head = free_lists_[bucket];
+    if (head != nullptr) {
+      free_lists_[bucket] = *static_cast<void**>(head);
+      return head;
+    }
+    return carve((bucket + 1) * kAlign);
+  }
+
+  /// Returns a block obtained from allocate(). `bytes` must match the
+  /// original request (the STL allocator contract guarantees this).
+  void deallocate(void* ptr, size_t bytes) {
+    if (bytes == 0) bytes = 1;
+    if (bytes > kMaxBucketBytes) {
+      --oversized_live_;
+      ::operator delete(ptr);  // dcm-lint: allow(no-raw-new-in-hot-path)
+      return;
+    }
+    const size_t bucket = (bytes + kAlign - 1) / kAlign - 1;
+    *static_cast<void**>(ptr) = free_lists_[bucket];
+    free_lists_[bucket] = ptr;
+  }
+
+  /// Chunks reserved so far. Steady state: stops growing after warmup.
+  size_t chunks() const { return chunks_.size(); }
+  /// Total bytes reserved from the global heap for bucketed blocks.
+  size_t bytes_reserved() const { return chunks_.size() * kChunkBytes; }
+  /// Oversized blocks currently live (diagnostic; should stay ~0).
+  int64_t oversized_live() const { return oversized_live_; }
+
+ private:
+  static constexpr size_t kBucketCount = kMaxBucketBytes / kAlign;
+
+  /// Cold path: bump-allocate `bytes` (already rounded to kAlign) from the
+  /// current chunk, reserving a new chunk when it runs dry.
+  void* carve(size_t bytes);
+
+  void* free_lists_[kBucketCount] = {};
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  size_t chunk_used_ = kChunkBytes;  // forces a reserve on first carve
+  int64_t oversized_live_ = 0;
+};
+
+/// Minimal STL allocator over an Arena, for std::allocate_shared of
+/// hot-path objects. Copies are cheap (one pointer); all copies and rebinds
+/// of an allocator compare equal when they share the arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) { DCM_CHECK(arena != nullptr); }
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    if (alignof(T) > Arena::kAlign) {
+      // Over-aligned types bypass the arena; keep the hot path simple.
+      return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t(alignof(T))));  // dcm-lint: allow(no-raw-new-in-hot-path)
+    }
+    return static_cast<T*>(arena_->allocate(n * sizeof(T)));
+  }
+  void deallocate(T* ptr, size_t n) {
+    if (alignof(T) > Arena::kAlign) {
+      ::operator delete(ptr, std::align_val_t(alignof(T)));  // dcm-lint: allow(no-raw-new-in-hot-path)
+      return;
+    }
+    arena_->deallocate(ptr, n * sizeof(T));
+  }
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace dcm::sim

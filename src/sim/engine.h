@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/arena.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -47,6 +48,10 @@ class Engine {
   /// Number of events dispatched so far (for microbenches/diagnostics).
   uint64_t events_dispatched() const { return dispatched_; }
 
+  /// Run-scoped allocation arena for hot-path objects (request contexts and
+  /// friends). Everything allocated from it must die before the engine does.
+  Arena& arena() { return arena_; }
+
  private:
   friend class EventHandle;
   static constexpr uint32_t kNilSlot = 0xffffffffu;
@@ -69,6 +74,9 @@ class Engine {
   void cancel_periodic(uint32_t slot, uint32_t generation);
   uint32_t alloc_periodic_slot();
 
+  // First member on purpose: destroyed LAST, after queue_ has released any
+  // pending callbacks that still hold arena-backed shared_ptrs.
+  Arena arena_;
   EventQueue queue_;
   SimTime now_ = 0;
   uint64_t dispatched_ = 0;

@@ -24,24 +24,22 @@ void EventQueue::cancel(uint32_t slot, uint32_t generation) {
   free_slot(slot);
 }
 
-bool EventQueue::empty() {
-  drop_cancelled();
-  return heap_.empty();
-}
+bool EventQueue::empty() { return min_front() == nullptr; }
 
 SimTime EventQueue::next_time() {
-  drop_cancelled();
-  DCM_CHECK_MSG(!heap_.empty(), "next_time on empty queue");
-  return heap_.front().time;
+  std::vector<Entry>* h = min_front();
+  DCM_CHECK_MSG(h != nullptr, "next_time on empty queue");
+  return h->front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled();
-  DCM_CHECK_MSG(!heap_.empty(), "pop on empty queue");
-  const Entry top = heap_.front();
+  std::vector<Entry>* h = min_front();
+  DCM_CHECK_MSG(h != nullptr, "pop on empty queue");
+  const Entry top = h->front();
   Popped out{top.time, std::move(slots_[top.slot].fn)};
   free_slot(top.slot);  // generation bump makes a late cancel() a no-op
-  remove_front();
+  now_floor_ = top.time;
+  remove_front(*h);
   return out;
 }
 

@@ -178,12 +178,22 @@ class EventHandle {
 class EventQueue {
  public:
   /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
+  ///
+  /// Two-band storage: entries land in the near or far heap depending on how
+  /// far past the last dispatched time they aim. A pop takes the global
+  /// (time, seq) minimum across both fronts, so dispatch order is exactly
+  /// that of a single heap — the band split only changes which vector an
+  /// entry sifts through. The payoff: ms-scale churn (CPU completions,
+  /// network hops — scheduled and popped constantly) sifts through a heap of
+  /// tens of entries instead of one inflated by every pending think-time and
+  /// periodic timer, which cuts the per-event compare/copy depth.
   EventHandle schedule(SimTime at, EventFn fn) {
     const uint32_t slot = alloc_slot();
     Slot& s = slots_[slot];
     s.fn = std::move(fn);
-    heap_.push_back(Entry{at, next_seq_++, slot, s.generation});
-    sift_up(heap_.size() - 1);
+    std::vector<Entry>& h = (at - now_floor_) > kFarDelay ? far_ : near_;
+    h.push_back(Entry{at, next_seq_++, slot, s.generation});
+    sift_up(h, h.size() - 1);
     return EventHandle(this, slot, s.generation, EventHandle::Kind::kEvent);
   }
 
@@ -191,10 +201,10 @@ class EventQueue {
   /// the front as a side effect, hence non-const.
   bool empty();
 
-  /// Number of entries still in the heap — an upper bound on live events
+  /// Number of entries still in the heaps — an upper bound on live events
   /// (cancelled entries buried below the front are counted until they
   /// surface).
-  size_t pending_upper_bound() const { return heap_.size(); }
+  size_t pending_upper_bound() const { return near_.size() + far_.size(); }
 
   /// Timestamp of the earliest live event; requires !empty().
   SimTime next_time();
@@ -211,13 +221,14 @@ class EventQueue {
   /// the queue is empty or the next event is beyond the horizon. Does the
   /// lazy-cancellation purge exactly once.
   bool pop_until(SimTime horizon, Popped& out) {
-    drop_cancelled();
-    if (heap_.empty() || heap_.front().time > horizon) return false;
-    const Entry top = heap_.front();
+    std::vector<Entry>* h = min_front();
+    if (h == nullptr || h->front().time > horizon) return false;
+    const Entry top = h->front();
     out.time = top.time;
     out.fn = std::move(slots_[top.slot].fn);
     free_slot(top.slot);
-    remove_front();
+    now_floor_ = top.time;
+    remove_front(*h);
     return true;
   }
 
@@ -228,6 +239,13 @@ class EventQueue {
  private:
   static constexpr size_t kArity = 4;  // 4-ary heap: shallower, cache-friendlier
   static constexpr uint32_t kNilSlot = 0xffffffffu;
+  /// Band boundary for the near/far heap split: events aiming further than
+  /// this past the last dispatched time go to the far heap. 200ms cleanly
+  /// separates the simulator's two event populations — sub-ms service/
+  /// network churn vs. second-scale think times, periodic monitors, and VM
+  /// boots. Band choice never affects pop order (the pop takes the global
+  /// minimum), so the constant only tunes locality.
+  static constexpr SimTime kFarDelay = 200'000'000;  // 200ms in ns
 
   // POD heap entry; the callable stays in the slab so sifts copy 24 bytes.
   struct Entry {
@@ -263,49 +281,64 @@ class EventQueue {
     free_head_ = slot;
   }
 
-  void sift_up(size_t i) {
-    const Entry e = heap_[i];
+  void sift_up(std::vector<Entry>& h, size_t i) {
+    const Entry e = h[i];
     while (i > 0) {
       const size_t parent = (i - 1) / kArity;
-      if (!before(e, heap_[parent])) break;
-      heap_[i] = heap_[parent];
+      if (!before(e, h[parent])) break;
+      h[i] = h[parent];
       i = parent;
     }
-    heap_[i] = e;
+    h[i] = e;
   }
 
-  void sift_down(size_t i) {
-    const size_t n = heap_.size();
-    const Entry e = heap_[i];
+  void sift_down(std::vector<Entry>& h, size_t i) {
+    const size_t n = h.size();
+    const Entry e = h[i];
     for (;;) {
       const size_t first = i * kArity + 1;
       if (first >= n) break;
       size_t best = first;
       const size_t last = first + kArity < n ? first + kArity : n;
       for (size_t c = first + 1; c < last; ++c) {
-        if (before(heap_[c], heap_[best])) best = c;
+        if (before(h[c], h[best])) best = c;
       }
-      if (!before(heap_[best], e)) break;
-      heap_[i] = heap_[best];
+      if (!before(h[best], e)) break;
+      h[i] = h[best];
       i = best;
     }
-    heap_[i] = e;
+    h[i] = e;
   }
 
-  void remove_front() {
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+  void remove_front(std::vector<Entry>& h) {
+    h.front() = h.back();
+    h.pop_back();
+    if (!h.empty()) sift_down(h, 0);
   }
 
-  void drop_cancelled() {
-    while (!heap_.empty() && !live(heap_.front())) {
-      remove_front();
+  void drop_cancelled(std::vector<Entry>& h) {
+    while (!h.empty() && !live(h.front())) {
+      remove_front(h);
     }
   }
 
-  std::vector<Entry> heap_;
+  /// Purges dead fronts and returns the heap holding the globally earliest
+  /// live entry by (time, seq) — nullptr when both bands are drained. This
+  /// is the merge point that makes the band split invisible to callers.
+  std::vector<Entry>* min_front() {
+    drop_cancelled(near_);
+    drop_cancelled(far_);
+    if (near_.empty()) return far_.empty() ? nullptr : &far_;
+    if (far_.empty() || before(near_.front(), far_.front())) return &near_;
+    return &far_;
+  }
+
+  std::vector<Entry> near_;
+  std::vector<Entry> far_;
   std::vector<Slot> slots_;
+  /// Time of the last popped event — a monotone floor of "now" used to band
+  /// incoming schedules by delay without a back-pointer to the engine.
+  SimTime now_floor_ = 0;
   uint32_t free_head_ = kNilSlot;
   uint64_t next_seq_ = 0;
 };

@@ -9,8 +9,8 @@
 namespace dcm::workload {
 
 RequestFactory catalog_factory(const ServletCatalog& catalog) {
-  return [&catalog](uint64_t id, Rng& rng, sim::SimTime now) {
-    return catalog.make_request(id, catalog.sample(rng), now);
+  return [&catalog](sim::Arena* arena, uint64_t id, Rng& rng, sim::SimTime now) {
+    return catalog.make_request(id, catalog.sample(rng), now, arena);
   };
 }
 
@@ -54,13 +54,20 @@ void ClosedLoopGenerator::spawn_user(int user_index, sim::SimTime initial_delay)
   engine_->schedule_after(initial_delay, [this, user_index] { user_cycle(user_index); });
 }
 
+ClosedLoopGenerator::UserSlot& ClosedLoopGenerator::user_slot(int user_index) {
+  if (static_cast<size_t>(user_index) >= users_.size()) {
+    users_.resize(static_cast<size_t>(user_index) + 1);
+  }
+  return users_[static_cast<size_t>(user_index)];
+}
+
 void ClosedLoopGenerator::user_cycle(int user_index, double prior_think) {
   if (!running_ || live_users_ > target_users_) {
     --live_users_;
     return;
   }
   const sim::SimTime issued = engine_->now();
-  auto request = factory_(app_->next_request_id(), rng_, issued);
+  auto request = factory_(&engine_->arena(), app_->next_request_id(), rng_, issued);
   const int servlet = request->servlet;
   if (tracer_ != nullptr) {
     request->trace = tracer_->maybe_sample(request->id, servlet, issued);
@@ -75,17 +82,24 @@ void ClosedLoopGenerator::user_cycle(int user_index, double prior_think) {
     return;
   }
   // Legacy path — byte-for-byte the pre-resilience behaviour when no retry
-  // policy is configured. The raw TraceContext pointer (kept alive by the
-  // Tracer) costs one lambda slot; it is null for every untraced request.
-  trace::TraceContext* tr = request->trace.get();
-  app_->submit(request, [this, user_index, issued, servlet, tr](bool ok) {
+  // policy is configured. In-flight per-user state (issue time, servlet,
+  // the raw TraceContext pointer kept alive by the Tracer) lives in the
+  // user's slot so the completion lambda is [this, user_index] — 16 bytes,
+  // inside std::function's inline buffer: issuing a request allocates
+  // nothing.
+  UserSlot& slot = user_slot(user_index);
+  slot.issued = issued;
+  slot.servlet = servlet;
+  slot.trace = request->trace.get();
+  app_->submit(request, [this, user_index](bool ok) {
+    const UserSlot& done = users_[static_cast<size_t>(user_index)];
     const sim::SimTime now = engine_->now();
     if (ok) {
-      stats_.record_completion(now, sim::to_seconds(now - issued), servlet);
+      stats_.record_completion(now, sim::to_seconds(now - done.issued), done.servlet);
     } else {
       stats_.record_error(now);
     }
-    if (tr != nullptr) tr->finalize(now, ok);
+    if (done.trace != nullptr) done.trace->finalize(now, ok);
     const double think = think_time_ ? think_time_->sample(rng_) : 0.0;
     // Always reschedule through the engine — a zero think time must not
     // recurse synchronously.

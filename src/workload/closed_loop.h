@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "ntier/app.h"
 #include "sim/distributions.h"
@@ -26,9 +27,12 @@ class Tracer;
 
 namespace dcm::workload {
 
-/// Builds the next request a user issues.
-using RequestFactory =
-    std::function<ntier::RequestPtr(uint64_t id, Rng& rng, sim::SimTime now)>;
+/// Builds the next request a user issues. `arena` is the owning engine's
+/// run-scoped arena (never null from the generators); factories should pass
+/// it to make_request_context so per-request storage recycles instead of
+/// hitting the global heap.
+using RequestFactory = std::function<ntier::RequestPtr(sim::Arena* arena, uint64_t id,
+                                                       Rng& rng, sim::SimTime now)>;
 
 /// Factory drawing servlets from a catalog (the standard 3-tier workload).
 /// The catalog must outlive the returned factory.
@@ -102,6 +106,19 @@ class ClosedLoopGenerator {
                          sim::SimTime first_issued, int attempt);
   void finish_cycle(int user_index);
 
+  /// Per-user in-flight state for the legacy (no-retry) path. Keeping it
+  /// here instead of in the completion lambda shrinks that lambda to
+  /// [this, user_index] — 16 bytes, inside std::function's inline buffer —
+  /// so issuing a request performs no heap allocation. Indexed by user id;
+  /// a user has at most one request in flight, and ids are never reused by
+  /// concurrent cycles.
+  struct UserSlot {
+    sim::SimTime issued = 0;
+    int servlet = -1;
+    trace::TraceContext* trace = nullptr;
+  };
+  UserSlot& user_slot(int user_index);
+
   sim::Engine* engine_;
   ntier::NTierApp* app_;
   RequestFactory factory_;
@@ -115,6 +132,7 @@ class ClosedLoopGenerator {
   int target_users_ = 0;
   int live_users_ = 0;  // users currently looping (in-flight or thinking)
   int next_user_id_ = 0;
+  std::vector<UserSlot> users_;
   ClientStats stats_;
 };
 

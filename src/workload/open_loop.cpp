@@ -43,7 +43,7 @@ void OpenLoopGenerator::arm_next_arrival() {
 void OpenLoopGenerator::on_arrival() {
   if (!running_) return;
   const sim::SimTime issued = engine_->now();
-  auto request = factory_(app_->next_request_id(), rng_, issued);
+  auto request = factory_(&engine_->arena(), app_->next_request_id(), rng_, issued);
   const int servlet = request->servlet;
   ++outstanding_;
   app_->submit(request, [this, issued, servlet](bool ok) {

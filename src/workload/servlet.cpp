@@ -89,10 +89,10 @@ size_t ServletCatalog::sample(Rng& rng) const {
 }
 
 ntier::RequestPtr ServletCatalog::make_request(uint64_t id, size_t servlet_index,
-                                               sim::SimTime now) const {
+                                               sim::SimTime now, sim::Arena* arena) const {
   DCM_CHECK(servlet_index < servlets_.size());
   const Servlet& s = servlets_[servlet_index];
-  auto req = std::make_shared<ntier::RequestContext>();
+  auto req = ntier::make_request_context(arena);
   req->id = id;
   req->servlet = static_cast<int>(servlet_index);
   req->created = now;

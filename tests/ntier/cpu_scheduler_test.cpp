@@ -205,6 +205,33 @@ TEST(CpuSchedulerTest, ThreadCountChangeReshapesServiceRate) {
   EXPECT_TRUE(done);
 }
 
+TEST(CpuSchedulerTest, MillionEventRunReanchorsFpDrift) {
+  // Regression for the advance() FP-drift fix: work_done_ and virtual_clock_
+  // grow by repeated rate·dt increments, which pick up both FP rounding at
+  // large clock magnitudes and the deterministic nanosecond-ceil slack per
+  // completion (~0.5 ns/job of phantom work while the completion event
+  // waits for its whole-ns fire tick). A million sequential 1/3-second jobs
+  // (1/3 is not representable in binary) cross kReanchorVirtualClock
+  // thousands of times; each idle re-anchor snaps work_done() back to the
+  // exact completed-work sum. Without it the ceil bias alone accumulates
+  // ~5e-4 s of drift — an order of magnitude past this tolerance.
+  sim::Engine engine;
+  CpuScheduler cpu(engine, ideal_cpu(0.010));
+  cpu.set_thread_count(1);
+  constexpr int kJobs = 1'000'000;
+  constexpr double kWork = 1.0 / 3.0;
+  int completed = 0;
+  std::function<void()> next = [&] {
+    ++completed;
+    if (completed < kJobs) cpu.submit(kWork, [&] { next(); });
+  };
+  cpu.submit(kWork, [&] { next(); });
+  engine.run_to_completion();
+  EXPECT_EQ(completed, kJobs);
+  EXPECT_EQ(cpu.jobs_completed(), static_cast<uint64_t>(kJobs));
+  EXPECT_NEAR(cpu.work_done(), kJobs * kWork, 1e-4);
+}
+
 TEST(CpuSchedulerTest, ParameterizedThroughputCurveIsUnimodal) {
   const CpuModelConfig cpu_config = core::tomcat_cpu_model();
   // Discrete scan: strictly rising to the knee region then falling.

@@ -1,0 +1,45 @@
+// Digest-equality regression against the registry's pinned values.
+//
+// Each scenario in the macro benchmark suite (plus the reproduction figures)
+// is run end to end and its result_digest compared to the value committed in
+// the registry. This is the test that makes hot-path "optimisations" honest:
+// the request-slab/arena refactor, the CPU-scheduler batching, and every
+// future event-loop change must reproduce the pre-refactor trajectories bit
+// for bit or fail here by name.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.h"
+#include "scenario/registry.h"
+#include "scenario/result_writer.h"
+
+namespace dcm::scenario {
+namespace {
+
+class RegistryDigestTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegistryDigestTest, CanonicalRunMatchesPinnedDigest) {
+  const std::string name = GetParam();
+  const auto expected = expected_result_digest(name);
+  ASSERT_TRUE(expected.has_value()) << name << " has no pinned digest";
+  const core::ExperimentResult result =
+      core::run_experiment(get_scenario(name).experiment());
+  EXPECT_EQ(result_digest(result), *expected)
+      << name << ": trajectory diverged from the registry's pinned digest";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MacroSuite, RegistryDigestTest,
+    ::testing::Values("quickstart", "fig2b", "fig4a", "fig4b", "fig5",
+                      "fig5-ec2", "chaos-resilience", "trace-attribution"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string n = info.param;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace dcm::scenario

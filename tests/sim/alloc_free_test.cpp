@@ -10,9 +10,13 @@
 #include <array>
 #include <atomic>
 #include <cstdlib>
+#include <functional>
 #include <new>
 #include <vector>
 
+#include "core/topologies.h"
+#include "ntier/app.h"
+#include "ntier/request.h"
 #include "sim/engine.h"
 
 namespace {
@@ -117,6 +121,47 @@ TEST(AllocationFreeTest, ExactCapacityCaptureIsAllocationFree) {
     engine.run_until(t);
   }
   EXPECT_EQ(allocations(), before);
+}
+
+TEST(AllocationFreeTest, ThreeTierRoundTripIsAllocationFreeAtSteadyState) {
+  // End-to-end pin on the request-slab/arena refactor: once the event slab,
+  // the per-server visit slabs, and the request arena have grown to the
+  // working set, a full web → app → db round trip (request construction,
+  // worker/connection admission, CPU spans on all three tiers, and the
+  // response path back) must not touch the global allocator.
+  // The driver captures a single pointer so its own DoneFn stays inside
+  // std::function's SBO — the test must not allocate on its own behalf.
+  struct Driver {
+    Engine& engine;
+    ntier::NTierApp& app;
+    uint64_t completed = 0;
+    uint64_t issued = 0;
+    void issue() {
+      ntier::RequestPtr request = ntier::make_request_context(&engine.arena());
+      request->id = ++issued;
+      request->created = engine.now();
+      request->demand_scale = {1.0, 1.0, 1.0};
+      request->downstream_calls = {1, 2, 0};  // 1 AJP call, 2 DB queries
+      app.submit(request, [this](bool ok) {
+        EXPECT_TRUE(ok);
+        ++completed;
+        if (issued < 1200) issue();
+      });
+    }
+  };
+  Engine engine;
+  ntier::NTierApp app(engine, core::rubbos_app_config({1, 1, 1}, {1000, 100, 80}));
+  Driver driver{engine, app};
+  driver.issue();  // sequential round trips: each completion issues the next
+  engine.run_until(sim::from_seconds(5.0));
+  // ~115 sequential trips complete in 5 sim-seconds — more than enough to
+  // grow every slab to the working set (concurrency is 1 throughout).
+  ASSERT_GE(driver.completed, 100u) << "warm-up did not complete";
+  const uint64_t before = allocations();
+  engine.run_to_completion();
+  EXPECT_EQ(allocations(), before)
+      << "steady-state request round trips allocated";
+  EXPECT_EQ(driver.completed, 1200u);
 }
 
 TEST(AllocationFreeTest, OversizedCapturesHeapBoxButStillWork) {

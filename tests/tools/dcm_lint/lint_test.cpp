@@ -143,9 +143,20 @@ TEST(DcmLintTest, RawNewCleanFileIsClean) {
   EXPECT_TRUE(lint_fixture("raw_new_clean.cc", "src/sim/node_pool.cc").empty());
 }
 
-TEST(DcmLintTest, RawNewScopedToSimCore) {
-  // Outside src/sim the allocation-free invariant does not apply.
-  EXPECT_TRUE(lint_fixture("raw_new_fire.cc", "src/ntier/node_pool.cc").empty());
+TEST(DcmLintTest, RawNewCoversRequestPath) {
+  // The allocation-free invariant extends through the tier/server request
+  // path: src/ntier is in scope alongside src/sim.
+  const auto diags = lint_fixture("raw_new_fire.cc", "src/ntier/node_pool.cc");
+  EXPECT_EQ(findings(diags), (Expected{{"no-raw-new-in-hot-path", 8},
+                                       {"no-raw-new-in-hot-path", 10}}));
+}
+
+TEST(DcmLintTest, RawNewScopedToHotPath) {
+  // Outside the sim core and the request path (e.g. the model fitter, which
+  // runs once per control period, not per event) the invariant does not
+  // apply.
+  EXPECT_TRUE(lint_fixture("raw_new_fire.cc", "src/model/trainer.cc").empty());
+  EXPECT_TRUE(lint_fixture("raw_new_fire.cc", "src/workload/servlet.cc").empty());
 }
 
 // --- suppression comments --------------------------------------------------

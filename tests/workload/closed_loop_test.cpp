@@ -102,7 +102,7 @@ TEST_F(ClosedLoopTest, DeterministicAcrossRuns) {
 
 TEST_F(ClosedLoopTest, CustomFactoryIsUsed) {
   int calls = 0;
-  RequestFactory factory = [&](uint64_t id, Rng&, sim::SimTime now) {
+  RequestFactory factory = [&](sim::Arena*, uint64_t id, Rng&, sim::SimTime now) {
     ++calls;
     auto req = std::make_shared<ntier::RequestContext>();
     req->id = id;

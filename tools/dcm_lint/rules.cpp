@@ -295,14 +295,17 @@ class NoFloatEq final : public Rule {
 
 // ---------------------------------------------------------------------------
 // no-raw-new-in-hot-path: PR 1 made the event core allocation-free at steady
-// state; raw new/delete in src/sim would quietly reintroduce per-event
-// allocations. Placement new for SBO internals is expected to carry an
-// explicit allow() suppression.
+// state, and the request-slab/arena refactor extended that guarantee through
+// the tier/server request path; raw new/delete in src/sim or src/ntier would
+// quietly reintroduce per-event or per-request allocations. Placement new for
+// SBO/slab internals is expected to carry an explicit allow() suppression.
 
 class NoRawNewInHotPath final : public Rule {
  public:
   std::string_view id() const override { return "no-raw-new-in-hot-path"; }
-  bool applies_to(std::string_view path) const override { return under(path, "src/sim/"); }
+  bool applies_to(std::string_view path) const override {
+    return under(path, "src/sim/") || under(path, "src/ntier/");
+  }
 
   void run(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
     const auto& ts = ctx.tokens;
