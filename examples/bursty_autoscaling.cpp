@@ -14,7 +14,7 @@
 #include <fstream>
 #include <string>
 
-#include "core/dcm.h"
+#include "dcm.h"
 
 using namespace dcm;
 

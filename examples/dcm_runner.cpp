@@ -22,7 +22,7 @@
 #include <exception>
 #include <fstream>
 
-#include "core/dcm.h"
+#include "dcm.h"
 
 using namespace dcm;
 

@@ -11,7 +11,7 @@
 
 #include "bus/broker.h"
 #include "control/ec2_autoscale.h"
-#include "core/dcm.h"
+#include "dcm.h"
 
 using namespace dcm;
 

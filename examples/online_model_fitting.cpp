@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "bus/consumer.h"
-#include "core/dcm.h"
+#include "dcm.h"
 
 using namespace dcm;
 

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/dcm.h"
+#include "dcm.h"
 
 using namespace dcm;
 

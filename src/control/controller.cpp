@@ -83,9 +83,11 @@ std::vector<TierObservation> ControllerBase::aggregate() {
     if (s.depth < 0 || static_cast<size_t>(s.depth) >= out.size()) continue;
     TierObservation& obs = out[static_cast<size_t>(s.depth)];
     ++obs.samples;
-    obs.mean_util += s.cpu_util;
-    obs.mean_concurrency += s.concurrency;
-    obs.mean_throughput += s.throughput;
+    // `out` is value-initialized above, so these sums start from zero every
+    // call; there is no cross-call accumulator to drift.
+    obs.mean_util += s.cpu_util;          // dcm-lint: allow(no-unanchored-float-accumulate)
+    obs.mean_concurrency += s.concurrency;  // dcm-lint: allow(no-unanchored-float-accumulate)
+    obs.mean_throughput += s.throughput;  // dcm-lint: allow(no-unanchored-float-accumulate)
     // Weight response time by completions so idle seconds don't dilute it.
     obs.mean_response_time += s.avg_response_time * s.throughput;
     rt_weight[static_cast<size_t>(s.depth)] += s.throughput;

@@ -35,9 +35,9 @@ std::vector<MacroBenchRow> run_macro_suite(const MacroBenchOptions& options) {
     for (int rep = 0; rep < reps; ++rep) {
       // The macro benchmark's whole job is measuring wall time around a
       // deterministic run — the one legitimate wall-clock consumer here.
-      const auto start = std::chrono::steady_clock::now();  // dcm-lint: allow(no-wall-clock)
+      const auto start = std::chrono::steady_clock::now();
       const core::ExperimentResult result = core::run_experiment(config);
-      const auto stop = std::chrono::steady_clock::now();  // dcm-lint: allow(no-wall-clock)
+      const auto stop = std::chrono::steady_clock::now();
       const double wall = std::chrono::duration<double>(stop - start).count();
       if (rep == 0 || wall < row.best_wall_seconds) row.best_wall_seconds = wall;
       // The run is deterministic: events and digest are rep-invariant, so

@@ -12,7 +12,8 @@ ServletCatalog::ServletCatalog(std::vector<Servlet> servlets) : servlets_(std::m
   for (const auto& s : servlets_) {
     DCM_CHECK(s.weight >= 0.0);
     DCM_CHECK(s.db_queries >= 0);
-    total_weight_ += s.weight;
+    // Construction-time sum over a fixed-order vector; never updated again.
+    total_weight_ += s.weight;  // dcm-lint: allow(no-unanchored-float-accumulate)
     cumulative_.push_back(total_weight_);
   }
   DCM_CHECK_MSG(total_weight_ > 0.0, "mix has no weighted servlet");

@@ -1,0 +1,20 @@
+// Fixture: call-graph reachability — the allocation lives in a free helper,
+// but a hot-path seed method (`EventQueue::pop`) calls it, so the helper is
+// hot by transitivity and the rule fires there.
+struct Job {
+  int id = 0;
+};
+
+Job* make_job(int id);
+
+class EventQueue {
+ public:
+  Job* pop() { return make_job(next_++); }
+
+ private:
+  int next_ = 0;
+};
+
+Job* make_job(int id) {
+  return new Job{id};
+}

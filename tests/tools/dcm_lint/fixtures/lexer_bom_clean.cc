@@ -1,0 +1,3 @@
+﻿// Fixture: UTF-8 BOM negative — a BOM must not desync comment positions:
+// the trailing allow() below still suppresses its own line.
+bool f(double x) { return x == 0.0; }  // dcm-lint: allow(no-float-eq)

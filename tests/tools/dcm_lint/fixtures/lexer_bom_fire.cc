@@ -1,0 +1,3 @@
+﻿// Fixture: UTF-8 BOM handling — the BOM must be skipped, not lexed as stray
+// punctuation; the comparison on line 3 fires at its true line.
+bool f(double x) { return x == 0.0; }

@@ -1,0 +1,5 @@
+// Fixture: lexer digit-separator negative — separated literals and a real
+// char literal right after them lex cleanly, with no finding.
+long kBig = 2'000'000;
+char kSep = ',';
+unsigned kMask = 0xFF'FF'00'00;

@@ -1,0 +1,5 @@
+// Fixture: lexer digit-separator handling — the ' in 1'000'000 is part of
+// the number, not a char-literal open; the comparison on line 5 still fires.
+long kBig = 1'000'000;
+double kRate = 12'345.678'9;
+bool f(double x) { return x == 0.0; }

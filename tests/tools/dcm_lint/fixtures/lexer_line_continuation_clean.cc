@@ -1,0 +1,4 @@
+// Fixture: line-continuation negative -- everything spliced into the
+// comment is comment, including violation-looking text. \
+   x == 0.0 rand() time(nullptr) assert(1)
+int ok = 1;

@@ -1,0 +1,4 @@
+// Fixture: line-continuation handling -- the backslash splices line 3 into
+// this comment, so the comparison on line 4 fires at its true line. \
+this text is still comment: rand() time(nullptr)
+bool f(double x) { return x == 0.0; }

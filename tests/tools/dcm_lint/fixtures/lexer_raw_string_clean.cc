@@ -1,0 +1,4 @@
+// Fixture: lexer raw-string negative — violation-looking text inside a
+// delimited raw string is string content, not code.
+const char* kDoc = R"delim(x == 0.0, rand(), time(nullptr), assert(true))delim";
+const char* kMore = R"(unbalanced " quote and ) paren)";

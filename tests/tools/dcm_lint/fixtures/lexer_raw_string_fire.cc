@@ -1,0 +1,4 @@
+// Fixture: lexer raw-string handling — the embedded quote and parens must
+// not end the literal early, so the comparison after it fires at line 4.
+const char* kDoc = R"(a "quoted" bit with (parens) and fake x == 0.0 text)";
+bool f(double x) { return x == 0.0; }

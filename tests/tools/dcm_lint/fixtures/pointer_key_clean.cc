@@ -1,0 +1,17 @@
+// Fixture: no-pointer-keyed-order negative — ordered containers keyed on
+// stable ids, pointer *values* (not keys), and pointer-keyed unordered
+// lookups (no iteration-order exposure; iterating one is
+// no-unordered-iteration's business) are all fine.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+struct Vm {
+  int id = 0;
+};
+
+std::map<int, double> utilization_by_id;
+std::map<std::string, Vm*> vm_by_name;
+std::set<std::pair<int, int>> edges;
+std::unordered_map<const Vm*, double> scratch_lookup;

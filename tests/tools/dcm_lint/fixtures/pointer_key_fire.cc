@@ -1,0 +1,12 @@
+// Fixture: no-pointer-keyed-order positive — ordered containers keyed on a
+// pointer sort by address, which ASLR reshuffles every run.
+#include <map>
+#include <set>
+
+struct Vm {
+  int id = 0;
+};
+
+std::map<Vm*, double> utilization_by_vm;
+std::set<const Vm*> draining;
+std::multimap<Vm*, int> events_by_vm;

@@ -1,13 +1,16 @@
 // Fixture: no-ambient-randomness positive — nondeterministic seeds and the
-// C PRNG break bit-for-bit replay.
+// C PRNG break bit-for-bit replay. `CpuScheduler` is a hot-path seed.
 #include <cstdlib>
 #include <random>
 
-unsigned nondeterministic_seed() {
-  std::random_device rd;
-  return rd();
-}
+class CpuScheduler {
+ public:
+  unsigned nondeterministic_seed() {
+    std::random_device rd;
+    return rd();
+  }
 
-void seed_c_prng(unsigned s) { srand(s); }
+  void seed_c_prng(unsigned s) { srand(s); }
 
-int c_draw() { return rand() % 6; }
+  int c_draw() { return rand() % 6; }
+};

@@ -1,0 +1,13 @@
+// Fixture: no-raw-new-in-hot-path negative — the identical allocation in a
+// free function nothing on the hot path calls. Cold allocation (config
+// parsing, one-shot setup) is fine even inside src/sim.
+struct Node {
+  int value = 0;
+};
+
+int heap_round_trip(int v) {
+  Node* node = new Node{v};
+  const int out = node->value;
+  delete node;
+  return out;
+}

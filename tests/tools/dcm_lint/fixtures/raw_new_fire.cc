@@ -1,12 +1,15 @@
-// Fixture: no-raw-new-in-hot-path positive — per-event heap churn in the
-// sim core.
+// Fixture: no-raw-new-in-hot-path positive — per-event heap churn inside a
+// hot-path seed class (`Server`).
 struct Node {
   int value = 0;
 };
 
-int heap_round_trip(int v) {
-  Node* node = new Node{v};
-  const int out = node->value;
-  delete node;
-  return out;
-}
+class Server {
+ public:
+  int heap_round_trip(int v) {
+    Node* node = new Node{v};
+    const int out = node->value;
+    delete node;
+    return out;
+  }
+};

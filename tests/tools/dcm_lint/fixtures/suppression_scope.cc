@@ -1,0 +1,9 @@
+// Fixture: suppression scope — a trailing allow() covers only its own
+// line (so line 5 still fires), and a standalone allow() pins to the first
+// following non-blank line (so line 9 is suppressed across the blank).
+bool a(double x) { return x == 0.0; }  // dcm-lint: allow(no-float-eq)
+bool b(double y) { return y == 1.0; }
+
+// dcm-lint: allow(no-float-eq)
+
+bool c(double z) { return z == 2.0; }

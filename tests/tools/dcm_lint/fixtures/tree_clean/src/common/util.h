@@ -1,0 +1,2 @@
+// Fixture: a clean layered mini-tree — every include points downward.
+#pragma once

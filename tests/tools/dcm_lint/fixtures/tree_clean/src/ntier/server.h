@@ -1,0 +1,3 @@
+#pragma once
+#include "common/util.h"
+#include "sim/engine.h"

@@ -1,0 +1,4 @@
+// Fixture: two headers in one module including each other — an include
+// cycle, with no layering violation.
+#pragma once
+#include "metrics/b.h"

@@ -1,0 +1,4 @@
+// Fixture: an upward include — sim is below control in the layer DAG and
+// may not see it.
+#pragma once
+#include "control/policy.h"

@@ -1,0 +1,12 @@
+// Fixture: no-wall-clock negative — the same host-clock accesses in a free
+// function no seed reaches. Cold code (setup, reporting) may read the host
+// clock; only hot-path code is banned.
+#include <chrono>
+#include <ctime>
+
+double wall_now_seconds() {
+  const auto tp = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(tp.time_since_epoch()).count();
+}
+
+long raw_epoch() { return time(nullptr); }

@@ -1,11 +1,15 @@
-// Fixture: no-wall-clock positive — host clocks leak real time into sim
-// results. Linted under a virtual src/ path.
+// Fixture: no-wall-clock positive — host clocks on the hot path leak real
+// time into sim results. `Server` is a hot-path seed, so both methods are
+// reachable; linted under a virtual src/ path.
 #include <chrono>
 #include <ctime>
 
-double wall_now_seconds() {
-  const auto tp = std::chrono::system_clock::now();
-  return std::chrono::duration<double>(tp.time_since_epoch()).count();
-}
+class Server {
+ public:
+  double wall_now_seconds() {
+    const auto tp = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(tp.time_since_epoch()).count();
+  }
 
-long raw_epoch() { return time(nullptr); }
+  long raw_epoch() { return time(nullptr); }
+};

@@ -1,0 +1,77 @@
+#include "dcm_lint/baseline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace dcm::lint {
+
+bool load_baseline(const std::filesystem::path& file, std::vector<BaselineEntry>& out) {
+  std::ifstream in(file);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    const size_t tab1 = line.find('\t');
+    if (tab1 == std::string::npos) continue;
+    const size_t tab2 = line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) continue;
+    BaselineEntry entry;
+    entry.rule = line.substr(0, tab1);
+    entry.path = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    try {
+      entry.line = std::stoi(line.substr(tab2 + 1));
+    } catch (...) {
+      continue;
+    }
+    out.push_back(std::move(entry));
+  }
+  return true;
+}
+
+std::string format_baseline(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "# dcm_lint baseline: accepted findings (rule<TAB>path<TAB>line).\n"
+      << "# Regenerate with: dcm_lint --root . --write-baseline <this file>\n";
+  for (const Diagnostic& d : diags) {
+    out << d.rule << '\t' << d.path << '\t' << d.line << '\n';
+  }
+  return out.str();
+}
+
+std::vector<Diagnostic> apply_baseline(std::vector<Diagnostic> diags,
+                                       const std::vector<BaselineEntry>& baseline) {
+  // Budgets: each baseline entry waives one finding with its exact key.
+  std::vector<std::pair<BaselineEntry, int>> budget;
+  budget.reserve(baseline.size());
+  for (const BaselineEntry& e : baseline) {
+    bool merged = false;
+    for (auto& [have, count] : budget) {
+      if (have.rule == e.rule && have.path == e.path && have.line == e.line) {
+        ++count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) budget.emplace_back(e, 1);
+  }
+
+  std::vector<Diagnostic> kept;
+  kept.reserve(diags.size());
+  for (Diagnostic& d : diags) {
+    bool waived = false;
+    for (auto& [entry, count] : budget) {
+      if (count > 0 && entry.rule == d.rule && entry.path == d.path &&
+          entry.line == d.line) {
+        --count;
+        waived = true;
+        break;
+      }
+    }
+    if (!waived) kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+}  // namespace dcm::lint

@@ -1,0 +1,38 @@
+// Baseline files: a committed list of accepted findings so CI fails only on
+// NEW findings. Format is one finding per line, tab-separated:
+//
+//   rule<TAB>path<TAB>line
+//
+// Lines starting with '#' and blank lines are ignored. Matching is exact on
+// (rule, path, line); when surrounding edits shift line numbers the baseline
+// entry stops matching and the finding resurfaces — regenerate with
+// `dcm_lint --write-baseline` after reviewing.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dcm_lint/rules.h"
+
+namespace dcm::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  int line = 0;
+};
+
+/// Parses a baseline file. Returns false (and leaves `out` untouched) when
+/// the file cannot be read; malformed lines are skipped.
+bool load_baseline(const std::filesystem::path& file, std::vector<BaselineEntry>& out);
+
+/// Serializes findings in baseline format (sorted, with a header comment).
+std::string format_baseline(const std::vector<Diagnostic>& diags);
+
+/// Removes findings matched by the baseline. Each baseline entry matches at
+/// most one finding, so duplicated findings on one line are not mass-waived.
+std::vector<Diagnostic> apply_baseline(std::vector<Diagnostic> diags,
+                                       const std::vector<BaselineEntry>& baseline);
+
+}  // namespace dcm::lint

@@ -1,0 +1,102 @@
+#include "dcm_lint/emit.h"
+
+#include <set>
+#include <sstream>
+
+namespace dcm::lint {
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "{\"findings\":[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"rule\":\"" << json_escape(d.rule) << "\",\"path\":\""
+        << json_escape(d.path) << "\",\"line\":" << d.line << ",\"message\":\""
+        << json_escape(d.message) << "\"}";
+  }
+  if (!diags.empty()) out << "\n";
+  out << "]}\n";
+  return out.str();
+}
+
+std::string to_sarif(const std::vector<Diagnostic>& diags) {
+  std::set<std::string> rule_ids;
+  for (const Diagnostic& d : diags) rule_ids.insert(d.rule);
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"dcm_lint\",\n"
+      << "          \"informationUri\": \"https://example.invalid/dcm\",\n"
+      << "          \"rules\": [";
+  bool first = true;
+  for (const std::string& id : rule_ids) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n            {\"id\": \"" << json_escape(id) << "\"}";
+  }
+  if (!rule_ids.empty()) out << "\n          ";
+  out << "]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i > 0) out << ",";
+    out << "\n        {\n"
+        << "          \"ruleId\": \"" << json_escape(d.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(d.message) << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \"" << json_escape(d.path)
+        << "\"},\n"
+        << "                \"region\": {\"startLine\": " << (d.line > 0 ? d.line : 1)
+        << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+  }
+  if (!diags.empty()) out << "\n      ";
+  out << "]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace dcm::lint

@@ -1,0 +1,20 @@
+// Machine-readable output: JSON (one object per finding) and SARIF 2.1.0
+// (for code-scanning UIs). Both are deterministic: findings are emitted in
+// the order given, which the linter already sorts by (path, line, rule).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dcm_lint/rules.h"
+
+namespace dcm::lint {
+
+/// `{"findings":[{"rule":…,"path":…,"line":…,"message":…},…]}`.
+std::string to_json(const std::vector<Diagnostic>& diags);
+
+/// Minimal SARIF 2.1.0 log with one run; each distinct rule id becomes a
+/// reportingDescriptor and each finding a result with a physical location.
+std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+}  // namespace dcm::lint

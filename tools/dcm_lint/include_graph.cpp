@@ -1,0 +1,210 @@
+#include "dcm_lint/include_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dcm::lint {
+namespace {
+
+// The declared layer DAG: module -> direct allowed dependencies. A module
+// may always include itself. Order: base layers first. Keep DESIGN.md §10
+// in sync with this table.
+struct Layer {
+  std::string_view module;
+  std::vector<std::string_view> deps;
+};
+
+const std::vector<Layer>& layers() {
+  static const std::vector<Layer> kLayers = {
+      {"common", {}},
+      {"sim", {"common"}},
+      {"fit", {"common"}},
+      {"metrics", {"common", "sim"}},
+      {"trace", {"common", "sim"}},
+      {"bus", {"common", "sim"}},
+      {"model", {"common", "fit"}},
+      {"ntier", {"common", "sim", "metrics", "model", "trace", "bus"}},
+      {"fault", {"common", "sim", "ntier", "bus"}},
+      {"control", {"common", "sim", "metrics", "model", "ntier", "bus"}},
+      {"workload", {"common", "sim", "metrics", "ntier", "trace"}},
+      {"core",
+       {"common", "sim", "fit", "metrics", "trace", "bus", "model", "ntier", "fault",
+        "control", "workload"}},
+      {"scenario", {"common", "sim", "metrics", "workload", "core"}},
+  };
+  return kLayers;
+}
+
+/// Module of a repo-relative src path: "src/x/y.h" -> "x"; the top-level
+/// umbrella "src/dcm.h" -> ""; non-src paths -> nullopt-like sentinel.
+constexpr std::string_view kNotSrc = "\x01not-src";
+
+std::string_view module_of(std::string_view path) {
+  constexpr std::string_view kSrc = "src/";
+  if (path.substr(0, kSrc.size()) != kSrc) return kNotSrc;
+  const std::string_view rest = path.substr(kSrc.size());
+  const size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return "";  // umbrella header
+  return rest.substr(0, slash);
+}
+
+/// Module a quoted include target belongs to, resolving relative to src/:
+/// "common/check.h" -> "common", "dcm.h" -> "". Targets whose first
+/// component is not a declared module (and are not the umbrella) return
+/// kNotSrc and are ignored by the layering check.
+std::string_view module_of_target(std::string_view target) {
+  const size_t slash = target.find('/');
+  if (slash == std::string_view::npos) {
+    return target == "dcm.h" ? std::string_view{""} : kNotSrc;
+  }
+  const std::string_view module = target.substr(0, slash);
+  return is_known_module(module) ? module : kNotSrc;
+}
+
+std::string deps_list(std::string_view module) {
+  std::string out;
+  for (const std::string_view dep : allowed_deps(module)) {
+    if (!out.empty()) out += ", ";
+    out += dep;
+  }
+  return out.empty() ? std::string("nothing") : out;
+}
+
+void check_layering(const std::string& path, const std::vector<IncludeDirective>& includes,
+                    std::vector<Diagnostic>& out) {
+  const std::string_view from = module_of(path);
+  if (from == kNotSrc) return;
+  if (from.empty()) return;  // the umbrella may include any module
+  if (!is_known_module(from)) {
+    out.push_back({"layering-violation", path, 1,
+                   "module '" + std::string(from) +
+                       "' is not declared in the layer DAG; add it to "
+                       "tools/dcm_lint/include_graph.cpp and DESIGN.md §10"});
+    return;
+  }
+  const auto& deps = allowed_deps(from);
+  for (const IncludeDirective& inc : includes) {
+    const std::string_view to = module_of_target(inc.target);
+    if (to == kNotSrc || to == from) continue;
+    if (to.empty()) {
+      out.push_back({"layering-violation", path, inc.line,
+                     "module '" + std::string(from) +
+                         "' includes the umbrella header dcm.h; the umbrella sits above "
+                         "every module"});
+      continue;
+    }
+    if (std::find(deps.begin(), deps.end(), to) == deps.end()) {
+      out.push_back({"layering-violation", path, inc.line,
+                     "module '" + std::string(from) + "' may not include '" +
+                         std::string(to) + "' (layer contract: " + std::string(from) +
+                         " -> {" + deps_list(from) + "})"});
+    }
+  }
+}
+
+struct CycleFinder {
+  // file -> (resolved include target, line)
+  std::map<std::string, std::vector<std::pair<std::string, int>>> edges;
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;  // canonical cycle keys
+  std::vector<Diagnostic>* out = nullptr;
+
+  void dfs(const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    for (const auto& [target, line] : edges[node]) {
+      const int c = color[target];
+      if (c == 1) {
+        report(target, line, node);
+      } else if (c == 0) {
+        dfs(target);
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  }
+
+  void report(const std::string& entry, int line, const std::string& from) {
+    // The cycle is the stack suffix starting at `entry`.
+    auto it = std::find(stack.begin(), stack.end(), entry);
+    if (it == stack.end()) return;
+    std::vector<std::string> cycle(it, stack.end());
+    // Canonical key: rotation starting at the lexicographically smallest
+    // member, so the same cycle found from different roots reports once.
+    const auto min_it = std::min_element(cycle.begin(), cycle.end());
+    std::vector<std::string> canon(min_it, cycle.end());
+    canon.insert(canon.end(), cycle.begin(), min_it);
+    std::string key;
+    for (const std::string& p : canon) key += p + ";";
+    if (!reported.insert(key).second) return;
+
+    std::string chain;
+    for (const std::string& p : canon) chain += p + " -> ";
+    chain += canon.front();
+    out->push_back({"include-cycle", from, line, "include cycle: " + chain});
+  }
+};
+
+}  // namespace
+
+std::vector<IncludeDirective> collect_includes(const LexResult& lexed) {
+  std::vector<IncludeDirective> out;
+  const auto& ts = lexed.tokens;
+  for (size_t i = 0; i + 2 < ts.size(); ++i) {
+    if (ts[i].kind != TokenKind::kPunct || ts[i].text != "#") continue;
+    if (ts[i + 1].kind != TokenKind::kIdentifier || ts[i + 1].text != "include") continue;
+    if (ts[i + 1].line != ts[i].line) continue;
+    const Token& target = ts[i + 2];
+    if (target.kind != TokenKind::kString || target.line != ts[i].line) continue;
+    if (target.text.size() < 2) continue;
+    out.push_back({target.line, std::string(target.text.substr(1, target.text.size() - 2))});
+  }
+  return out;
+}
+
+bool is_known_module(std::string_view module) {
+  for (const Layer& layer : layers()) {
+    if (layer.module == module) return true;
+  }
+  return false;
+}
+
+const std::vector<std::string_view>& allowed_deps(std::string_view module) {
+  static const std::vector<std::string_view> kEmpty;
+  for (const Layer& layer : layers()) {
+    if (layer.module == module) return layer.deps;
+  }
+  return kEmpty;
+}
+
+void run_include_passes(
+    const std::vector<std::pair<std::string, const LexResult*>>& files,
+    std::vector<Diagnostic>& out) {
+  CycleFinder cycles;
+  cycles.out = &out;
+  std::set<std::string> known_paths;
+  for (const auto& [path, lexed] : files) known_paths.insert(path);
+
+  std::vector<std::string> src_files;
+  for (const auto& [path, lexed] : files) {
+    if (module_of(path) == kNotSrc) continue;
+    src_files.push_back(path);
+    const std::vector<IncludeDirective> includes = collect_includes(*lexed);
+    check_layering(path, includes, out);
+    for (const IncludeDirective& inc : includes) {
+      const std::string resolved = "src/" + inc.target;
+      if (known_paths.count(resolved) > 0) {
+        cycles.edges[path].emplace_back(resolved, inc.line);
+      }
+    }
+  }
+
+  std::sort(src_files.begin(), src_files.end());
+  for (const std::string& path : src_files) {
+    if (cycles.color[path] == 0) cycles.dfs(path);
+  }
+}
+
+}  // namespace dcm::lint

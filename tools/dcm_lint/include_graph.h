@@ -1,0 +1,45 @@
+// Include-graph analysis: architectural layering and cycle detection.
+//
+// The repo's modules form a layered DAG (declared in kLayerDeps below and
+// documented in DESIGN.md §10). Every `#include "module/header.h"` edge
+// between files under src/ is checked against it:
+//
+//   layering-violation  a module includes a module its layer may not see
+//   include-cycle       a cycle in the file-level include graph
+//
+// Quoted includes that do not resolve to a src/ module (gtest, dcm_lint's
+// own headers, system headers) are ignored. The single top-level umbrella
+// header src/dcm.h sits above every module and may include anything;
+// modules must not include it back.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dcm_lint/rules.h"
+
+namespace dcm::lint {
+
+/// One parsed quoted include directive.
+struct IncludeDirective {
+  int line = 0;
+  std::string target;  // path between the quotes, e.g. "common/check.h"
+};
+
+/// Extracts `#include "…"` directives from a lexed file.
+std::vector<IncludeDirective> collect_includes(const LexResult& lexed);
+
+/// True when `module` is declared in the layer DAG.
+bool is_known_module(std::string_view module);
+
+/// Direct allowed dependencies of `module` (empty for unknown modules).
+const std::vector<std::string_view>& allowed_deps(std::string_view module);
+
+/// Runs both checks over every file under src/. `files` pairs each
+/// repo-relative path with its lexed form.
+void run_include_passes(
+    const std::vector<std::pair<std::string, const LexResult*>>& files,
+    std::vector<Diagnostic>& out);
+
+}  // namespace dcm::lint

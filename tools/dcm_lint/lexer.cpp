@@ -17,14 +17,19 @@ bool is_ident_char(char c) {
 bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
 
 // Two-character operators the rules care about. Everything else is emitted
-// one character at a time, which is fine for pattern matching.
+// one character at a time, which is fine for pattern matching. Compound
+// assignments fuse so the accumulate rule can tell `x += y` from `x + (=)`
+// and the re-anchor scan can tell a plain `=` from `+=`/`==`.
 bool fuses(char a, char b) {
   switch (a) {
     case '=': return b == '=';
     case '!': return b == '=';
     case '<': return b == '=';
     case '>': return b == '=';
-    case '-': return b == '>';
+    case '-': return b == '>' || b == '=';
+    case '+': return b == '=';
+    case '*': return b == '=';
+    case '/': return b == '=';
     case ':': return b == ':';
     case '&': return b == '&';
     case '|': return b == '|';
@@ -37,6 +42,11 @@ class Lexer {
   explicit Lexer(std::string_view src) : src_(src) {}
 
   LexResult run() {
+    // A UTF-8 byte-order mark would otherwise desync the first token into
+    // three stray punctuation bytes.
+    if (src_.size() >= 3 && src_[0] == '\xEF' && src_[1] == '\xBB' && src_[2] == '\xBF') {
+      pos_ = 3;
+    }
     while (pos_ < src_.size()) {
       const char c = src_[pos_];
       if (c == '\n') {
@@ -78,11 +88,24 @@ class Lexer {
 
   void line_comment() {
     const size_t start = pos_ + 2;
-    const int line = line_;
+    const int start_line = line_;
+    // A backslash (optionally followed by \r) at the end of the line splices
+    // the next physical line into the comment — treating it as code would
+    // desync every token after it.
     size_t end = src_.find('\n', start);
-    if (end == std::string_view::npos) end = src_.size();
-    result_.comments.push_back({src_.substr(start, end - start), line, line});
-    pos_ = end;  // newline handled by the main loop
+    while (end != std::string_view::npos) {
+      size_t last = end;
+      if (last > start && src_[last - 1] == '\r') --last;
+      if (last > start && src_[last - 1] == '\\') {
+        ++line_;  // the comment swallows this newline
+        end = src_.find('\n', end + 1);
+      } else {
+        break;
+      }
+    }
+    const size_t stop = end == std::string_view::npos ? src_.size() : end;
+    result_.comments.push_back({src_.substr(start, stop - start), start_line, line_});
+    pos_ = stop;  // final newline handled by the main loop
   }
 
   void block_comment() {

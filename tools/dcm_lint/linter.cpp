@@ -6,6 +6,8 @@
 #include <set>
 #include <sstream>
 
+#include "dcm_lint/include_graph.h"
+
 namespace dcm::lint {
 namespace {
 
@@ -22,12 +24,51 @@ void trim(std::string_view& s) {
   while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
 }
 
-Suppressions collect_suppressions(std::string_view path,
-                                  const std::vector<Comment>& comments) {
+/// 1-based line numbers that contain any non-whitespace character.
+std::set<int> nonblank_lines(std::string_view content) {
+  std::set<int> out;
+  int line = 1;
+  bool seen = false;
+  for (const char c : content) {
+    if (c == '\n') {
+      if (seen) out.insert(line);
+      ++line;
+      seen = false;
+    } else if (c != ' ' && c != '\t' && c != '\r') {
+      seen = true;
+    }
+  }
+  if (seen) out.insert(line);
+  return out;
+}
+
+Suppressions collect_suppressions(std::string_view path, std::string_view content,
+                                  const LexResult& lexed) {
   static constexpr std::string_view kMarker = "dcm-lint:";
   static constexpr std::string_view kAllow = "allow(";
   Suppressions result;
-  for (const Comment& comment : comments) {
+
+  const std::set<int> nonblank = nonblank_lines(content);
+  std::set<int> token_lines;
+  for (const Token& t : lexed.tokens) token_lines.insert(t.line);
+
+  for (const Comment& comment : lexed.comments) {
+    // Scope: a comment sharing a line with code covers its own line(s); a
+    // standalone comment pins to the first following non-blank line.
+    std::vector<int> scope;
+    bool shares_code_line = false;
+    for (int line = comment.start_line; line <= comment.end_line; ++line) {
+      if (token_lines.count(line) > 0) shares_code_line = true;
+    }
+    if (shares_code_line) {
+      for (int line = comment.start_line; line <= comment.end_line; ++line) {
+        scope.push_back(line);
+      }
+    } else {
+      const auto next = nonblank.upper_bound(comment.end_line);
+      if (next != nonblank.end()) scope.push_back(*next);
+    }
+
     size_t pos = comment.text.find(kMarker);
     while (pos != std::string_view::npos) {
       size_t open = comment.text.find(kAllow, pos + kMarker.size());
@@ -46,7 +87,7 @@ Suppressions collect_suppressions(std::string_view path,
                 {"unknown-suppression", std::string(path), comment.start_line,
                  "allow() names unknown rule '" + std::string(name) + "'"});
           }
-          for (int line = comment.start_line; line <= comment.end_line + 1; ++line) {
+          for (const int line : scope) {
             result.allowed[line].insert(std::string(name));
           }
         }
@@ -79,22 +120,50 @@ void sort_diags(std::vector<Diagnostic>& diags) {
 
 }  // namespace
 
-std::vector<Diagnostic> lint_source(std::string_view path, std::string_view content) {
-  const LexResult lexed = lex(content);
-  const Suppressions sup = collect_suppressions(path, lexed.comments);
-  const FileContext ctx{path, lexed.tokens, lexed.comments};
+std::vector<Diagnostic> lint_sources(const std::vector<SourceFile>& files) {
+  // Lex everything first: tree passes and per-file rules share one lex.
+  std::vector<LexResult> lexed(files.size());
+  std::vector<Suppressions> sups(files.size());
+  std::vector<std::pair<std::string, const LexResult*>> pairs;
+  pairs.reserve(files.size());
+  std::map<std::string, size_t> index_of;
+  for (size_t i = 0; i < files.size(); ++i) {
+    lexed[i] = lex(files[i].content);
+    sups[i] = collect_suppressions(files[i].path, files[i].content, lexed[i]);
+    pairs.emplace_back(files[i].path, &lexed[i]);
+    index_of.emplace(files[i].path, i);
+  }
 
-  std::vector<Diagnostic> diags = sup.unknown;
-  for (const auto& rule : default_rules()) {
-    if (!rule->applies_to(path)) continue;
-    std::vector<Diagnostic> found;
-    rule->run(ctx, found);
-    for (Diagnostic& d : found) {
-      if (!suppressed(sup, d)) diags.push_back(std::move(d));
+  const TreeFacts tree = build_tree_facts(pairs);
+
+  std::vector<Diagnostic> diags;
+  for (size_t i = 0; i < files.size(); ++i) {
+    diags.insert(diags.end(), sups[i].unknown.begin(), sups[i].unknown.end());
+    const FileContext ctx{files[i].path, lexed[i].tokens, lexed[i].comments, &tree};
+    for (const auto& rule : default_rules()) {
+      if (!rule->applies_to(files[i].path)) continue;
+      std::vector<Diagnostic> found;
+      rule->run(ctx, found);
+      for (Diagnostic& d : found) {
+        if (!suppressed(sups[i], d)) diags.push_back(std::move(d));
+      }
     }
   }
+
+  std::vector<Diagnostic> tree_diags;
+  run_include_passes(pairs, tree_diags);
+  for (Diagnostic& d : tree_diags) {
+    const auto it = index_of.find(d.path);
+    if (it != index_of.end() && suppressed(sups[it->second], d)) continue;
+    diags.push_back(std::move(d));
+  }
+
   sort_diags(diags);
   return diags;
+}
+
+std::vector<Diagnostic> lint_source(std::string_view path, std::string_view content) {
+  return lint_sources({{std::string(path), std::string(content)}});
 }
 
 std::vector<Diagnostic> lint_file(const fs::path& file, std::string_view path) {
@@ -104,14 +173,12 @@ std::vector<Diagnostic> lint_file(const fs::path& file, std::string_view path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string content = buffer.str();
-  return lint_source(path, content);
+  return lint_source(path, buffer.str());
 }
 
 std::vector<Diagnostic> lint_tree(const fs::path& repo_root,
                                   const std::vector<std::string>& roots) {
-  std::vector<Diagnostic> diags;
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const std::string& root : roots) {
     const fs::path dir = repo_root / root;
     if (!fs::exists(dir)) continue;
@@ -120,18 +187,31 @@ std::vector<Diagnostic> lint_tree(const fs::path& repo_root,
       const std::string rel =
           fs::relative(entry.path(), repo_root).generic_string();
       if (rel.find("tests/tools/dcm_lint/fixtures") != std::string::npos) continue;
-      files.push_back(entry.path());
+      paths.push_back(entry.path());
     }
   }
   // Directory iteration order is filesystem-dependent; sort so the linter's
   // own output is deterministic.
-  std::sort(files.begin(), files.end());
-  for (const fs::path& file : files) {
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<SourceFile> files;
+  std::vector<Diagnostic> diags;
+  files.reserve(paths.size());
+  for (const fs::path& file : paths) {
     const std::string rel = fs::relative(file, repo_root).generic_string();
-    std::vector<Diagnostic> found = lint_file(file, rel);
-    diags.insert(diags.end(), std::make_move_iterator(found.begin()),
-                 std::make_move_iterator(found.end()));
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      diags.push_back({"io-error", rel, 0, "cannot read file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    files.push_back({rel, buffer.str()});
   }
+
+  std::vector<Diagnostic> found = lint_sources(files);
+  diags.insert(diags.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
   sort_diags(diags);
   return diags;
 }

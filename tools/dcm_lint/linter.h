@@ -1,11 +1,16 @@
-// Driver: lex a file, run every applicable rule, drop suppressed findings.
+// Driver: lex every file, build whole-tree facts (hot-path reachability,
+// include graph), run every applicable rule, drop suppressed findings.
 //
-// Suppression: `// dcm-lint: allow(rule-id[, rule-id...])` placed on the
-// offending line or on the line directly above it. A block comment spanning
-// lines [a, b] suppresses the named rules on lines [a, b + 1]. A comment may
-// carry several allow(...) groups. Naming a rule that does not exist is
-// itself reported (rule id `unknown-suppression`) so typos cannot silently
-// disable enforcement.
+// Suppression: `// dcm-lint: allow(rule-id[, rule-id...])`.
+//   - A trailing comment (code precedes it on the same line) suppresses the
+//     named rules on the comment's own line(s) only.
+//   - A standalone comment suppresses them on the first following non-blank
+//     line (whitespace-only lines are skipped; the next comment or code line
+//     is the target).
+// A comment may carry several allow(...) groups. Naming a rule that does not
+// exist is itself reported (rule id `unknown-suppression`) so typos cannot
+// silently disable enforcement. Suppressions also apply to the tree-level
+// passes (layering-violation, include-cycle) at the reported line.
 #pragma once
 
 #include <filesystem>
@@ -17,18 +22,32 @@
 
 namespace dcm::lint {
 
-/// Lints in-memory content as if it lived at `path` (repo-relative, '/'
-/// separators). This is the seam the gtest fixture corpus drives: fixtures
-/// are presented under virtual paths inside each rule's scope.
+/// One in-memory file presented to the linter under a repo-relative path
+/// ('/' separators).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Lints a set of files as one tree: cross-file passes (layering, include
+/// cycles, hot-path reachability) see all of them at once. Findings are
+/// sorted by (path, line, rule).
+std::vector<Diagnostic> lint_sources(const std::vector<SourceFile>& files);
+
+/// Lints in-memory content as if it lived at `path`. Tree facts are built
+/// from this single file, so hot-path seeds defined inside it (a `Server`
+/// method, say) still anchor reachability. This is the seam the gtest
+/// fixture corpus drives.
 std::vector<Diagnostic> lint_source(std::string_view path, std::string_view content);
 
 /// Reads and lints one file; `path` is used for scoping and reporting.
 std::vector<Diagnostic> lint_file(const std::filesystem::path& file, std::string_view path);
 
 /// Walks `roots` (repo-relative directories under `repo_root`), lints every
-/// .h/.hpp/.cc/.cpp, and returns all findings sorted by (path, line, rule).
-/// The linter's own fixture corpus (tests/tools/dcm_lint/fixtures) is
-/// skipped — those files violate rules on purpose.
+/// .h/.hpp/.cc/.cpp as one tree, and returns all findings sorted by
+/// (path, line, rule). The linter's own fixture corpus
+/// (tests/tools/dcm_lint/fixtures) is skipped — those files violate rules
+/// on purpose.
 std::vector<Diagnostic> lint_tree(const std::filesystem::path& repo_root,
                                   const std::vector<std::string>& roots);
 

@@ -1,44 +1,127 @@
 // dcm_lint CLI.
 //
-//   dcm_lint [--root <repo-root>] [dir...]
+//   dcm_lint [--root <repo-root>] [--baseline <file>] [--write-baseline <file>]
+//            [--json <file>] [--sarif <file>] [dir...]
 //
-// Lints the given repo-relative directories (default: src tests
-// tools/dcm_run) and prints one line per finding:
+// Lints the given repo-relative directories (default: src tests tools/dcm_run
+// examples) as one tree — cross-file passes (layering, include cycles,
+// hot-path reachability) need all files at once — and prints one line per
+// finding:
 //
 //   src/foo/bar.cpp:42: error: [no-wall-clock] wall-clock access '...'
+//
+// --baseline drops findings listed in the committed baseline file, so CI
+// fails only on NEW findings. --write-baseline regenerates that file from
+// the current findings (exit 0). --json / --sarif write machine-readable
+// reports ('-' for stdout); both reflect post-baseline findings.
 //
 // Exit status: 0 when clean, 1 when any finding, 2 on usage errors. CI runs
 // this over the committed tree and fails the lint job on a nonzero exit.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "dcm_lint/baseline.h"
+#include "dcm_lint/emit.h"
 #include "dcm_lint/linter.h"
+
+namespace {
+
+bool write_report(const std::string& dest, const std::string& content) {
+  if (dest == "-") {
+    std::fputs(content.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(dest, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string baseline_file;
+  std::string write_baseline_file;
+  std::string json_file;
+  std::string sarif_file;
   std::vector<std::string> dirs;
+
+  const auto flag_arg = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "dcm_lint: %s needs an argument\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
     if (std::strcmp(argv[i], "--root") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "dcm_lint: --root needs an argument\n");
-        return 2;
-      }
-      root = argv[++i];
+      if ((value = flag_arg(i, "--root")) == nullptr) return 2;
+      root = value;
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      if ((value = flag_arg(i, "--baseline")) == nullptr) return 2;
+      baseline_file = value;
+    } else if (std::strcmp(argv[i], "--write-baseline") == 0) {
+      if ((value = flag_arg(i, "--write-baseline")) == nullptr) return 2;
+      write_baseline_file = value;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if ((value = flag_arg(i, "--json")) == nullptr) return 2;
+      json_file = value;
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      if ((value = flag_arg(i, "--sarif")) == nullptr) return 2;
+      sarif_file = value;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: dcm_lint [--root <repo-root>] [dir...]\n");
+      std::printf(
+          "usage: dcm_lint [--root <repo-root>] [--baseline <file>]\n"
+          "                [--write-baseline <file>] [--json <file|->]\n"
+          "                [--sarif <file|->] [dir...]\n");
       return 0;
-    } else if (argv[i][0] == '-') {
+    } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
       std::fprintf(stderr, "dcm_lint: unknown flag '%s'\n", argv[i]);
       return 2;
     } else {
       dirs.emplace_back(argv[i]);
     }
   }
-  if (dirs.empty()) dirs = {"src", "tests", "tools/dcm_run"};
+  if (dirs.empty()) dirs = {"src", "tests", "tools/dcm_run", "examples"};
 
-  const std::vector<dcm::lint::Diagnostic> diags = dcm::lint::lint_tree(root, dirs);
+  std::vector<dcm::lint::Diagnostic> diags = dcm::lint::lint_tree(root, dirs);
+
+  if (!write_baseline_file.empty()) {
+    if (!write_report(write_baseline_file, dcm::lint::format_baseline(diags))) {
+      std::fprintf(stderr, "dcm_lint: cannot write baseline '%s'\n",
+                   write_baseline_file.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "dcm_lint: wrote %zu finding(s) to baseline %s\n",
+                 diags.size(), write_baseline_file.c_str());
+    return 0;
+  }
+
+  if (!baseline_file.empty()) {
+    std::vector<dcm::lint::BaselineEntry> baseline;
+    if (!dcm::lint::load_baseline(baseline_file, baseline)) {
+      std::fprintf(stderr, "dcm_lint: cannot read baseline '%s'\n",
+                   baseline_file.c_str());
+      return 2;
+    }
+    diags = dcm::lint::apply_baseline(std::move(diags), baseline);
+  }
+
+  if (!json_file.empty() && !write_report(json_file, dcm::lint::to_json(diags))) {
+    std::fprintf(stderr, "dcm_lint: cannot write '%s'\n", json_file.c_str());
+    return 2;
+  }
+  if (!sarif_file.empty() && !write_report(sarif_file, dcm::lint::to_sarif(diags))) {
+    std::fprintf(stderr, "dcm_lint: cannot write '%s'\n", sarif_file.c_str());
+    return 2;
+  }
+
   for (const auto& d : diags) {
     std::printf("%s:%d: error: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
                 d.message.c_str());

@@ -13,11 +13,14 @@ bool under(std::string_view path, std::string_view prefix) {
 
 bool in_src(std::string_view path) { return under(path, "src/"); }
 bool in_src_or_tests(std::string_view path) {
-  return under(path, "src/") || under(path, "tests/");
+  return under(path, "src/") || under(path, "tests/") || under(path, "examples/");
 }
 // The sweep CLI shares the determinism contract with the library: a stray
 // random draw or unordered walk there breaks sweep digests all the same.
 bool in_dcm_run(std::string_view path) { return under(path, "tools/dcm_run/"); }
+// Examples are documentation that compiles; they must model the same
+// determinism discipline the library enforces.
+bool in_examples(std::string_view path) { return under(path, "examples/"); }
 
 bool is_ident(const Token& t, std::string_view text) {
   return t.kind == TokenKind::kIdentifier && t.text == text;
@@ -66,7 +69,10 @@ void report(std::vector<Diagnostic>& out, std::string_view rule, const FileConte
 
 // ---------------------------------------------------------------------------
 // no-wall-clock: simulation results must be a function of the seed alone;
-// sim time comes from sim::Engine::now(), never the host clock.
+// sim time comes from sim::Engine::now(), never the host clock. Scoped to
+// hot-path-reachable functions: a clock read in a helper the dispatch loop
+// calls is an error wherever the helper lives, while cold timing code (e.g.
+// the macro-bench wall-time measurement around run_experiment) is legal.
 
 class NoWallClock final : public Rule {
  public:
@@ -81,13 +87,14 @@ class NoWallClock final : public Rule {
     const auto& ts = ctx.tokens;
     for (size_t i = 0; i < ts.size(); ++i) {
       if (ts[i].kind != TokenKind::kIdentifier) continue;
+      if (!ctx.hot(ts[i].line)) continue;
       const bool named_clock =
           std::find(kClockIdents.begin(), kClockIdents.end(), ts[i].text) !=
           kClockIdents.end();
       if (named_clock || is_free_call(ts, i, "time") || is_free_call(ts, i, "clock")) {
         report(out, id(), ctx, ts[i].line,
                "wall-clock access '" + std::string(ts[i].text) +
-                   "'; sim code must take time from sim::Engine::now()");
+                   "' on the hot path; sim code must take time from sim::Engine::now()");
       }
     }
   }
@@ -95,21 +102,26 @@ class NoWallClock final : public Rule {
 
 // ---------------------------------------------------------------------------
 // no-ambient-randomness: every stochastic draw flows through common/rng so
-// experiments replay bit-identically from the master seed.
+// experiments replay bit-identically from the master seed. Inside src/ the
+// rule follows hot-path reachability; the sweep CLI and examples are
+// covered whole-file — they pick seeds and build configs, so a stray draw
+// anywhere in them breaks replay even though no line is dispatch-reachable.
 
 class NoAmbientRandomness final : public Rule {
  public:
   std::string_view id() const override { return "no-ambient-randomness"; }
   bool applies_to(std::string_view path) const override {
-    return in_src(path) || in_dcm_run(path);
+    return in_src(path) || in_dcm_run(path) || in_examples(path);
   }
 
   void run(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
     static constexpr std::array<std::string_view, 7> kIdents = {
         "random_device", "srand", "srandom", "drand48", "lrand48", "mrand48", "rand_r"};
+    const bool whole_file = in_dcm_run(ctx.path) || in_examples(ctx.path);
     const auto& ts = ctx.tokens;
     for (size_t i = 0; i < ts.size(); ++i) {
       if (ts[i].kind != TokenKind::kIdentifier) continue;
+      if (!whole_file && !ctx.hot(ts[i].line)) continue;
       const bool named = std::find(kIdents.begin(), kIdents.end(), ts[i].text) != kIdents.end();
       if (named || is_free_call(ts, i, "rand") || is_free_call(ts, i, "random")) {
         report(out, id(), ctx, ts[i].line,
@@ -130,10 +142,11 @@ class NoAmbientRandomness final : public Rule {
 class NoUnorderedIteration final : public Rule {
  public:
   std::string_view id() const override { return "no-unordered-iteration"; }
+  // Tree-wide: hash-order iteration anywhere in the library (or the CLI and
+  // examples that feed it) can leak implementation-defined order into event
+  // scheduling, control decisions, or result emission.
   bool applies_to(std::string_view path) const override {
-    return under(path, "src/sim/") || under(path, "src/ntier/") ||
-           under(path, "src/control/") || under(path, "src/scenario/") ||
-           under(path, "src/fault/") || under(path, "src/trace/") || in_dcm_run(path);
+    return in_src(path) || in_dcm_run(path) || in_examples(path);
   }
 
   void run(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
@@ -296,20 +309,22 @@ class NoFloatEq final : public Rule {
 // ---------------------------------------------------------------------------
 // no-raw-new-in-hot-path: PR 1 made the event core allocation-free at steady
 // state, and the request-slab/arena refactor extended that guarantee through
-// the tier/server request path; raw new/delete in src/sim or src/ntier would
-// quietly reintroduce per-event or per-request allocations. Placement new for
-// SBO/slab internals is expected to carry an explicit allow() suppression.
+// the tier/server request path; raw new/delete in a function the dispatch
+// loop reaches would quietly reintroduce per-event or per-request
+// allocations. Scope is hot-path reachability (anywhere under src/), not a
+// directory list: a helper in src/common called per event is covered, cold
+// setup code is not. Placement new for SBO/slab internals is expected to
+// carry an explicit allow() suppression.
 
 class NoRawNewInHotPath final : public Rule {
  public:
   std::string_view id() const override { return "no-raw-new-in-hot-path"; }
-  bool applies_to(std::string_view path) const override {
-    return under(path, "src/sim/") || under(path, "src/ntier/");
-  }
+  bool applies_to(std::string_view path) const override { return in_src(path); }
 
   void run(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
     const auto& ts = ctx.tokens;
     for (size_t i = 0; i < ts.size(); ++i) {
+      if (!ctx.hot(ts[i].line)) continue;
       if (is_ident(ts[i], "new")) {
         // `#include <new>` names the header, not the operator.
         const Token* prev = prev_tok(ts, i);
@@ -331,6 +346,138 @@ class NoRawNewInHotPath final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// no-pointer-keyed-order: an ordered map/set keyed on a pointer orders its
+// elements by address, and addresses differ run to run — iterating one feeds
+// ASLR into event order and result digests. (Pointer-keyed *unordered*
+// containers are legal as lookups; iterating them is no-unordered-iteration's
+// business.)
+
+class NoPointerKeyedOrder final : public Rule {
+ public:
+  std::string_view id() const override { return "no-pointer-keyed-order"; }
+  bool applies_to(std::string_view path) const override {
+    return in_src(path) || in_dcm_run(path) || in_examples(path);
+  }
+
+  void run(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    static constexpr std::array<std::string_view, 4> kContainers = {"map", "set",
+                                                                   "multimap", "multiset"};
+    const auto& ts = ctx.tokens;
+    for (size_t i = 0; i + 1 < ts.size(); ++i) {
+      if (ts[i].kind != TokenKind::kIdentifier) continue;
+      if (std::find(kContainers.begin(), kContainers.end(), ts[i].text) ==
+          kContainers.end()) {
+        continue;
+      }
+      if (!is_punct(ts[i + 1], "<")) continue;
+      // Walk the key type: tokens until the ',' or '>' that closes it.
+      int angle = 1;
+      int round = 0;
+      bool pointer_key = false;
+      for (size_t j = i + 2; j < ts.size() && angle > 0; ++j) {
+        const Token& t = ts[j];
+        if (t.kind != TokenKind::kPunct) continue;
+        if (t.text == "<") ++angle;
+        else if (t.text == ">") --angle;
+        else if (t.text == "(") ++round;
+        else if (t.text == ")") --round;
+        else if (t.text == "," && angle == 1 && round == 0) break;
+        else if (t.text == "*" && round == 0) pointer_key = true;
+      }
+      if (pointer_key) {
+        report(out, id(), ctx, ts[i].line,
+               "ordered '" + std::string(ts[i].text) +
+                   "' keyed on a pointer; iteration order is the address order, which "
+                   "differs run to run — key on a stable id (name, index) instead");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// no-unanchored-float-accumulate: incrementally updating a long-lived
+// float/double (`sum_ += x` on add, `sum_ -= x` on evict) drifts away from
+// the value a fresh recompute would give, and the drift is
+// evaluation-order-dependent — the exact bug class fixed by hand in
+// SlidingRate (re-anchor `sum_ = 0.0` on empty window) and CpuScheduler
+// (virtual-clock re-anchor). The rule fires on += / -= applied inside a loop
+// to a float variable that outlives the enclosing function (class member or
+// namespace-scope), unless the file re-anchors the variable with a plain
+// assignment somewhere. Per-call local accumulators are deterministic and
+// exempt.
+
+class NoUnanchoredFloatAccumulate final : public Rule {
+ public:
+  std::string_view id() const override { return "no-unanchored-float-accumulate"; }
+  bool applies_to(std::string_view path) const override { return in_src(path); }
+
+  void run(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    if (ctx.tree == nullptr) return;
+    const auto file_it = ctx.tree->by_file.find(std::string(ctx.path));
+    if (file_it == ctx.tree->by_file.end()) return;
+    const FileFacts& facts = file_it->second;
+    const auto& ts = ctx.tokens;
+
+    for (const FunctionDef& fn : facts.functions) {
+      for (const auto& [lo, hi] : fn.loop_ranges) {
+        for (size_t i = lo; i < hi && i + 1 < ts.size(); ++i) {
+          if (ts[i].kind != TokenKind::kIdentifier) continue;
+          // `v += e` or `v[k] += e`.
+          size_t op = i + 1;
+          if (is_punct(ts[op], "[")) {
+            int depth = 0;
+            for (; op < hi; ++op) {
+              if (ts[op].kind != TokenKind::kPunct) continue;
+              if (ts[op].text == "[") ++depth;
+              else if (ts[op].text == "]" && --depth == 0) { ++op; break; }
+            }
+          }
+          if (op >= ts.size() || ts[op].kind != TokenKind::kPunct ||
+              (ts[op].text != "+=" && ts[op].text != "-=")) {
+            continue;
+          }
+          const std::string_view name = ts[i].text;
+          if (fn.local_floats.count(name) > 0) continue;  // fresh per call
+          const bool long_lived =
+              facts.long_lived_floats.count(name) > 0 ||
+              ctx.tree->long_lived_floats.count(name) > 0;
+          if (!long_lived) continue;
+          if (has_reanchor(facts, ts, name)) continue;
+          report(out, id(), ctx, ts[i].line,
+                 "'" + std::string(name) +
+                     "' accumulates " + std::string(ts[op].text) +
+                     " in a loop with no re-anchoring assignment; incremental float "
+                     "state drifts from the recomputed value (re-anchor like "
+                     "SlidingRate/CpuScheduler, or recompute)");
+        }
+      }
+    }
+  }
+
+ private:
+  /// A plain `name = …` assignment anywhere in this file, other than the
+  /// declaration's own initializer, re-anchors the accumulator.
+  static bool has_reanchor(const FileFacts& facts, const std::vector<Token>& ts,
+                           std::string_view name) {
+    for (size_t i = 0; i + 1 < ts.size(); ++i) {
+      if (ts[i].kind != TokenKind::kIdentifier || ts[i].text != name) continue;
+      if (facts.float_decl_name_tokens.count(i) > 0) continue;
+      size_t op = i + 1;
+      if (is_punct(ts[op], "[")) {
+        int depth = 0;
+        for (; op < ts.size(); ++op) {
+          if (ts[op].kind != TokenKind::kPunct) continue;
+          if (ts[op].text == "[") ++depth;
+          else if (ts[op].text == "]" && --depth == 0) { ++op; break; }
+        }
+      }
+      if (op < ts.size() && is_punct(ts[op], "=")) return true;
+    }
+    return false;
+  }
+};
+
 }  // namespace
 
 const std::vector<std::unique_ptr<Rule>>& default_rules() {
@@ -342,6 +489,8 @@ const std::vector<std::unique_ptr<Rule>>& default_rules() {
     v->push_back(std::make_unique<NoRawAssert>());
     v->push_back(std::make_unique<NoFloatEq>());
     v->push_back(std::make_unique<NoRawNewInHotPath>());
+    v->push_back(std::make_unique<NoPointerKeyedOrder>());
+    v->push_back(std::make_unique<NoUnanchoredFloatAccumulate>());
     return v;
   }();
   return *rules;
@@ -349,6 +498,7 @@ const std::vector<std::unique_ptr<Rule>>& default_rules() {
 
 bool is_known_rule(std::string_view id) {
   if (id == "header-self-sufficiency") return true;
+  if (id == "layering-violation" || id == "include-cycle") return true;
   for (const auto& rule : default_rules()) {
     if (rule->id() == id) return true;
   }

@@ -1,20 +1,27 @@
 // dcm_lint rule registry.
 //
-// Each rule scans a lexed file and reports diagnostics. Rules are scoped by
-// repo-relative path (forward slashes) so e.g. wall-clock reads are only an
-// error inside src/ — benches and tools may time themselves freely.
+// Each rule scans a lexed file and reports diagnostics. Two kinds of
+// scoping compose:
+//   - path scope (`applies_to`): which repo-relative paths a rule covers;
+//   - hot-path scope: rules marked hot-path only fire on lines inside
+//     functions reachable from the dispatch-loop/request-path seeds (see
+//     call_graph.h), so a helper in src/common called from the event loop
+//     is caught while cold configuration code is not.
 //
 // Rule IDs (see README "Static analysis & determinism" for rationale):
-//   no-wall-clock            src/                wall-clock time sources
-//   no-ambient-randomness    src/                rand()/random_device/srand
-//   no-unordered-iteration   src/{sim,ntier,control}  range-for over unordered containers
-//   no-raw-assert            src/, tests/        assert() instead of DCM_CHECK
-//   no-float-eq              src/, tests/        ==/!= against float literals
-//   no-raw-new-in-hot-path   src/sim             raw new/delete in the event core
+//   no-wall-clock                  src/, hot path      wall-clock time sources
+//   no-ambient-randomness          src/+dcm_run, hot   rand()/random_device/srand
+//   no-raw-new-in-hot-path        src/, hot path      raw new/delete on the hot path
+//   no-unordered-iteration         src/+dcm_run+examples  range-for over unordered containers
+//   no-raw-assert                  src/, tests/, examples/  assert() instead of DCM_CHECK
+//   no-float-eq                    src/, tests/, examples/  ==/!= against float literals
+//   no-pointer-keyed-order         src/+dcm_run        ordered map/set keyed on a pointer
+//   no-unanchored-float-accumulate src/                += on a long-lived float in a loop
+//                                                      with no re-anchoring assignment
 //
-// A seventh rule, header-self-sufficiency, is a build-time driver (the
-// dcm_header_selfcheck CMake target compiles every src/**/*.h standalone)
-// rather than a token rule.
+// Tree-level passes (not token rules): layering-violation and include-cycle
+// (include_graph.h) and the build-time header-self-sufficiency driver (the
+// dcm_header_selfcheck CMake target compiles every src/**/*.h standalone).
 //
 // Any finding can be suppressed with a comment on the same line or the
 // line above: // dcm-lint: allow(rule-id[, rule-id...])
@@ -25,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dcm_lint/call_graph.h"
 #include "dcm_lint/token.h"
 
 namespace dcm::lint {
@@ -40,6 +48,11 @@ struct FileContext {
   std::string_view path;  // repo-relative, '/'-separated
   const std::vector<Token>& tokens;
   const std::vector<Comment>& comments;
+  // Whole-tree facts: hot-path reachability and cross-file type knowledge.
+  // Always non-null when driven through lint_source/lint_sources/lint_tree.
+  const TreeFacts* tree = nullptr;
+
+  bool hot(int line) const { return tree != nullptr && tree->hot.is_hot(path, line); }
 };
 
 class Rule {
@@ -53,8 +66,9 @@ class Rule {
 /// The registry of all built-in token rules.
 const std::vector<std::unique_ptr<Rule>>& default_rules();
 
-/// True if `id` names a known rule (including header-self-sufficiency, so
-/// suppression comments for it do not trip the unknown-rule diagnostic).
+/// True if `id` names a known rule, including the tree-level pass ids
+/// (layering-violation, include-cycle) and header-self-sufficiency, so
+/// suppression comments for them do not trip the unknown-rule diagnostic.
 bool is_known_rule(std::string_view id);
 
 }  // namespace dcm::lint
