@@ -7,8 +7,10 @@
 // existing call sites compile unchanged and requests become one flat block.
 //
 // Only what the request path needs is implemented: trivially-copyable
-// element types, no erase/insert, capacity overflow is a DCM_CHECK failure
-// (the deepest registered topology is 4 tiers; N leaves headroom).
+// element types, no erase/insert, capacity overflow is a DCM_CHECK failure.
+// Capacities are derived from the service-graph bounds in ntier/request.h
+// (kMaxGraphNodes / kMaxGraphEdges / kMaxFanOut), not from the old linear
+// chain depth, so deep chains and wide fan-outs both fit by construction.
 #pragma once
 
 #include <cstddef>

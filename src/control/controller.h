@@ -71,6 +71,7 @@ class ControllerBase {
 
   sim::Engine& engine() { return *engine_; }
   ntier::NTierApp& app() { return *app_; }
+  const ntier::NTierApp& app() const { return *app_; }
   VmAgent& vm_agent() { return vm_agent_; }
   AppAgent& app_agent() { return app_agent_; }
   const ScalingPolicy& policy() const { return policy_; }

@@ -18,6 +18,7 @@
 
 #include "control/controller.h"
 #include "control/online_estimator.h"
+#include "model/bottleneck.h"
 #include "model/concurrency_model.h"
 
 namespace dcm::control {
@@ -65,6 +66,15 @@ class DcmController final : public ControllerBase {
 
   const model::ConcurrencyModel& app_tier_model() const { return config_.app_tier_model; }
   const model::ConcurrencyModel& db_tier_model() const { return config_.db_tier_model; }
+
+  /// Operational-law ranking of the deployment's service-graph nodes at the
+  /// current VM allocation: per-node capacity γ·K_m/(V_m·S0_m) with visit
+  /// ratios path-multiplied over the DAG and K_m = the node's active VM
+  /// count. The report's bottleneck_tier is the node index DCM considers
+  /// the system's capacity limiter (lowest capacity). Only valid for apps
+  /// built from a ServiceGraph; returns a report with bottleneck_tier = -1
+  /// for legacy chain apps.
+  model::BottleneckReport rank_graph_nodes() const;
 
   /// True while the watchdog has soft-resource actuation frozen.
   bool actuation_frozen() const { return frozen_; }

@@ -39,7 +39,124 @@ model::ServiceTimeParams parse_model_params(const std::string& section, const st
   return {parts[0], parts[1], parts[2]};
 }
 
+[[noreturn]] void topology_error(const std::string& message) {
+  throw std::runtime_error("config: [topology] " + message);
+}
+
+TopologySpec::Node parse_topology_node(const std::string& field) {
+  const std::vector<std::string> parts = split(field, ':');
+  if (parts.size() != 2) {
+    topology_error("node '" + field + "' must be 'name:role'");
+  }
+  TopologySpec::Node node;
+  node.name = std::string(trim(parts[0]));
+  node.role = std::string(trim(parts[1]));
+  if (node.name.empty() || node.role.empty()) {
+    topology_error("node '" + field + "' must be 'name:role'");
+  }
+  return node;
+}
+
+TopologySpec::Edge parse_topology_edge(const std::string& field) {
+  // from->to[:calls][:managed]; calls is a non-negative integer or 'q'.
+  const std::vector<std::string> parts = split(field, ':');
+  if (parts.empty() || parts.size() > 3) {
+    topology_error("edge '" + field + "' must be 'from->to:calls[:managed]'");
+  }
+  TopologySpec::Edge edge;
+  const size_t arrow = parts[0].find("->");
+  if (arrow == std::string::npos) {
+    topology_error("edge '" + field + "' is missing '->'");
+  }
+  edge.from = std::string(trim(std::string_view(parts[0]).substr(0, arrow)));
+  edge.to = std::string(trim(std::string_view(parts[0]).substr(arrow + 2)));
+  if (edge.from.empty() || edge.to.empty()) {
+    topology_error("edge '" + field + "' must name both endpoints");
+  }
+  if (parts.size() >= 2) {
+    const std::string calls(trim(parts[1]));
+    if (calls == "q") {
+      edge.servlet_calls = true;
+    } else {
+      const auto parsed = parse_int(calls);
+      if (!parsed || *parsed < 0) {
+        topology_error("edge '" + field + "' calls must be a non-negative integer or 'q'");
+      }
+      edge.calls = static_cast<int>(*parsed);
+    }
+  }
+  if (parts.size() == 3) {
+    if (trim(parts[2]) != "managed") {
+      topology_error("edge '" + field + "' trailing field must be 'managed'");
+    }
+    edge.managed = true;
+  }
+  return edge;
+}
+
 }  // namespace
+
+TopologySpec topology_spec_from_config(const Config& config) {
+  TopologySpec spec;
+  const std::string kind = config.get_string("topology", "kind", "chain3");
+  if (kind == "chain3") {
+    spec.kind = TopologySpec::Kind::kChain3;
+  } else if (kind == "chain4") {
+    spec.kind = TopologySpec::Kind::kChain4;
+  } else if (kind == "graph") {
+    spec.kind = TopologySpec::Kind::kGraph;
+  } else {
+    topology_error("unknown kind '" + kind + "' (expected chain3|chain4|graph)");
+  }
+  if (spec.kind != TopologySpec::Kind::kGraph) {
+    if (config.has("topology", "nodes") || config.has("topology", "edges")) {
+      topology_error("nodes/edges only apply to kind = graph");
+    }
+    return spec;
+  }
+  for (const std::string& field : split(config.get_string("topology", "nodes", ""), ',')) {
+    if (trim(field).empty()) topology_error("empty node entry in nodes list");
+    spec.nodes.push_back(parse_topology_node(std::string(trim(field))));
+  }
+  for (const std::string& field : split(config.get_string("topology", "edges", ""), ',')) {
+    if (trim(field).empty()) topology_error("empty edge entry in edges list");
+    spec.edges.push_back(parse_topology_edge(std::string(trim(field))));
+  }
+  if (spec.nodes.empty()) topology_error("kind = graph requires a nodes list");
+  return spec;
+}
+
+const char* topology_kind_name(TopologySpec::Kind kind) {
+  switch (kind) {
+    case TopologySpec::Kind::kChain3:
+      return "chain3";
+    case TopologySpec::Kind::kChain4:
+      return "chain4";
+    case TopologySpec::Kind::kGraph:
+      return "graph";
+  }
+  throw std::runtime_error("config: corrupt topology kind");
+}
+
+std::string topology_nodes_to_string(const TopologySpec& spec) {
+  std::string out;
+  for (const auto& node : spec.nodes) {
+    if (!out.empty()) out += ", ";
+    out += node.name + ":" + node.role;
+  }
+  return out;
+}
+
+std::string topology_edges_to_string(const TopologySpec& spec) {
+  std::string out;
+  for (const auto& edge : spec.edges) {
+    if (!out.empty()) out += ", ";
+    out += edge.from + "->" + edge.to + ":" +
+           (edge.servlet_calls ? std::string("q") : std::to_string(edge.calls));
+    if (edge.managed) out += ":managed";
+  }
+  return out;
+}
 
 ExperimentConfig experiment_from_config(const Config& config) {
   ExperimentConfig experiment;
@@ -52,6 +169,8 @@ ExperimentConfig experiment_from_config(const Config& config) {
   experiment.soft.app_threads = static_cast<int>(config.get_int("soft", "app_threads", 100));
   experiment.soft.db_connections =
       static_cast<int>(config.get_int("soft", "db_connections", 80));
+
+  experiment.topology = topology_spec_from_config(config);
 
   experiment.duration_seconds = config.get_double("run", "duration", 300.0);
   experiment.warmup_seconds = config.get_double("run", "warmup", 30.0);

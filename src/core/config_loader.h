@@ -12,6 +12,11 @@
 //                 control_period, scale_out_util, scale_in_util,
 //                 scale_in_consecutive, predictive, sla_rt,
 //                 headroom, online_estimation
+//   [topology]    kind = chain3|chain4|graph
+//                 nodes = name:role, ...         (graph only)
+//                 edges = from->to:calls[:managed], ...  (graph only;
+//                         calls is a non-negative integer or `q`, the
+//                         sampled servlet's query count)
 //   [run]         duration, warmup, seed, max_vms
 #pragma once
 
@@ -28,5 +33,16 @@ ExperimentConfig experiment_from_config(const Config& config);
 
 /// Convenience: load + translate.
 ExperimentConfig experiment_from_file(const std::string& path);
+
+/// Parses the optional [topology] section into a TopologySpec. Strict:
+/// throws on an unknown kind, malformed node/edge spellings, or graph-only
+/// keys (nodes/edges) under a chain kind. Absent section = chain3.
+TopologySpec topology_spec_from_config(const Config& config);
+
+/// Canonical text spellings (the exact forms topology_spec_from_config
+/// emits back unchanged): "chain3", "name:role, ...", "a->b:calls[:managed]".
+const char* topology_kind_name(TopologySpec::Kind kind);
+std::string topology_nodes_to_string(const TopologySpec& spec);
+std::string topology_edges_to_string(const TopologySpec& spec);
 
 }  // namespace dcm::core

@@ -80,14 +80,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const uint64_t fault_seed = experiment_stream_seed(config.seed, SeedStream::kFault);
 
   sim::Engine engine;
-  ntier::NTierApp app(engine, rubbos_app_config(config.hardware, config.soft, topology_seed,
-                                                config.max_vms_per_tier));
+  ntier::NTierApp app(engine,
+                      build_service_graph(config.topology, config.hardware, config.soft,
+                                          config.max_vms_per_tier),
+                      topology_seed);
+  const ntier::ServiceGraph& graph = *app.graph();
   bus::Broker broker;
   ntier::MonitorFleet fleet(engine, app, broker);
 
   if (config.resilience.enabled) {
-    // Inter-tier sub-request deadlines/retries on every tier that has a
-    // downstream, and health-checked balancing on every scalable tier.
+    // Inter-tier sub-request deadlines/retries on every node that issues
+    // downstream calls, and health-checked balancing on every non-root node.
     ntier::SubRequestRetryPolicy sub_retry;
     sub_retry.timeout_seconds = config.resilience.subrequest_timeout_seconds;
     sub_retry.max_retries = config.resilience.subrequest_retries;
@@ -96,27 +99,29 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     health.failure_threshold = config.resilience.health_failure_threshold;
     health.replace_failed = config.resilience.replace_failed;
     for (size_t i = 0; i < app.tier_count(); ++i) {
-      if (i + 1 < app.tier_count()) app.tier(i).set_subrequest_retry(sub_retry);
+      if (!graph.out_edges(i).empty()) app.tier(i).set_subrequest_retry(sub_retry);
       if (i > 0) app.tier(i).enable_health_checks(health);
     }
   }
 
   const workload::ServletCatalog catalog = workload::ServletCatalog::browse_only_mix(kDbVisitRatio);
+  workload::RequestFactory factory = workload::graph_request_factory(catalog, graph);
 
   std::unique_ptr<workload::ClosedLoopGenerator> generator;
   std::unique_ptr<workload::TracePlayer> player;
   switch (config.workload.kind) {
     case WorkloadSpec::Kind::kJmeter:
-      generator = workload::make_jmeter(engine, app, catalog, config.workload.users,
-                                        workload_seed);
+      generator = workload::make_jmeter(engine, app, std::move(factory),
+                                        config.workload.users, workload_seed);
       break;
     case WorkloadSpec::Kind::kRubbosClients:
-      generator = workload::make_rubbos_clients(engine, app, catalog, config.workload.users,
+      generator = workload::make_rubbos_clients(engine, app, std::move(factory),
+                                                config.workload.users,
                                                 config.workload.mean_think_seconds,
                                                 workload_seed);
       break;
     case WorkloadSpec::Kind::kTrace:
-      generator = workload::make_rubbos_clients(engine, app, catalog,
+      generator = workload::make_rubbos_clients(engine, app, std::move(factory),
                                                 config.workload.trace.users_at(0),
                                                 config.workload.mean_think_seconds,
                                                 workload_seed);
@@ -150,6 +155,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     case ControllerSpec::Kind::kDcm: {
       control::DcmConfig dcm_config = config.controller.dcm;
       dcm_config.policy = config.controller.policy;
+      // When the caller left the managed pair at the 3-tier defaults, derive
+      // it from the graph roles (first app node / first db node) so non-chain
+      // topologies get the right pair without explicit indexes. Chains derive
+      // their existing values, so this never shifts a legacy configuration.
+      if (dcm_config.app_tier == 1 && dcm_config.db_tier == 2) {
+        const int app_node = graph.first_node_with_role(ntier::NodeRole::kApp);
+        const int db_node = graph.first_node_with_role(ntier::NodeRole::kDb);
+        if (app_node >= 0 && db_node >= 0 && app_node < db_node) {
+          dcm_config.app_tier = static_cast<size_t>(app_node);
+          dcm_config.db_tier = static_cast<size_t>(db_node);
+        }
+      }
       if (config.resilience.enabled) {
         dcm_config.watchdog_periods = config.resilience.watchdog_periods;
         dcm_config.min_fit_r2 = config.resilience.min_fit_r2;
@@ -315,6 +332,10 @@ std::vector<SweepPoint> jmeter_concurrency_sweep(const ExperimentConfig& base,
     config.controller = ControllerSpec::none();
     if (match_app_pools) config.soft.app_threads = c;
     const ExperimentResult result = run_experiment(config);
+    // Per-node server counts come from the materialized topology (for the
+    // chains this reproduces the old web/app/db hardware mapping).
+    const ntier::ServiceGraph graph = build_service_graph(
+        config.topology, config.hardware, config.soft, config.max_vms_per_tier);
 
     SweepPoint point;
     point.concurrency = c;
@@ -327,9 +348,7 @@ std::vector<SweepPoint> jmeter_concurrency_sweep(const ExperimentConfig& base,
         if (bucket.start < warmup) continue;
         conc.merge(bucket.stat);
       }
-      const int servers = i == 0   ? config.hardware.web
-                          : i == 1 ? config.hardware.app
-                                   : config.hardware.db;
+      const int servers = graph.node(i).tier.initial_vms;
       point.per_server_concurrency.push_back(conc.mean() / std::max(1, servers));
     }
     points.push_back(std::move(point));

@@ -68,6 +68,10 @@ struct ResilienceSpec {
 struct ExperimentConfig {
   HardwareConfig hardware;
   SoftAllocation soft;
+  /// Deployment shape (default: the 3-tier chain). Every kind lowers to a
+  /// ServiceGraph; the chains are degenerate DAGs that reproduce the legacy
+  /// per-depth wiring — and its result digests — bit-for-bit.
+  TopologySpec topology;
   WorkloadSpec workload;
   ControllerSpec controller;
   /// Fault schedule rates; all-zero (the default) injects nothing. The

@@ -1,10 +1,88 @@
 #include "core/topologies.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 
 namespace dcm::core {
+
+namespace {
+
+[[noreturn]] void spec_error(const std::string& message) {
+  throw std::runtime_error("topology: " + message);
+}
+
+/// The HAProxy pass-through tier of the 4-tier layout: forwarding work only,
+/// effectively unbounded event loop, never scaled (as in the paper).
+ntier::TierConfig haproxy_tier_config() {
+  ntier::TierConfig lb;
+  lb.name = "haproxy";
+  lb.server.cpu.params = {5.0e-5, 1.0e-7, 1.0e-10};  // ~50 µs per forward
+  lb.server.cpu.thrash_threshold = 1e18;
+  lb.server.cpu.thrash_factor = 0.0;
+  lb.server.max_threads = 10000;
+  lb.server.downstream_connections = 0;
+  lb.server.pre_fraction = 0.5;
+  lb.server.demand_cv = 0.05;
+  lb.initial_vms = 1;
+  lb.min_vms = 1;
+  lb.max_vms = 1;
+  return lb;
+}
+
+/// Per-role tier template for kGraph nodes. Web/app/db reuse the calibrated
+/// rubbos tiers; lb is the HAProxy pass-through; cache is a memcached-like
+/// in-memory store (scalable, single CPU phase).
+ntier::TierConfig graph_node_tier(const std::string& name, ntier::NodeRole role,
+                                  HardwareConfig hw, SoftAllocation soft,
+                                  int max_vms_per_tier) {
+  ntier::TierConfig tier;
+  tier.name = name;
+  switch (role) {
+    case ntier::NodeRole::kWeb:
+      tier.server.cpu = apache_cpu_model();
+      tier.server.max_threads = soft.web_threads;
+      tier.server.pre_fraction = 0.5;
+      tier.server.demand_cv = 0.10;
+      tier.initial_vms = hw.web;
+      tier.max_vms = std::max(hw.web, max_vms_per_tier);
+      break;
+    case ntier::NodeRole::kApp:
+      tier.server.cpu = tomcat_cpu_model();
+      tier.server.max_threads = soft.app_threads;
+      tier.server.pre_fraction = 0.5;
+      tier.server.demand_cv = 0.25;
+      tier.initial_vms = hw.app;
+      tier.max_vms = std::max(hw.app, max_vms_per_tier);
+      break;
+    case ntier::NodeRole::kDb:
+      tier.server.cpu = mysql_cpu_model();
+      tier.server.max_threads = 1000;
+      tier.server.pre_fraction = 1.0;  // leaf: single CPU phase
+      tier.server.demand_cv = 0.25;
+      tier.initial_vms = hw.db;
+      tier.max_vms = std::max(hw.db, max_vms_per_tier);
+      break;
+    case ntier::NodeRole::kLb:
+      return haproxy_tier_config();
+    case ntier::NodeRole::kCache:
+      tier.server.cpu = cache_cpu_model();
+      tier.server.max_threads = 500;
+      tier.server.pre_fraction = 1.0;  // leaf: single CPU phase
+      tier.server.demand_cv = 0.10;
+      tier.initial_vms = 1;
+      tier.max_vms = max_vms_per_tier;
+      break;
+  }
+  tier.server.downstream_connections = 0;  // pools are declared on edges
+  tier.min_vms = 1;
+  return tier;
+}
+
+}  // namespace
 
 ntier::CpuModelConfig apache_cpu_model() {
   ntier::CpuModelConfig cpu;
@@ -31,6 +109,16 @@ ntier::CpuModelConfig mysql_cpu_model() {
   cpu.params = {7.19e-3, 5.04e-3, 1.65e-6};
   cpu.thrash_threshold = 64.0;
   cpu.thrash_factor = 1.0e-4;
+  return cpu;
+}
+
+ntier::CpuModelConfig cache_cpu_model() {
+  ntier::CpuModelConfig cpu;
+  // Memcached-like GET: ~2 ms mean including the network hop, tiny
+  // per-thread overhead, no thrash regime in any reachable range.
+  cpu.params = {2.0e-3, 2.0e-5, 1.0e-9};
+  cpu.thrash_threshold = 1e18;
+  cpu.thrash_factor = 0.0;
   return cpu;
 }
 
@@ -82,38 +170,99 @@ ntier::AppConfig rubbos_app_config(HardwareConfig hw, SoftAllocation soft, uint6
   return config;
 }
 
-ntier::AppConfig rubbos_4tier_app_config(HardwareConfig hw, SoftAllocation soft, uint64_t seed,
-                                         int max_vms_per_tier) {
-  ntier::AppConfig config = rubbos_app_config(hw, soft, seed, max_vms_per_tier);
+ntier::ServiceGraph build_service_graph(const TopologySpec& spec, HardwareConfig hw,
+                                        SoftAllocation soft, int max_vms_per_tier) {
+  if (spec.kind == TopologySpec::Kind::kChain3) {
+    // Byte-identical tier templates to the legacy chain app; the edges are
+    // the chain's hops in depth order, so edge id == source depth and the
+    // graph deployment reproduces the chain digests bit-for-bit.
+    const ntier::AppConfig chain = rubbos_app_config(hw, soft, /*seed=*/1, max_vms_per_tier);
+    std::vector<ntier::ServiceNode> nodes;
+    nodes.push_back({chain.tiers[0], ntier::NodeRole::kWeb});
+    nodes.push_back({chain.tiers[1], ntier::NodeRole::kApp});
+    nodes.push_back({chain.tiers[2], ntier::NodeRole::kDb});
+    std::vector<ntier::ServiceEdge> edges;
+    edges.push_back({/*from=*/0, /*to=*/1, /*fixed_calls=*/1, /*servlet_calls=*/false,
+                     /*mean_calls=*/1.0, /*pool_capacity=*/0, /*managed=*/false});
+    // The app→db edge is throttled by the tier template's DBConnP (the
+    // pool lives in the TierConfig for single-edge nodes); the managed flag
+    // records it as the DCM-actuated soft resource.
+    edges.push_back({/*from=*/1, /*to=*/2, /*fixed_calls=*/0, /*servlet_calls=*/true,
+                     /*mean_calls=*/kDbVisitRatio, /*pool_capacity=*/soft.db_connections,
+                     /*managed=*/true});
+    return ntier::ServiceGraph(std::move(nodes), std::move(edges));
+  }
+  if (spec.kind == TopologySpec::Kind::kChain4) {
+    const ntier::AppConfig chain = rubbos_app_config(hw, soft, /*seed=*/1, max_vms_per_tier);
+    std::vector<ntier::ServiceNode> nodes;
+    nodes.push_back({chain.tiers[0], ntier::NodeRole::kWeb});
+    nodes.push_back({chain.tiers[1], ntier::NodeRole::kApp});
+    nodes.push_back({haproxy_tier_config(), ntier::NodeRole::kLb});
+    nodes.push_back({chain.tiers[2], ntier::NodeRole::kDb});
+    std::vector<ntier::ServiceEdge> edges;
+    edges.push_back({0, 1, 1, false, 1.0, 0, false});
+    // Each app-tier query takes one LB hop; the app's DBConnP throttles the
+    // app→lb calls exactly as the old 4-tier hop plumbing did.
+    edges.push_back({1, 2, 0, true, kDbVisitRatio, soft.db_connections, true});
+    edges.push_back({2, 3, 1, false, 1.0, 0, false});
+    return ntier::ServiceGraph(std::move(nodes), std::move(edges));
+  }
 
-  // Insert the HAProxy tier between app and db: forwarding work only.
-  ntier::TierConfig lb;
-  lb.name = "haproxy";
-  lb.server.cpu.params = {5.0e-5, 1.0e-7, 1.0e-10};  // ~50 µs per forward
-  lb.server.max_threads = 10000;  // effectively unbounded event loop
-  lb.server.downstream_connections = 0;
-  lb.server.pre_fraction = 0.5;
-  lb.server.demand_cv = 0.05;
-  lb.initial_vms = 1;
-  lb.min_vms = 1;
-  lb.max_vms = 1;  // the paper never scales the LB tier
-  config.tiers.insert(config.tiers.begin() + 2, lb);
-  return config;
+  // kGraph: named nodes with roles, edges by name.
+  if (spec.nodes.empty()) spec_error("graph topology declares no nodes");
+  std::unordered_map<std::string, int> ids;
+  std::vector<ntier::ServiceNode> nodes;
+  nodes.reserve(spec.nodes.size());
+  for (const auto& n : spec.nodes) {
+    if (n.name.empty()) spec_error("graph node with empty name");
+    ntier::NodeRole role;
+    if (!ntier::parse_node_role(n.role, &role)) {
+      spec_error("node '" + n.name + "' has unknown role '" + n.role +
+                 "' (want web|app|db|lb|cache)");
+    }
+    if (!ids.emplace(n.name, static_cast<int>(nodes.size())).second) {
+      spec_error("duplicate node name '" + n.name + "'");
+    }
+    nodes.push_back({graph_node_tier(n.name, role, hw, soft, max_vms_per_tier), role});
+  }
+  std::vector<ntier::ServiceEdge> edges;
+  edges.reserve(spec.edges.size());
+  for (const auto& e : spec.edges) {
+    const auto from = ids.find(e.from);
+    const auto to = ids.find(e.to);
+    if (from == ids.end()) spec_error("edge references undeclared node '" + e.from + "'");
+    if (to == ids.end()) spec_error("edge references undeclared node '" + e.to + "'");
+    if (!e.servlet_calls && e.calls < 0) {
+      spec_error("edge " + e.from + "->" + e.to + " has negative calls");
+    }
+    ntier::ServiceEdge edge;
+    edge.from = from->second;
+    edge.to = to->second;
+    edge.fixed_calls = e.servlet_calls ? 0 : e.calls;
+    edge.servlet_calls = e.servlet_calls;
+    edge.mean_calls = e.servlet_calls ? kDbVisitRatio : static_cast<double>(e.calls);
+    edge.pool_capacity = e.managed ? soft.db_connections : 0;
+    edge.managed = e.managed;
+    edges.push_back(edge);
+  }
+  // Single-edge nodes route their pool through the tier template (the
+  // legacy DBConnP mechanism); only fan-out nodes carry per-edge pools.
+  std::vector<int> out_count(nodes.size(), 0);
+  for (const auto& e : edges) ++out_count[static_cast<size_t>(e.from)];
+  for (const auto& e : edges) {
+    if (e.pool_capacity > 0 && out_count[static_cast<size_t>(e.from)] == 1) {
+      nodes[static_cast<size_t>(e.from)].tier.server.downstream_connections =
+          e.pool_capacity;
+    }
+  }
+  return ntier::ServiceGraph(std::move(nodes), std::move(edges));
 }
 
-workload::RequestFactory four_tier_request_factory(const workload::ServletCatalog& catalog) {
-  return [&catalog](sim::Arena* arena, uint64_t id, Rng& rng, sim::SimTime now) {
-    const size_t index = catalog.sample(rng);
-    const auto& servlet = catalog.servlet(index);
-    auto req = ntier::make_request_context(arena);
-    req->id = id;
-    req->servlet = static_cast<int>(index);
-    req->created = now;
-    // web → app → haproxy → db; each app-tier query takes one LB hop.
-    req->demand_scale = {servlet.web_scale, servlet.app_scale, 1.0, servlet.db_scale};
-    req->downstream_calls = {1, servlet.db_queries, 1, 0};
-    return req;
-  };
+ntier::ServiceGraph rubbos_4tier_graph(HardwareConfig hw, SoftAllocation soft,
+                                       int max_vms_per_tier) {
+  TopologySpec spec;
+  spec.kind = TopologySpec::Kind::kChain4;
+  return build_service_graph(spec, hw, soft, max_vms_per_tier);
 }
 
 ntier::AppConfig mysql_only_app_config(int worker_cap, uint64_t seed) {

@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "model/concurrency_model.h"
 #include "ntier/app.h"
+#include "ntier/service_graph.h"
 #include "workload/closed_loop.h"
 #include "workload/servlet.h"
 
@@ -22,6 +25,9 @@ inline constexpr double kDbVisitRatio = 2.0;
 ntier::CpuModelConfig apache_cpu_model();
 ntier::CpuModelConfig tomcat_cpu_model();
 ntier::CpuModelConfig mysql_cpu_model();
+/// Memcached-like in-memory cache node: sub-millisecond GETs with
+/// near-linear thread scaling (used by `cache`-role graph nodes).
+ntier::CpuModelConfig cache_cpu_model();
 
 /// The paper's three-digit hardware notation #W/#A/#D.
 struct HardwareConfig {
@@ -46,16 +52,49 @@ struct SoftAllocation {
 ntier::AppConfig rubbos_app_config(HardwareConfig hw, SoftAllocation soft, uint64_t seed = 1,
                                    int max_vms_per_tier = 8);
 
-/// The paper's alternative 4-tier deployment: an HAProxy tier fronting the
-/// databases (web/app/db-lb/db). The LB tier is a near-zero-demand
-/// pass-through and is never scaled; requests built by
-/// four_tier_request_factory() carry the extra hop.
-ntier::AppConfig rubbos_4tier_app_config(HardwareConfig hw, SoftAllocation soft,
-                                         uint64_t seed = 1, int max_vms_per_tier = 8);
+/// Declarative deployment shape. The two canonical chains are built-in
+/// (kChain3 = web/app/db, kChain4 = web/app/db-lb/db with the HAProxy hop);
+/// kGraph materializes an arbitrary DAG from named nodes with roles and
+/// typed edges. Every kind lowers to the same ServiceGraph representation —
+/// a chain is just the degenerate DAG.
+struct TopologySpec {
+  enum class Kind { kChain3, kChain4, kGraph };
 
-/// Request factory for the 4-tier layout (demand plan: web → app →
-/// db-lb → db, with the servlet's queries fanned through the LB hop).
-workload::RequestFactory four_tier_request_factory(const workload::ServletCatalog& catalog);
+  struct Node {
+    std::string name;  // tier name, unique within the spec
+    std::string role;  // "web" | "app" | "db" | "lb" | "cache"
+    bool operator==(const Node&) const = default;
+  };
+  struct Edge {
+    std::string from;
+    std::string to;
+    int calls = 1;              // fixed calls per visit (servlet_calls off)
+    bool servlet_calls = false;  // calls = the sampled servlet's query count
+    bool managed = false;        // DCM-actuated connection pool on this edge
+    bool operator==(const Edge&) const = default;
+  };
+
+  Kind kind = Kind::kChain3;
+  std::vector<Node> nodes;  // kGraph only; node 0 = client-facing root
+  std::vector<Edge> edges;  // kGraph only; declaration order = edge ids
+
+  bool operator==(const TopologySpec&) const = default;
+};
+
+/// Materializes a TopologySpec into a validated ServiceGraph with the
+/// calibrated per-role tier templates (hardware counts and soft allocations
+/// applied as in rubbos_app_config; the managed edge's pool gets
+/// soft.db_connections). Throws std::runtime_error on an invalid spec
+/// (unknown role, duplicate/undeclared node names, cycles, ...).
+ntier::ServiceGraph build_service_graph(const TopologySpec& spec, HardwareConfig hw,
+                                        SoftAllocation soft, int max_vms_per_tier = 8);
+
+/// The paper's alternative 4-tier deployment (web/app/db-lb/db with a
+/// near-zero-demand HAProxy pass-through that is never scaled), expressed as
+/// a degenerate chain graph: edges web→app (1 call), app→lb (the servlet's
+/// queries, throttled by the managed DB connection pool), lb→db (1 call).
+ntier::ServiceGraph rubbos_4tier_graph(HardwareConfig hw, SoftAllocation soft,
+                                       int max_vms_per_tier = 8);
 
 /// Single-tier MySQL deployment for the Fig. 2(a) stress experiment: the
 /// worker cap is the "matching thread pool size" knob, so the offered JMeter

@@ -47,4 +47,15 @@ double utilization_at_throughput(const TierDemand& tier, double x) {
          (tier.gamma * static_cast<double>(tier.servers));
 }
 
+std::vector<double> concurrency_at_throughput(const std::vector<TierDemand>& tiers, double x) {
+  DCM_CHECK(x >= 0.0);
+  std::vector<double> concurrency;
+  concurrency.reserve(tiers.size());
+  for (const TierDemand& t : tiers) {
+    DCM_CHECK(t.visit_ratio >= 0.0 && t.service_time >= 0.0);
+    concurrency.push_back(x * t.visit_ratio * t.service_time);
+  }
+  return concurrency;
+}
+
 }  // namespace dcm::model

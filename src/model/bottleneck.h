@@ -37,4 +37,10 @@ double throughput_from_utilization(const TierDemand& tier, double utilization);
 /// Utilization Law inverse: utilisation of `tier` at system throughput x.
 double utilization_at_throughput(const TierDemand& tier, double x);
 
+/// Little's-law propagation: in-flight requests at each tier when the
+/// system runs at throughput x — N_m = x · V_m · S_m, totalled across the
+/// tier's servers. With DAG-derived visit ratios (propagate_visit_ratios)
+/// this is the per-node effective concurrency a graph topology induces.
+std::vector<double> concurrency_at_throughput(const std::vector<TierDemand>& tiers, double x);
+
 }  // namespace dcm::model

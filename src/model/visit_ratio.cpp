@@ -1,10 +1,67 @@
 #include "model/visit_ratio.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "common/check.h"
 
 namespace dcm::model {
+
+std::vector<double> propagate_visit_ratios(size_t node_count,
+                                           const std::vector<VisitEdge>& edges) {
+  if (node_count == 0) return {};
+  const int n = static_cast<int>(node_count);
+  std::vector<int> in_degree(node_count, 0);
+  for (const auto& e : edges) {
+    if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n) {
+      throw std::runtime_error("propagate_visit_ratios: edge " + std::to_string(e.from) +
+                               "->" + std::to_string(e.to) + " references a node outside [0, " +
+                               std::to_string(n) + ")");
+    }
+    if (e.calls < 0.0) {
+      throw std::runtime_error("propagate_visit_ratios: edge " + std::to_string(e.from) +
+                               "->" + std::to_string(e.to) + " has negative calls-per-visit");
+    }
+    ++in_degree[static_cast<size_t>(e.to)];
+  }
+
+  // Kahn topological pass; V accumulates path-multiplied contributions as
+  // nodes retire. Whatever never reaches in-degree 0 is on (or behind) a
+  // cycle, which we report by node id so scenario authors can fix the spec.
+  std::vector<double> visit(node_count, 0.0);
+  visit[0] = 1.0;
+  std::vector<int> ready;
+  ready.reserve(node_count);
+  for (int i = 0; i < n; ++i) {
+    if (in_degree[static_cast<size_t>(i)] == 0) ready.push_back(i);
+  }
+  size_t processed = 0;
+  // `ready` doubles as the processing queue; ids are appended as their last
+  // in-edge retires, so iteration order is deterministic.
+  for (size_t head = 0; head < ready.size(); ++head) {
+    const int node = ready[head];
+    ++processed;
+    for (const auto& e : edges) {
+      if (e.from != node) continue;
+      visit[static_cast<size_t>(e.to)] += visit[static_cast<size_t>(node)] * e.calls;
+      if (--in_degree[static_cast<size_t>(e.to)] == 0) ready.push_back(e.to);
+    }
+  }
+  if (processed != node_count) {
+    std::string cyclic;
+    for (int i = 0; i < n; ++i) {
+      if (in_degree[static_cast<size_t>(i)] > 0) {
+        if (!cyclic.empty()) cyclic += ", ";
+        cyclic += std::to_string(i);
+      }
+    }
+    throw std::runtime_error(
+        "propagate_visit_ratios: service graph has a cycle involving nodes {" + cyclic +
+        "}; visit ratios are only defined on a DAG");
+  }
+  return visit;
+}
 
 VisitRatioEstimator::VisitRatioEstimator(size_t tiers) : throughput_sum_(tiers, 0.0) {
   DCM_CHECK(tiers >= 1);

@@ -1,4 +1,5 @@
-// Visit-ratio estimation from monitoring data (Forced Flow Law, Eq. 1).
+// Visit-ratio estimation from monitoring data (Forced Flow Law, Eq. 1) and
+// static visit-ratio propagation over a service DAG.
 //
 // The paper assumes V_m is known from workload characteristics ("a sample
 // HTTP request … triggers two subsequent queries to MySQL"). In production
@@ -6,6 +7,12 @@
 // the ratio of tier-m completion throughput to front-tier (system)
 // throughput over a window. Feed it the per-second per-server throughputs
 // the monitoring bus already carries.
+//
+// For non-chain topologies the static V_m comes from the topology itself:
+// each call edge carries a mean calls-per-visit multiplier, and a node's
+// visit ratio is the path-multiplied sum over every root→node path
+// (propagate_visit_ratios below). A chain web→app→db with 1 and q calls per
+// hop degenerates to the paper's V = {1, 1, q}.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +20,26 @@
 #include <vector>
 
 namespace dcm::model {
+
+/// One typed call edge of a service DAG for visit-ratio propagation:
+/// every visit of node `from` issues `calls` sub-requests to node `to`
+/// (mean over the request mix; fractional values are fine).
+struct VisitEdge {
+  int from = 0;
+  int to = 0;
+  double calls = 1.0;
+};
+
+/// Path-multiplied visit ratios over a service DAG. Node 0 is the root
+/// (V_0 = 1); V_to accumulates V_from · calls over every edge, evaluated in
+/// topological order, so a node reached along several paths sums their
+/// contributions. Nodes unreachable from the root keep V = 0.
+///
+/// Throws std::runtime_error with the offending node set if the edges
+/// contain a cycle (visit ratios would diverge), or if an edge references a
+/// node outside [0, node_count) or carries negative calls.
+std::vector<double> propagate_visit_ratios(size_t node_count,
+                                           const std::vector<VisitEdge>& edges);
 
 class VisitRatioEstimator {
  public:

@@ -16,6 +16,35 @@ NTierApp::NTierApp(sim::Engine& engine, AppConfig config) : engine_(&engine), rn
   }
 }
 
+NTierApp::NTierApp(sim::Engine& engine, ServiceGraph graph, uint64_t seed)
+    : engine_(&engine), rng_(seed) {
+  graph_ = std::make_unique<ServiceGraph>(std::move(graph));
+  // Same construction order as the chain constructor: every node forks rng_
+  // exactly once, in node-id order, before any wiring happens.
+  tiers_.reserve(graph_->node_count());
+  for (size_t node = 0; node < graph_->node_count(); ++node) {
+    tiers_.push_back(std::make_unique<Tier>(engine, graph_->node(node).tier,
+                                            static_cast<int>(node), rng_));
+  }
+  for (size_t node = 0; node < graph_->node_count(); ++node) {
+    const std::vector<int>& out = graph_->out_edges(node);
+    if (out.empty()) continue;  // leaf
+    if (out.size() == 1) {
+      const ServiceEdge& e = graph_->edge(static_cast<size_t>(out[0]));
+      tiers_[node]->set_downstream_edge(tiers_[static_cast<size_t>(e.to)].get(), out[0]);
+      continue;
+    }
+    std::vector<ServerFanoutEdge> specs;
+    specs.reserve(out.size());
+    for (int edge_id : out) {
+      const ServiceEdge& e = graph_->edge(static_cast<size_t>(edge_id));
+      specs.push_back(ServerFanoutEdge{tiers_[static_cast<size_t>(e.to)].get(), edge_id,
+                                       e.pool_capacity, e.managed});
+    }
+    tiers_[node]->set_fanout_edges(specs);
+  }
+}
+
 void NTierApp::submit(const RequestPtr& request, DoneFn done) {
   tiers_.front()->dispatch(request, std::move(done));
 }

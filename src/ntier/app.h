@@ -1,5 +1,7 @@
-// NTierApp — the deployed application: a chain of tiers (e.g. Apache web →
-// Tomcat app → MySQL DB), wired front to back.
+// NTierApp — the deployed application. Either a chain of tiers (e.g. Apache
+// web → Tomcat app → MySQL DB) wired front to back, or an arbitrary
+// service-graph DAG whose node 0 is the client-facing root; a chain declared
+// in depth order builds identically through either constructor.
 #pragma once
 
 #include <memory>
@@ -7,6 +9,7 @@
 
 #include "common/rng.h"
 #include "ntier/request.h"
+#include "ntier/service_graph.h"
 #include "ntier/tier.h"
 #include "sim/engine.h"
 
@@ -20,6 +23,13 @@ struct AppConfig {
 class NTierApp {
  public:
   NTierApp(sim::Engine& engine, AppConfig config);
+
+  /// Graph deployment: one Tier per graph node (node id = tier depth, node 0
+  /// client-facing), edges wired per the graph's out-edge lists. Tier
+  /// construction — and therefore Rng fork order — matches the chain
+  /// constructor node-for-node, so a chain graph reproduces the chain app's
+  /// random streams exactly.
+  NTierApp(sim::Engine& engine, ServiceGraph graph, uint64_t seed);
 
   NTierApp(const NTierApp&) = delete;
   NTierApp& operator=(const NTierApp&) = delete;
@@ -37,10 +47,14 @@ class NTierApp {
   Rng& rng() { return rng_; }
   uint64_t next_request_id() { return next_request_id_++; }
 
+  /// The deployment's service graph; nullptr for chain-constructed apps.
+  const ServiceGraph* graph() const { return graph_.get(); }
+
  private:
   sim::Engine* engine_;
   Rng rng_;
   std::vector<std::unique_ptr<Tier>> tiers_;
+  std::unique_ptr<ServiceGraph> graph_;
   uint64_t next_request_id_ = 1;
 };
 

@@ -17,20 +17,33 @@
 
 namespace dcm::ntier {
 
-/// Upper bound on tier-chain depth for the inline per-tier arrays below.
-/// The deepest registered topology is 4 tiers; 8 leaves headroom.
-inline constexpr size_t kMaxTiers = 8;
+/// Compile-time bounds for the inline per-request arrays below, sized for
+/// service-graph topologies rather than the old linear chain. A graph may
+/// hold kMaxGraphNodes tiers and kMaxGraphEdges typed call edges; any single
+/// node may fan out to at most kMaxFanOut downstream edges. The deepest
+/// registered topology is a 10-node chain regression case; 12/16 leave
+/// headroom without bloating the per-request footprint.
+inline constexpr size_t kMaxGraphNodes = 12;
+inline constexpr size_t kMaxGraphEdges = 16;
+inline constexpr size_t kMaxFanOut = 6;
+static_assert(kMaxFanOut <= kMaxGraphEdges);
+
+/// Back-compat alias: chains index both arrays by tier depth, and depth is
+/// bounded by the node count.
+inline constexpr size_t kMaxTiers = kMaxGraphNodes;
 
 struct RequestContext {
   uint64_t id = 0;
   int servlet = -1;            // index into the servlet catalog (-1 = generic)
   sim::SimTime created = 0;
 
-  /// demand_scale[d] multiplies tier d's base CPU demand for this request.
+  /// demand_scale[n] multiplies node n's base CPU demand for this request.
   /// Inline (no heap) — a request is one flat allocation.
-  InlineVec<double, kMaxTiers> demand_scale;
-  /// downstream_calls[d] = number of sub-requests tier d sends to tier d+1.
-  InlineVec<int, kMaxTiers> downstream_calls;
+  InlineVec<double, kMaxGraphNodes> demand_scale;
+  /// downstream_calls[e] = number of sub-requests issued along graph edge e.
+  /// Chains declare their edges in depth order, so for them edge id == the
+  /// issuing tier's depth and this keeps its historical meaning.
+  InlineVec<int, kMaxGraphEdges> downstream_calls;
 
   /// Null unless this request was head-sampled by the run's Tracer. Every
   /// instrumentation hook is gated on this pointer — the untraced hot path

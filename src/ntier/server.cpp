@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -15,7 +16,8 @@ Server::Server(sim::Engine& engine, ServerConfig config, int depth, Rng rng)
       depth_(depth),
       rng_(rng),
       workers_(engine, config_.name, ".workers", config_.max_threads),
-      cpu_(engine, config_.cpu) {
+      cpu_(engine, config_.cpu),
+      primary_edge_id_(depth) {
   DCM_CHECK(depth_ >= 0);
   DCM_CHECK(config_.pre_fraction >= 0.0 && config_.pre_fraction <= 1.0);
   if (config_.demand_cv > 0.0) {
@@ -28,6 +30,32 @@ Server::Server(sim::Engine& engine, ServerConfig config, int depth, Rng rng)
   if (config_.downstream_connections > 0) {
     conns_ = std::make_unique<SlotPool>(engine, config_.name, ".conns",
                                         config_.downstream_connections);
+  }
+}
+
+void Server::set_fanout_edges(const std::vector<ServerFanoutEdge>& edges) {
+  DCM_CHECK_MSG(downstream_ == nullptr, "fan-out is mutually exclusive with set_downstream");
+  DCM_CHECK_MSG(fanout_.empty(), "fan-out edges already installed");
+  DCM_CHECK_MSG(edges.size() >= 2 && edges.size() <= kMaxFanOut,
+                "fan-out needs 2..kMaxFanOut edges");
+  fanout_.reserve(edges.size());
+  for (const auto& spec : edges) {
+    DCM_CHECK(spec.target != nullptr);
+    DCM_CHECK(spec.edge_id >= 0);
+    FanoutEdge e;
+    e.target = spec.target;
+    e.edge_id = spec.edge_id;
+    if (spec.pool_capacity > 0) {
+      e.pool = std::make_unique<SlotPool>(
+          *engine_, config_.name + ".edge" + std::to_string(spec.edge_id),
+          spec.pool_capacity);
+    }
+    if (spec.managed) {
+      DCM_CHECK_MSG(e.pool != nullptr, "managed fan-out edge needs a connection pool");
+      DCM_CHECK_MSG(managed_pool_ == nullptr, "at most one managed fan-out edge");
+      managed_pool_ = e.pool.get();
+    }
+    fanout_.push_back(std::move(e));
   }
 }
 
@@ -111,6 +139,9 @@ void Server::process(const RequestPtr& request, DoneFn done) {
   v.call_index = 0;
   v.conn_held = false;
   v.holds_worker = false;
+  v.branches.clear();
+  v.branches_pending = 0;
+  v.branch_failed = false;
   workers_.acquire([this, h] { on_worker_granted(h); });
 }
 
@@ -155,12 +186,38 @@ void Server::start_visit(VisitHandle h) {
   const double variability =
       config_.demand_cv > 0.0 ? rng_.lognormal(demand_ln_mu_, demand_ln_sigma_) : 1.0;
   v->demand = config_.cpu.params.s0 * scale * variability;
-  v->calls = (downstream_ != nullptr &&
-              req.downstream_calls.size() > static_cast<size_t>(depth_))
-                 ? req.downstream_calls[static_cast<size_t>(depth_)]
-                 : 0;
 
   const int busy_workers = workers_.in_use();
+  if (!fanout_.empty()) {
+    // Fan-out node: read each out-edge's calls from the request's per-edge
+    // plan. All-zero degenerates to the CPU-only shape.
+    int total_calls = 0;
+    for (const auto& e : fanout_) {
+      const int calls =
+          req.downstream_calls.size() > static_cast<size_t>(e.edge_id)
+              ? req.downstream_calls[static_cast<size_t>(e.edge_id)]
+              : 0;
+      v->branches.push_back(BranchScratch{calls, 0, false, 0, 0});
+      total_calls += calls;
+    }
+    if (total_calls == 0) {
+      begin_cpu_span(*v, v->demand);
+      cpu_.submit_with_thread_count(busy_workers, v->demand,
+                                    [this, h] { on_cpu_done_finish(h); });
+      return;
+    }
+    const double pre = v->demand * config_.pre_fraction;
+    begin_cpu_span(*v, pre);
+    cpu_.submit_with_thread_count(busy_workers, pre, [this, h] { on_cpu_done_fanout(h); });
+    return;
+  }
+
+  // Single-edge node. The edge id defaults to the tier depth, so a chain
+  // reads exactly the index the legacy per-tier hop list populated.
+  v->calls = (downstream_ != nullptr &&
+              req.downstream_calls.size() > static_cast<size_t>(primary_edge_id_))
+                 ? req.downstream_calls[static_cast<size_t>(primary_edge_id_)]
+                 : 0;
   if (v->calls == 0) {
     begin_cpu_span(*v, v->demand);
     cpu_.submit_with_thread_count(busy_workers, v->demand, [this, h] { on_cpu_done_finish(h); });
@@ -212,11 +269,119 @@ void Server::issue_downstream(VisitHandle h) {
   }
 }
 
+// --- fan-out branches -------------------------------------------------------
+//
+// Branch continuations capture [this, h, branch] (20 bytes) and therefore
+// heap-allocate through std::function; only fan-out topologies pay this.
+// Branches are single-attempt — the retry policy applies to single-edge
+// servers only (see set_fanout_edges).
+
+void Server::on_cpu_done_fanout(VisitHandle h) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;
+  end_cpu_span(*v);
+  int pending = 0;
+  for (const auto& b : v->branches) {
+    if (b.calls > 0) ++pending;
+  }
+  v->branches_pending = pending;
+  // Count first, then issue: a branch that settles synchronously (downstream
+  // rejects) decrements the full count and can never fire the join before
+  // the remaining branches have been issued.
+  const size_t branch_count = fanout_.size();
+  for (size_t i = 0; i < branch_count; ++i) {
+    VisitState* vv = visit(h);
+    if (vv == nullptr) return;
+    if (vv->branches[i].calls > 0) start_branch_call(h, static_cast<int>(i));
+  }
+}
+
+void Server::start_branch_call(VisitHandle h, int branch) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;
+  BranchScratch& b = v->branches[static_cast<size_t>(branch)];
+  FanoutEdge& e = fanout_[static_cast<size_t>(branch)];
+  if (v->request->trace != nullptr) b.conn_requested = engine_->now();
+  if (e.pool) {
+    e.pool->acquire([this, h, branch] { on_branch_conn(h, branch); });
+  } else {
+    forward_branch(h, branch, /*conn_held=*/false);
+  }
+}
+
+void Server::on_branch_conn(VisitHandle h, int branch) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;  // crashed while queued on the edge pool
+  const BranchScratch& b = v->branches[static_cast<size_t>(branch)];
+  if (trace::TraceContext* tr = v->request->trace.get()) {
+    tr->add_edge_span(trace::SpanKind::kConnWait, depth_,
+                      fanout_[static_cast<size_t>(branch)].edge_id, b.conn_requested,
+                      engine_->now());
+  }
+  forward_branch(h, branch, /*conn_held=*/true);
+}
+
+void Server::forward_branch(VisitHandle h, int branch, bool conn_held) {
+  VisitState* v = visit(h);
+  BranchScratch& b = v->branches[static_cast<size_t>(branch)];
+  b.conn_held = conn_held;
+  if (v->request->trace != nullptr) b.started = engine_->now();
+  fanout_[static_cast<size_t>(branch)].target->dispatch(
+      v->request, [this, h, branch](bool ok) { on_branch_response(h, branch, ok); });
+}
+
+void Server::on_branch_response(VisitHandle h, int branch, bool ok) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;  // crashed while the branch call was in flight
+  FanoutEdge& e = fanout_[static_cast<size_t>(branch)];
+  BranchScratch* b = &v->branches[static_cast<size_t>(branch)];
+  if (trace::TraceContext* tr = v->request->trace.get()) {
+    tr->add_edge_span(trace::SpanKind::kDownstream, depth_, e.edge_id, b->started,
+                      engine_->now());
+  }
+  if (b->conn_held) {
+    b->conn_held = false;
+    e.pool->release();
+    // release cannot free this slot, but it can admit other branch traffic
+    // on this server — refetch for safety.
+    v = visit(h);
+    b = &v->branches[static_cast<size_t>(branch)];
+  }
+  if (!ok) {
+    settle_branch(h, /*ok=*/false);
+    return;
+  }
+  b->index += 1;
+  if (b->index < b->calls) {
+    start_branch_call(h, branch);
+    return;
+  }
+  settle_branch(h, /*ok=*/true);
+}
+
+void Server::settle_branch(VisitHandle h, bool ok) {
+  VisitState* v = visit(h);
+  if (v == nullptr) return;
+  if (!ok) v->branch_failed = true;
+  if (--v->branches_pending > 0) return;
+  // Join: every branch settled. Fail-fast semantics resolved here so a
+  // failed branch still waits for its siblings (their workers/pools drain
+  // normally) before the visit fails.
+  if (v->branch_failed) {
+    finish_visit(h, false);
+    return;
+  }
+  const double post = v->demand * (1.0 - config_.pre_fraction);
+  begin_cpu_span(*v, post);
+  cpu_.submit(post, [this, h] { on_cpu_done_finish(h); });
+}
+
 void Server::on_conn_granted_legacy(VisitHandle h) {
   VisitState* v = visit(h);
   if (v == nullptr) return;  // crashed while waiting for a connection
   if (trace::TraceContext* tr = v->request->trace.get()) {
-    tr->add_span(trace::SpanKind::kConnWait, depth_, v->conn_requested, engine_->now());
+    tr->add_edge_span(trace::SpanKind::kConnWait, depth_, primary_edge_id_,
+                      v->conn_requested, engine_->now());
   }
   forward_legacy(h, /*conn_held=*/true);
 }
@@ -234,8 +399,8 @@ void Server::on_legacy_response(VisitHandle h, bool ok) {
   VisitState* v = visit(h);
   if (v == nullptr) return;
   if (trace::TraceContext* tr = v->request->trace.get()) {
-    tr->add_span(trace::SpanKind::kDownstream, depth_, v->downstream_started,
-                 engine_->now());
+    tr->add_edge_span(trace::SpanKind::kDownstream, depth_, primary_edge_id_,
+                      v->downstream_started, engine_->now());
   }
   if (v->conn_held) conns_->release();
   if (!ok) {
@@ -253,7 +418,8 @@ void Server::on_conn_granted_retry(VisitHandle h) {
   VisitState* v = visit(h);
   if (v == nullptr) return;
   if (trace::TraceContext* tr = v->request->trace.get()) {
-    tr->add_span(trace::SpanKind::kConnWait, depth_, v->conn_requested, engine_->now());
+    tr->add_edge_span(trace::SpanKind::kConnWait, depth_, primary_edge_id_,
+                      v->conn_requested, engine_->now());
   }
   dispatch_downstream(h, /*attempt=*/0, /*conn_held=*/true);
 }
@@ -288,8 +454,8 @@ void Server::on_attempt_response(AttemptHandle ah, bool ok) {
   VisitState* v = visit(h);
   if (v == nullptr) return;  // server crashed while the call was in flight
   if (trace::TraceContext* tr = v->request->trace.get()) {
-    tr->add_span(trace::SpanKind::kDownstream, depth_, v->downstream_started,
-                 engine_->now());
+    tr->add_edge_span(trace::SpanKind::kDownstream, depth_, primary_edge_id_,
+                      v->downstream_started, engine_->now());
   }
   on_subrequest_result(h, attempt_no, conn_held, ok);
 }
@@ -305,8 +471,8 @@ void Server::on_attempt_timeout(AttemptHandle ah) {
   if (v == nullptr) return;
   ++subrequest_timeouts_;
   if (trace::TraceContext* tr = v->request->trace.get()) {
-    tr->add_span(trace::SpanKind::kTimeoutWait, depth_, v->downstream_started,
-                 engine_->now());
+    tr->add_edge_span(trace::SpanKind::kTimeoutWait, depth_, primary_edge_id_,
+                      v->downstream_started, engine_->now());
   }
   on_subrequest_result(h, attempt_no, conn_held, false);
 }
@@ -377,6 +543,9 @@ void Server::crash() {
   cpu_.abort_all();
   workers_.reset();
   if (conns_) conns_->reset();
+  for (auto& e : fanout_) {
+    if (e.pool) e.pool->reset();
+  }
   cpu_.set_thread_count(0);
 
   // Fail every visit that was in flight or queued, in visit-id order (the
@@ -410,6 +579,10 @@ void Server::set_thread_pool_size(int size) {
 }
 
 void Server::set_downstream_connections(int size) {
+  if (managed_pool_ != nullptr) {
+    managed_pool_->resize(size);
+    return;
+  }
   DCM_CHECK_MSG(conns_ != nullptr, "server has no downstream connection pool");
   conns_->resize(size);
 }

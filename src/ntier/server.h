@@ -13,6 +13,16 @@
 // bumps its generation, which makes every outstanding handle stale; that
 // replaces both the old `finished` flag and the crash-epoch guard (crash()
 // frees all live slots, instantly invalidating pre-crash continuations).
+//
+// Topology: a server either has one downstream edge (set_downstream — the
+// chain case, routed through the legacy/retry paths untouched) or fans out
+// over ≥2 service-graph edges (set_fanout_edges). Fan-out branches run
+// concurrently, each branch's calls sequentially, and the visit's post-CPU
+// phase starts only after every branch settles (synchronous join); any
+// branch failure fails the visit once the others drain. Branch continuations
+// capture [this, handle, branch] — 20 bytes, past std::function's inline
+// buffer — so only fan-out topologies pay a per-continuation allocation; the
+// chain hot path stays allocation-free.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/inline_vec.h"
 #include "common/rng.h"
 #include "metrics/welford.h"
 #include "ntier/request.h"
@@ -30,6 +41,14 @@
 namespace dcm::ntier {
 
 class Tier;  // downstream dispatch target
+
+/// One out-edge of a fan-out server (see Server::set_fanout_edges).
+struct ServerFanoutEdge {
+  Tier* target = nullptr;
+  int edge_id = 0;        // service-graph edge id (indexes downstream_calls)
+  int pool_capacity = 0;  // >0: per-server caller-side connection pool
+  bool managed = false;   // pool resized by set_downstream_connections
+};
 
 /// Deadline + bounded retry applied to each inter-tier sub-request. All
 /// fields are per-attempt; backoff between attempt k and k+1 is
@@ -55,6 +74,19 @@ class Server {
 
   /// Wires the tier this server sends sub-requests to (nullptr = leaf).
   void set_downstream(Tier* tier) { downstream_ = tier; }
+
+  /// Service-graph edge id of the single downstream edge; indexes the
+  /// request's downstream_calls plan and stamps kConnWait/kDownstream spans.
+  /// Defaults to the tier depth, which is exactly the legacy chain indexing.
+  void set_primary_edge_id(int edge_id) { primary_edge_id_ = edge_id; }
+
+  /// Wires ≥2 concurrent out-edges (fan-out/join topology node). Mutually
+  /// exclusive with set_downstream. Edges with pool_capacity > 0 get a
+  /// per-server connection pool; the managed edge's pool (at most one) is
+  /// what connection_pool()/set_downstream_connections operate on. Branches
+  /// are single-attempt: the sub-request retry policy applies only to
+  /// single-edge servers.
+  void set_fanout_edges(const std::vector<ServerFanoutEdge>& edges);
 
   /// Processes one visit; `done(ok)` fires at visit completion (ok=false if
   /// rejected here or anywhere downstream — a failed sub-request fails the
@@ -94,8 +126,14 @@ class Server {
   int in_flight() const { return workers_.in_use(); }
   int queue_length() const { return workers_.queue_length(); }
   int thread_pool_size() const { return workers_.capacity(); }
-  int downstream_connection_limit() const { return conns_ ? conns_->capacity() : 0; }
-  int downstream_connections_in_use() const { return conns_ ? conns_->in_use() : 0; }
+  int downstream_connection_limit() const {
+    const SlotPool* p = connection_pool();
+    return p ? p->capacity() : 0;
+  }
+  int downstream_connections_in_use() const {
+    const SlotPool* p = connection_pool();
+    return p ? p->in_use() : 0;
+  }
 
   uint64_t completed() const { return completed_; }
   uint64_t rejected() const { return rejected_; }
@@ -107,7 +145,11 @@ class Server {
   double cpu_util_integral() const { return cpu_.util_integral(); }
 
   const SlotPool& worker_pool() const { return workers_; }
-  const SlotPool* connection_pool() const { return conns_.get(); }
+  /// The pool set_downstream_connections resizes: the managed fan-out edge's
+  /// pool when one exists, else the single-edge connection pool.
+  const SlotPool* connection_pool() const {
+    return managed_pool_ != nullptr ? managed_pool_ : conns_.get();
+  }
   const CpuScheduler& cpu() const { return cpu_; }
 
   /// Fault injection: scales this server's CPU capacity (1.0 = healthy,
@@ -131,6 +173,17 @@ class Server {
     uint32_t gen = 0;
   };
 
+  /// Per-branch progress of a fan-out visit. Branch calls are sequential
+  /// within the branch, branches concurrent with each other, so each needs
+  /// its own call cursor, pool state, and tracing scratch.
+  struct BranchScratch {
+    int calls = 0;
+    int index = 0;
+    bool conn_held = false;
+    sim::SimTime conn_requested = 0;
+    sim::SimTime started = 0;
+  };
+
   struct VisitState {
     uint64_t visit_id = 0;
     RequestPtr request;
@@ -141,6 +194,11 @@ class Server {
     int call_index = 0;   // current sub-request (they are strictly sequential)
     bool conn_held = false;  // legacy path: connection held for current call
     bool holds_worker = false;
+
+    // Fan-out join state (untouched on single-edge servers).
+    InlineVec<BranchScratch, kMaxFanOut> branches;
+    int branches_pending = 0;
+    bool branch_failed = false;
 
     // Tracing scratch (written only when request->trace is non-null; the
     // visit's phases are strictly sequential, so one slot per kind suffices).
@@ -188,6 +246,12 @@ class Server {
   void on_cpu_done_finish(VisitHandle h);      // CPU-only / post phase done
   void on_cpu_done_downstream(VisitHandle h);  // pre phase done
   void issue_downstream(VisitHandle h);
+  void on_cpu_done_fanout(VisitHandle h);      // pre phase done, fan-out node
+  void start_branch_call(VisitHandle h, int branch);
+  void on_branch_conn(VisitHandle h, int branch);
+  void forward_branch(VisitHandle h, int branch, bool conn_held);
+  void on_branch_response(VisitHandle h, int branch, bool ok);
+  void settle_branch(VisitHandle h, bool ok);
   void on_conn_granted_legacy(VisitHandle h);
   void forward_legacy(VisitHandle h, bool conn_held);
   void on_legacy_response(VisitHandle h, bool ok);
@@ -213,6 +277,15 @@ class Server {
   std::unique_ptr<SlotPool> conns_;  // created when downstream_connections>0
   CpuScheduler cpu_;
   Tier* downstream_ = nullptr;
+  int primary_edge_id_;  // single-edge id; defaults to depth (chain indexing)
+  /// Installed fan-out edge with its optional per-server pool.
+  struct FanoutEdge {
+    Tier* target = nullptr;
+    int edge_id = 0;
+    std::unique_ptr<SlotPool> pool;
+  };
+  std::vector<FanoutEdge> fanout_;
+  SlotPool* managed_pool_ = nullptr;  // the managed fan-out edge's pool
   SubRequestRetryPolicy retry_;
 
   uint64_t completed_ = 0;

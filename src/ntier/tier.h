@@ -118,6 +118,17 @@ class Tier {
   void set_downstream(Tier* tier);
   Tier* downstream() const { return downstream_; }
 
+  /// Wires the tier's single out-edge with its service-graph edge id (the
+  /// index into each request's downstream_calls plan). set_downstream(t) is
+  /// shorthand for set_downstream_edge(t, depth) — the chain convention.
+  void set_downstream_edge(Tier* tier, int edge_id);
+
+  /// Wires ≥2 concurrent out-edges (fan-out node). Applied to every live
+  /// server; VMs launched later inherit the edges, with the managed edge's
+  /// pool sized to the tier's current connection allocation. Mutually
+  /// exclusive with set_downstream.
+  void set_fanout_edges(const std::vector<ServerFanoutEdge>& edges);
+
   /// Routes one visit through the load balancer. done(false) if no server
   /// is in service.
   void dispatch(const RequestPtr& request, DoneFn done);
@@ -203,6 +214,8 @@ class Tier {
   Rng rng_;
   LoadBalancer balancer_;
   Tier* downstream_ = nullptr;
+  int primary_edge_id_;  // single out-edge id; defaults to depth (chain)
+  std::vector<ServerFanoutEdge> fanout_specs_;  // fan-out template for VMs
   std::vector<std::unique_ptr<Vm>> vms_;
   int next_vm_index_ = 0;
   int current_stp_;

@@ -48,6 +48,34 @@ const std::vector<std::pair<std::string, std::string>>& table() {
        "\n[resilience]\nenabled = true\nmin_fit_r2 = 0.5\n"
        "\n[run]\nduration = 300\nwarmup = 30\n"},
 
+      {"diamond-cache",
+       "[scenario]\n"
+       "name = diamond-cache\n"
+       "summary = diamond topology (app fans out to cache + db, joins before reply): "
+       "DCM's node ranking must agree with the per-edge trace attribution\n"
+       // With 3 app VMs the DB (V = 2) is the clear capacity limiter:
+       // 1/(2·7.19e-3) ≈ 70 req/s vs 3/2.84e-2 ≈ 106 for the app nodes.
+       "\n[hardware]\napp = 3\n"
+       "\n[topology]\nkind = graph\n"
+       "nodes = apache:web, tomcat:app, memcache:cache, mysql:db\n"
+       "edges = apache->tomcat:1, tomcat->memcache:1, tomcat->mysql:q:managed\n"
+       "\n[workload]\nkind = rubbos\nusers = 300\n"
+       "\n[controller]\nkind = dcm\n"
+       "\n[trace]\nenabled = true\nrate = 1\n"
+       "\n[run]\nduration = 120\nwarmup = 30\n"},
+
+      {"fanout-join",
+       "[scenario]\n"
+       "name = fanout-join\n"
+       "summary = three-way fan-out with synchronous join (two cache branches + the managed "
+       "DB pool) on a fixed allocation\n"
+       "\n[topology]\nkind = graph\n"
+       "nodes = apache:web, tomcat:app, memcache:cache, redis:cache, mysql:db\n"
+       "edges = apache->tomcat:1, tomcat->memcache:1, tomcat->redis:2, "
+       "tomcat->mysql:q:managed\n"
+       "\n[workload]\nkind = rubbos\nusers = 150\n"
+       "\n[run]\nduration = 90\nwarmup = 30\n"},
+
       {"fig2b",
        "[scenario]\n"
        "name = fig2b\n"
@@ -169,6 +197,8 @@ std::optional<uint64_t> expected_result_digest(const std::string& name) {
       {"ablation-soft-only", 5015007590498637810ull},
       {"ablation-wrong-models", 3915615181683623565ull},
       {"chaos-resilience", 11487354307476855148ull},
+      {"diamond-cache", 3232967541302041960ull},
+      {"fanout-join", 4785642922260310638ull},
       {"fig2b", 13818073293857242208ull},
       {"fig4a", 1906107478622041724ull},
       {"fig4b", 14887783658272758290ull},

@@ -140,6 +140,7 @@ uint64_t trace_digest(const trace::TraceReport& report) {
     for (const auto& span : context->spans) {
       h.mix(static_cast<uint64_t>(span.kind));
       h.mix(static_cast<int64_t>(span.tier));
+      h.mix(static_cast<int64_t>(span.edge));
       h.mix(span.start);
       h.mix(span.end);
       h.mix(span.value);
@@ -155,6 +156,17 @@ uint64_t trace_digest(const trace::TraceReport& report) {
   for (const auto& row : report.attribution) {
     h.mix(static_cast<int64_t>(row.tier));
     h.mix(static_cast<uint64_t>(row.cause));
+    h.mix(row.traces);
+    h.mix(row.total_seconds);
+    h.mix(row.mean_seconds);
+    h.mix(row.p50_share);
+    h.mix(row.p95_share);
+    h.mix(row.p99_share);
+  }
+  h.mix(static_cast<uint64_t>(report.edge_attribution.size()));
+  for (const auto& row : report.edge_attribution) {
+    h.mix(static_cast<int64_t>(row.tier));
+    h.mix(static_cast<int64_t>(row.edge));
     h.mix(row.traces);
     h.mix(row.total_seconds);
     h.mix(row.mean_seconds);
@@ -250,7 +262,21 @@ void write_result_json(std::ostream& out, const std::string& name,
             << ", \"p95_share\": " << json_number(arow.p95_share)
             << ", \"p99_share\": " << json_number(arow.p99_share) << "}";
       }
-      out << (tr.attribution.empty() ? "]\n" : "\n        ]\n") << "      }";
+      out << (tr.attribution.empty() ? "]" : "\n        ]") << ",\n"
+          << "        \"edge_attribution\": [";
+      for (size_t a = 0; a < tr.edge_attribution.size(); ++a) {
+        const auto& erow = tr.edge_attribution[a];
+        out << (a == 0 ? "\n" : ",\n")
+            << "          {\"tier\": \"" << json_escape(trace_tier_name(r, erow.tier))
+            << "\", \"edge\": " << erow.edge
+            << ", \"traces\": " << erow.traces
+            << ", \"total_seconds\": " << json_number(erow.total_seconds)
+            << ", \"mean_seconds\": " << json_number(erow.mean_seconds)
+            << ", \"p50_share\": " << json_number(erow.p50_share)
+            << ", \"p95_share\": " << json_number(erow.p95_share)
+            << ", \"p99_share\": " << json_number(erow.p99_share) << "}";
+      }
+      out << (tr.edge_attribution.empty() ? "]\n" : "\n        ]\n") << "      }";
     }
     out << "\n    }";
   }
@@ -302,7 +328,7 @@ void write_spans_csv(std::ostream& out, const core::ExperimentResult& result) {
   if (result.trace_report == nullptr) return;
   CsvWriter writer(out);
   writer.write_header({"request_id", "servlet", "ok", "attempts", "span", "kind", "tier",
-                       "start_s", "end_s", "duration_s", "value"});
+                       "edge", "start_s", "end_s", "duration_s", "value"});
   for (const auto& context : result.trace_report->traces) {
     for (size_t s = 0; s < context->spans.size(); ++s) {
       const trace::Span& span = context->spans[s];
@@ -310,6 +336,7 @@ void write_spans_csv(std::ostream& out, const core::ExperimentResult& result) {
           std::to_string(context->request_id), std::to_string(context->servlet),
           context->ok ? "1" : "0", std::to_string(context->attempts), std::to_string(s),
           trace::span_kind_name(span.kind), trace_tier_name(result, span.tier),
+          span.edge == trace::kNoEdge ? "" : std::to_string(span.edge),
           str_format("%.9f", sim::to_seconds(span.start)),
           str_format("%.9f", sim::to_seconds(span.end)),
           str_format("%.9f", sim::to_seconds(span.end - span.start)),
@@ -337,6 +364,20 @@ void print_trace_summary(const core::ExperimentResult& result) {
         format_number(row.p99_share * 100.0, 1) + "%"});
   }
   table.print();
+  if (!report.edge_attribution.empty()) {
+    std::printf("edge attribution (downstream subtree share per service-graph edge):\n");
+    TextTable edge_table({"tier", "edge", "traces", "total_s", "mean_ms", "p50", "p95", "p99"});
+    for (const auto& row : report.edge_attribution) {
+      edge_table.add_row(std::vector<std::string>{
+          trace_tier_name(result, row.tier), std::to_string(row.edge),
+          std::to_string(row.traces), format_number(row.total_seconds, 1),
+          format_number(row.mean_seconds * 1e3, 2),
+          format_number(row.p50_share * 100.0, 1) + "%",
+          format_number(row.p95_share * 100.0, 1) + "%",
+          format_number(row.p99_share * 100.0, 1) + "%"});
+    }
+    edge_table.print();
+  }
   if (!report.annotations.empty()) {
     std::printf("trace annotations     : %zu control/fault events overlap the run\n",
                 report.annotations.size());

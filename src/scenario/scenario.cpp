@@ -83,6 +83,7 @@ const char* controller_kind_name(ControllerDecl::Kind kind) {
 // kinds — anything outside this set is a spelling mistake, not a default.
 std::map<std::string, std::set<std::string>> allowed_keys(WorkloadDecl::Kind workload,
                                                           ControllerDecl::Kind controller,
+                                                          core::TopologySpec::Kind topology,
                                                           bool resilience_enabled,
                                                           bool trace_enabled) {
   std::map<std::string, std::set<std::string>> allowed;
@@ -90,6 +91,12 @@ std::map<std::string, std::set<std::string>> allowed_keys(WorkloadDecl::Kind wor
   allowed["hardware"] = {"web", "app", "db"};
   allowed["soft"] = {"web_threads", "app_threads", "db_connections"};
   allowed["run"] = {"duration", "warmup", "max_vms", "seed"};
+
+  std::set<std::string>& topology_keys = allowed["topology"];
+  topology_keys.insert("kind");
+  if (topology == core::TopologySpec::Kind::kGraph) {
+    topology_keys.insert({"nodes", "edges"});
+  }
   allowed["faults"] = {"crash_mttf",          "slowdown_mttf",
                        "slowdown_factor",     "slowdown_duration",
                        "telemetry_loss_mttf", "telemetry_loss_duration",
@@ -140,9 +147,10 @@ std::map<std::string, std::set<std::string>> allowed_keys(WorkloadDecl::Kind wor
 }
 
 void reject_unknown_keys(const Config& config, WorkloadDecl::Kind workload,
-                         ControllerDecl::Kind controller, bool resilience_enabled,
-                         bool trace_enabled) {
-  const auto allowed = allowed_keys(workload, controller, resilience_enabled, trace_enabled);
+                         ControllerDecl::Kind controller, core::TopologySpec::Kind topology,
+                         bool resilience_enabled, bool trace_enabled) {
+  const auto allowed =
+      allowed_keys(workload, controller, topology, resilience_enabled, trace_enabled);
   for (const auto& [section, keys] : config.sections()) {
     const auto entry = allowed.find(section);
     if (entry == allowed.end()) {
@@ -165,6 +173,7 @@ bool scenario_key_applies(const Config& config, const std::string& section,
   const auto allowed =
       allowed_keys(parse_workload_kind(config.get_string("workload", "kind", "rubbos")),
                    parse_controller_kind(config.get_string("controller", "kind", "none")),
+                   core::topology_spec_from_config(config).kind,
                    config.get_bool("resilience", "enabled", false),
                    config.get_bool("trace", "enabled", false));
   const auto entry = allowed.find(section);
@@ -179,8 +188,10 @@ Scenario Scenario::from_config(const Config& config) {
       parse_controller_kind(config.get_string("controller", "kind", "none"));
   scenario.resilience.enabled = config.get_bool("resilience", "enabled", false);
   scenario.trace.enabled = config.get_bool("trace", "enabled", false);
+  scenario.topology = core::topology_spec_from_config(config);
   reject_unknown_keys(config, scenario.workload.kind, scenario.controller.kind,
-                      scenario.resilience.enabled, scenario.trace.enabled);
+                      scenario.topology.kind, scenario.resilience.enabled,
+                      scenario.trace.enabled);
 
   scenario.name = config.get_string("scenario", "name", "unnamed");
   scenario.summary = config.get_string("scenario", "summary", "");
@@ -261,6 +272,14 @@ Scenario Scenario::from_config(const Config& config) {
   scenario.warmup_seconds = config.get_double("run", "warmup", 30.0);
   scenario.max_vms = static_cast<int>(config.get_int("run", "max_vms", 8));
   scenario.seed = static_cast<uint64_t>(config.get_int("run", "seed", 1));
+
+  if (scenario.topology.kind == core::TopologySpec::Kind::kGraph) {
+    // Eager validation: building the ServiceGraph rejects duplicate names,
+    // unknown roles/endpoints, cycles, unreachable nodes and oversized
+    // fan-outs here, at parse time.
+    core::build_service_graph(scenario.topology, scenario.hardware, scenario.soft,
+                              scenario.max_vms);
+  }
   return scenario;
 }
 
@@ -284,6 +303,15 @@ Config Scenario::to_config() const {
   config.set("soft", "web_threads", format_int(soft.web_threads));
   config.set("soft", "app_threads", format_int(soft.app_threads));
   config.set("soft", "db_connections", format_int(soft.db_connections));
+
+  // chain3 is canonical as an absent [topology] section.
+  if (topology.kind != core::TopologySpec::Kind::kChain3) {
+    config.set("topology", "kind", core::topology_kind_name(topology.kind));
+    if (topology.kind == core::TopologySpec::Kind::kGraph) {
+      config.set("topology", "nodes", core::topology_nodes_to_string(topology));
+      config.set("topology", "edges", core::topology_edges_to_string(topology));
+    }
+  }
 
   config.set("workload", "kind", workload_kind_name(workload.kind));
   switch (workload.kind) {

@@ -111,6 +111,14 @@ struct Scenario {
   std::string summary;
   core::HardwareConfig hardware;
   core::SoftAllocation soft;
+  /// Deployment shape ([topology] section). The default 3-tier chain is
+  /// canonical as an *absent* section; chain4 emits only its kind; graph
+  /// kinds spell out nodes ("name:role, ...") and edges
+  /// ("from->to:calls[:managed], ..." with integer calls or `q` = the
+  /// sampled servlet's query count). Parsed graphs are validated eagerly:
+  /// from_config builds the ServiceGraph once, so cyclic or malformed
+  /// topologies fail at parse time, not at run time.
+  core::TopologySpec topology;
   WorkloadDecl workload;
   ControllerDecl controller;
   FaultDecl faults;

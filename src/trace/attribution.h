@@ -34,6 +34,23 @@ struct AttributionRow {
   double p99_share = 0.0;
 };
 
+/// Per-edge waterfall over kDownstream container spans: how much wall-clock
+/// each service-graph edge (identified by its declaration-order id) owned,
+/// attributed to the issuing tier. Unlike the leaf-cause table, these rows
+/// aggregate whole downstream subtrees, so sibling edges of a fan-out node
+/// can be compared directly (which branch dominates the tail) while nested
+/// edges along a path overlap by construction.
+struct EdgeAttributionRow {
+  int tier = kClientTier;  // issuing (upstream) tier
+  int edge = kNoEdge;
+  uint64_t traces = 0;
+  double total_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double p50_share = 0.0;
+  double p95_share = 0.0;
+  double p99_share = 0.0;
+};
+
 class LatencyAttribution {
  public:
   /// Folds one finalized successful trace (ignores anything else).
@@ -44,6 +61,9 @@ class LatencyAttribution {
   /// Rows sorted by (tier, cause) — a deterministic table.
   std::vector<AttributionRow> rows() const;
 
+  /// Rows sorted by (tier, edge) — the per-edge waterfall.
+  std::vector<EdgeAttributionRow> edge_rows() const;
+
  private:
   struct CauseAgg {
     std::vector<double> shares;  // per-trace share of end-to-end latency
@@ -52,6 +72,7 @@ class LatencyAttribution {
 
   uint64_t trace_count_ = 0;
   std::map<std::pair<int, int>, CauseAgg> causes_;  // (tier, SpanKind)
+  std::map<std::pair<int, int>, CauseAgg> edges_;   // (tier, edge id)
 };
 
 /// The exported view of one run's tracing: counts, every finalized trace
@@ -65,6 +86,7 @@ struct TraceReport {
   std::vector<std::shared_ptr<const TraceContext>> traces;  // finalized only
   std::vector<TraceAnnotation> annotations;
   std::vector<AttributionRow> attribution;
+  std::vector<EdgeAttributionRow> edge_attribution;
 };
 
 /// Builds the report from everything the tracer collected.

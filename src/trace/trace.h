@@ -47,9 +47,14 @@ const char* span_kind_name(SpanKind kind);
 /// marker, kDownstream aggregates the next tier's own leaf spans).
 bool is_leaf_cause(SpanKind kind);
 
+/// Spans not tied to a service-graph call edge carry this.
+inline constexpr int kNoEdge = -1;
+
 struct Span {
   SpanKind kind = SpanKind::kThink;
   int tier = kClientTier;    // tier depth, or kClientTier
+  int edge = kNoEdge;        // service-graph edge id (kConnWait/kDownstream/
+                             // kTimeoutWait at a tier), or kNoEdge
   sim::SimTime start = 0;
   sim::SimTime end = 0;
   double value = 0.0;        // kind-specific payload (see SpanKind)
@@ -70,7 +75,14 @@ struct TraceContext {
   void add_span(SpanKind kind, int tier, sim::SimTime start, sim::SimTime end,
                 double value = 0.0) {
     if (finalized) return;
-    spans.push_back(Span{kind, tier, start, end, value});
+    spans.push_back(Span{kind, tier, kNoEdge, start, end, value});
+  }
+
+  /// add_span with the service-graph edge id the span occurred on.
+  void add_edge_span(SpanKind kind, int tier, int edge, sim::SimTime start,
+                     sim::SimTime end, double value = 0.0) {
+    if (finalized) return;
+    spans.push_back(Span{kind, tier, edge, start, end, value});
   }
 
   /// Settles the trace; no spans are accepted afterwards.

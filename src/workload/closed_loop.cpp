@@ -14,6 +14,48 @@ RequestFactory catalog_factory(const ServletCatalog& catalog) {
   };
 }
 
+RequestFactory graph_request_factory(const ServletCatalog& catalog,
+                                     const ntier::ServiceGraph& graph) {
+  struct EdgePlan {
+    int fixed_calls = 0;
+    bool servlet_calls = false;
+  };
+  std::vector<ntier::NodeRole> roles;
+  roles.reserve(graph.node_count());
+  for (size_t i = 0; i < graph.node_count(); ++i) roles.push_back(graph.node(i).role);
+  std::vector<EdgePlan> edges;
+  edges.reserve(graph.edge_count());
+  for (size_t i = 0; i < graph.edge_count(); ++i) {
+    edges.push_back({graph.edge(i).fixed_calls, graph.edge(i).servlet_calls});
+  }
+  return [&catalog, roles = std::move(roles), edges = std::move(edges)](
+             sim::Arena* arena, uint64_t id, Rng& rng, sim::SimTime now) {
+    // One weighted draw — the same single rng consumption as catalog_factory,
+    // so swapping factories never shifts any random stream.
+    const size_t servlet_index = catalog.sample(rng);
+    const Servlet& s = catalog.servlet(servlet_index);
+    auto req = ntier::make_request_context(arena);
+    req->id = id;
+    req->servlet = static_cast<int>(servlet_index);
+    req->created = now;
+    for (const ntier::NodeRole role : roles) {
+      double scale = 1.0;
+      switch (role) {
+        case ntier::NodeRole::kWeb: scale = s.web_scale; break;
+        case ntier::NodeRole::kApp: scale = s.app_scale; break;
+        case ntier::NodeRole::kDb: scale = s.db_scale; break;
+        case ntier::NodeRole::kLb:
+        case ntier::NodeRole::kCache: scale = 1.0; break;
+      }
+      req->demand_scale.push_back(scale);
+    }
+    for (const EdgePlan& e : edges) {
+      req->downstream_calls.push_back(e.servlet_calls ? s.db_queries : e.fixed_calls);
+    }
+    return req;
+  };
+}
+
 ClosedLoopGenerator::ClosedLoopGenerator(sim::Engine& engine, ntier::NTierApp& app,
                                          RequestFactory factory, ClosedLoopConfig config)
     : engine_(&engine),
@@ -197,6 +239,17 @@ std::unique_ptr<ClosedLoopGenerator> make_jmeter(sim::Engine& engine, ntier::NTi
                                                std::move(config));
 }
 
+std::unique_ptr<ClosedLoopGenerator> make_jmeter(sim::Engine& engine, ntier::NTierApp& app,
+                                                 RequestFactory factory, int users,
+                                                 uint64_t seed) {
+  ClosedLoopConfig config;
+  config.users = users;
+  config.think_time = nullptr;
+  config.seed = seed;
+  return std::make_unique<ClosedLoopGenerator>(engine, app, std::move(factory),
+                                               std::move(config));
+}
+
 std::unique_ptr<ClosedLoopGenerator> make_rubbos_clients(sim::Engine& engine,
                                                          ntier::NTierApp& app,
                                                          const ServletCatalog& catalog, int users,
@@ -207,6 +260,19 @@ std::unique_ptr<ClosedLoopGenerator> make_rubbos_clients(sim::Engine& engine,
   config.think_time = sim::make_exponential(mean_think_seconds);
   config.seed = seed;
   return std::make_unique<ClosedLoopGenerator>(engine, app, catalog_factory(catalog),
+                                               std::move(config));
+}
+
+std::unique_ptr<ClosedLoopGenerator> make_rubbos_clients(sim::Engine& engine,
+                                                         ntier::NTierApp& app,
+                                                         RequestFactory factory, int users,
+                                                         double mean_think_seconds,
+                                                         uint64_t seed) {
+  ClosedLoopConfig config;
+  config.users = users;
+  config.think_time = sim::make_exponential(mean_think_seconds);
+  config.seed = seed;
+  return std::make_unique<ClosedLoopGenerator>(engine, app, std::move(factory),
                                                std::move(config));
 }
 

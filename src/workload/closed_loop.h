@@ -38,6 +38,17 @@ using RequestFactory = std::function<ntier::RequestPtr(sim::Arena* arena, uint64
 /// The catalog must outlive the returned factory.
 RequestFactory catalog_factory(const ServletCatalog& catalog);
 
+/// Factory deriving each request's plan from a service graph: one weighted
+/// servlet draw (exactly the catalog factory's single rng consumption), then
+/// per-node demand scales assigned by node role (web/app/db map to the
+/// servlet's per-tier scales, lb/cache nodes are 1.0) and per-edge call
+/// counts from the edge spec (fixed, or the sampled servlet's query count
+/// for servlet-calls edges). On a depth-ordered chain graph this emits the
+/// same plan as catalog_factory. The catalog must outlive the factory; the
+/// graph is copied into it.
+RequestFactory graph_request_factory(const ServletCatalog& catalog,
+                                     const ntier::ServiceGraph& graph);
+
 /// Client-side deadline + bounded retry (resilience mechanism). Disabled by
 /// default — the generator then behaves exactly as before, with no extra
 /// events or rng draws. Backoff before re-issue k→k+1 is
@@ -141,10 +152,23 @@ std::unique_ptr<ClosedLoopGenerator> make_jmeter(sim::Engine& engine, ntier::NTi
                                                  const ServletCatalog& catalog, int users,
                                                  uint64_t seed = 42);
 
+/// Zero-think-time generator over a custom request factory (e.g. the
+/// graph_request_factory of a non-chain topology).
+std::unique_ptr<ClosedLoopGenerator> make_jmeter(sim::Engine& engine, ntier::NTierApp& app,
+                                                 RequestFactory factory, int users,
+                                                 uint64_t seed = 42);
+
 /// Realistic RUBBoS clients with exponential think time (default mean 3 s).
 std::unique_ptr<ClosedLoopGenerator> make_rubbos_clients(sim::Engine& engine,
                                                          ntier::NTierApp& app,
                                                          const ServletCatalog& catalog, int users,
+                                                         double mean_think_seconds = 3.0,
+                                                         uint64_t seed = 42);
+
+/// RUBBoS clients over a custom request factory.
+std::unique_ptr<ClosedLoopGenerator> make_rubbos_clients(sim::Engine& engine,
+                                                         ntier::NTierApp& app,
+                                                         RequestFactory factory, int users,
                                                          double mean_think_seconds = 3.0,
                                                          uint64_t seed = 42);
 

@@ -1,4 +1,5 @@
-// The paper's alternative 4-tier deployment (web/app/db-lb/db).
+// The paper's alternative 4-tier deployment (web/app/db-lb/db), expressed
+// as a degenerate chain graph (rubbos_4tier_graph).
 #include <gtest/gtest.h>
 
 #include "bus/broker.h"
@@ -18,22 +19,28 @@ std::unique_ptr<workload::ClosedLoopGenerator> make_4tier_clients(
   config.think_time = sim::make_exponential(3.0);
   config.seed = 77;
   return std::make_unique<workload::ClosedLoopGenerator>(
-      engine, app, core::four_tier_request_factory(catalog), std::move(config));
+      engine, app, workload::graph_request_factory(catalog, *app.graph()),
+      std::move(config));
 }
 
 TEST(FourTierTest, TopologyHasFourTiersWithLbBetweenAppAndDb) {
   sim::Engine engine;
-  ntier::NTierApp app(engine, core::rubbos_4tier_app_config({1, 1, 1}, {1000, 100, 80}));
+  ntier::NTierApp app(engine, core::rubbos_4tier_graph({1, 1, 1}, {1000, 100, 80}), 1);
   ASSERT_EQ(app.tier_count(), 4u);
   EXPECT_EQ(app.tier(0).name(), "apache");
   EXPECT_EQ(app.tier(1).name(), "tomcat");
   EXPECT_EQ(app.tier(2).name(), "haproxy");
   EXPECT_EQ(app.tier(3).name(), "mysql");
+  // The chain-shaped graph is recognized as the degenerate DAG.
+  ASSERT_NE(app.graph(), nullptr);
+  EXPECT_TRUE(app.graph()->is_chain());
+  ASSERT_EQ(app.graph()->edge_count(), 3u);
+  EXPECT_TRUE(app.graph()->edge(1).managed);
 }
 
 TEST(FourTierTest, RequestsFlowThroughAllFourTiers) {
   sim::Engine engine;
-  ntier::NTierApp app(engine, core::rubbos_4tier_app_config({1, 1, 1}, {1000, 100, 80}));
+  ntier::NTierApp app(engine, core::rubbos_4tier_graph({1, 1, 1}, {1000, 100, 80}), 1);
   const workload::ServletCatalog catalog = workload::ServletCatalog::browse_only_mix();
   auto generator = make_4tier_clients(engine, app, catalog, 100);
   generator->start();
@@ -63,7 +70,7 @@ TEST(FourTierTest, LbTierAddsNegligibleLatency) {
   }
   {
     sim::Engine engine;
-    ntier::NTierApp app(engine, core::rubbos_4tier_app_config({1, 1, 1}, {1000, 100, 80}));
+    ntier::NTierApp app(engine, core::rubbos_4tier_graph({1, 1, 1}, {1000, 100, 80}), 1);
     auto generator = make_4tier_clients(engine, app, catalog, 100);
     generator->start();
     engine.run_until(sim::from_seconds(90.0));
@@ -74,7 +81,7 @@ TEST(FourTierTest, LbTierAddsNegligibleLatency) {
 
 TEST(FourTierTest, DcmControlsTheDbTierThroughTheLb) {
   sim::Engine engine;
-  ntier::NTierApp app(engine, core::rubbos_4tier_app_config({1, 1, 1}, {1000, 200, 80}));
+  ntier::NTierApp app(engine, core::rubbos_4tier_graph({1, 1, 1}, {1000, 200, 80}), 1);
   bus::Broker broker;
   ntier::MonitorFleet fleet(engine, app, broker);
 

@@ -2,11 +2,64 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/topologies.h"
 #include "workload/closed_loop.h"
 
 namespace dcm::model {
 namespace {
+
+TEST(VisitRatioPropagationTest, ChainDegeneratesToPaperVector) {
+  // web --1--> app --3.5--> db is the paper's V = {1, 1, q}.
+  const auto ratios = propagate_visit_ratios(3, {{0, 1, 1.0}, {1, 2, 3.5}});
+  ASSERT_EQ(ratios.size(), 3u);
+  EXPECT_DOUBLE_EQ(ratios[0], 1.0);
+  EXPECT_DOUBLE_EQ(ratios[1], 1.0);
+  EXPECT_DOUBLE_EQ(ratios[2], 3.5);
+}
+
+TEST(VisitRatioPropagationTest, DiamondSumsPathProducts) {
+  // 0 → 1 (×2) and 0 → 2 (×1); both call 3: V_3 = 2·3 + 1·0.5 = 6.5.
+  const auto ratios = propagate_visit_ratios(
+      4, {{0, 1, 2.0}, {0, 2, 1.0}, {1, 3, 3.0}, {2, 3, 0.5}});
+  EXPECT_DOUBLE_EQ(ratios[1], 2.0);
+  EXPECT_DOUBLE_EQ(ratios[2], 1.0);
+  EXPECT_DOUBLE_EQ(ratios[3], 6.5);
+}
+
+TEST(VisitRatioPropagationTest, FanOutWithDeepMultiplication) {
+  // 0 → 1 (×1); 1 fans out to 2 (×1), 3 (×2), 4 (×3); 3 → 4 adds 2·0.5.
+  const auto ratios = propagate_visit_ratios(
+      5, {{0, 1, 1.0}, {1, 2, 1.0}, {1, 3, 2.0}, {1, 4, 3.0}, {3, 4, 0.5}});
+  EXPECT_DOUBLE_EQ(ratios[2], 1.0);
+  EXPECT_DOUBLE_EQ(ratios[3], 2.0);
+  EXPECT_DOUBLE_EQ(ratios[4], 4.0);
+}
+
+TEST(VisitRatioPropagationTest, UnreachableNodeKeepsZero) {
+  const auto ratios = propagate_visit_ratios(3, {{0, 1, 1.0}});
+  EXPECT_DOUBLE_EQ(ratios[1], 1.0);
+  EXPECT_DOUBLE_EQ(ratios[2], 0.0);
+}
+
+TEST(VisitRatioPropagationTest, CycleIsRejectedByNodeId) {
+  try {
+    propagate_visit_ratios(3, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 1, 1.0}});
+    FAIL() << "expected std::runtime_error for the 1↔2 cycle";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cycle"), std::string::npos) << what;
+    EXPECT_NE(what.find('1'), std::string::npos) << what;
+    EXPECT_NE(what.find('2'), std::string::npos) << what;
+  }
+}
+
+TEST(VisitRatioPropagationTest, BadEdgesAreRejected) {
+  EXPECT_THROW(propagate_visit_ratios(2, {{0, 5, 1.0}}), std::runtime_error);
+  EXPECT_THROW(propagate_visit_ratios(2, {{-1, 1, 1.0}}), std::runtime_error);
+  EXPECT_THROW(propagate_visit_ratios(2, {{0, 1, -2.0}}), std::runtime_error);
+}
 
 TEST(VisitRatioEstimatorTest, NoTrafficIsZero) {
   VisitRatioEstimator estimator(3);

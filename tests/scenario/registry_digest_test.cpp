@@ -1,11 +1,11 @@
 // Digest-equality regression against the registry's pinned values.
 //
-// Each scenario in the macro benchmark suite (plus the reproduction figures)
-// is run end to end and its result_digest compared to the value committed in
-// the registry. This is the test that makes hot-path "optimisations" honest:
-// the request-slab/arena refactor, the CPU-scheduler batching, and every
-// future event-loop change must reproduce the pre-refactor trajectories bit
-// for bit or fail here by name.
+// Every registered scenario is run end to end and its result_digest compared
+// to the value committed in the registry. This is the test that makes both
+// hot-path "optimisations" and topology refactors honest: the
+// request-slab/arena refactor, the CPU-scheduler batching, the service-graph
+// routing rewrite, and every future event-loop change must reproduce the
+// pre-refactor trajectories bit for bit or fail here by name.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -17,10 +17,10 @@
 namespace dcm::scenario {
 namespace {
 
-class RegistryDigestTest : public ::testing::TestWithParam<const char*> {};
+class RegistryDigestTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(RegistryDigestTest, CanonicalRunMatchesPinnedDigest) {
-  const std::string name = GetParam();
+  const std::string& name = GetParam();
   const auto expected = expected_result_digest(name);
   ASSERT_TRUE(expected.has_value()) << name << " has no pinned digest";
   const core::ExperimentResult result =
@@ -30,15 +30,13 @@ TEST_P(RegistryDigestTest, CanonicalRunMatchesPinnedDigest) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    MacroSuite, RegistryDigestTest,
-    ::testing::Values("quickstart", "fig2b", "fig4a", "fig4b", "fig5",
-                      "fig5-ec2", "chaos-resilience", "trace-attribution"),
-    [](const ::testing::TestParamInfo<const char*>& info) {
-      std::string n = info.param;
-      for (char& c : n) {
+    AllScenarios, RegistryDigestTest, ::testing::ValuesIn(scenario_names()),
+    [](const ::testing::TestParamInfo<std::string>& param) {
+      std::string test_name = param.param;
+      for (char& c : test_name) {
         if (c == '-') c = '_';
       }
-      return n;
+      return test_name;
     });
 
 }  // namespace

@@ -291,5 +291,75 @@ TEST(RegistryTest, CanonicalScenariosMatchThePaperSetups) {
   EXPECT_NEAR(experiment.controller.dcm.db_tier_model.optimal_concurrency(), 160.0, 10.0);
 }
 
+TEST(ScenarioTest, TopologyChain3IsCanonicalAsAnAbsentSection) {
+  const Scenario scenario = Scenario::parse("");
+  EXPECT_EQ(scenario.topology.kind, core::TopologySpec::Kind::kChain3);
+  EXPECT_EQ(scenario.to_text().find("[topology]"), std::string::npos);
+  // Spelling it out parses fine but canonicalizes away.
+  const Scenario explicit_chain = Scenario::parse("[topology]\nkind = chain3\n");
+  EXPECT_TRUE(explicit_chain == scenario);
+}
+
+TEST(ScenarioTest, TopologyChain4RoundTrips) {
+  const Scenario scenario = Scenario::parse("[topology]\nkind = chain4\n");
+  EXPECT_EQ(scenario.topology.kind, core::TopologySpec::Kind::kChain4);
+  EXPECT_NE(scenario.to_text().find("kind = chain4"), std::string::npos);
+  EXPECT_TRUE(Scenario::parse(scenario.to_text()) == scenario);
+  // Graph-only keys are rejected under a chain kind.
+  EXPECT_THROW(Scenario::parse("[topology]\nkind = chain4\nnodes = a:web\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioTest, TopologyGraphRoundTripsCanonically) {
+  const std::string text =
+      "[topology]\n"
+      "kind = graph\n"
+      "nodes = apache:web, tomcat:app, memcache:cache, mysql:db\n"
+      "edges = apache->tomcat:1, tomcat->memcache:1, tomcat->mysql:q:managed\n";
+  const Scenario first = Scenario::parse(text);
+  EXPECT_EQ(first.topology.kind, core::TopologySpec::Kind::kGraph);
+  ASSERT_EQ(first.topology.nodes.size(), 4u);
+  ASSERT_EQ(first.topology.edges.size(), 3u);
+  EXPECT_TRUE(first.topology.edges[2].servlet_calls);
+  EXPECT_TRUE(first.topology.edges[2].managed);
+
+  const Scenario second = Scenario::parse(first.to_text());
+  EXPECT_TRUE(first == second);
+  EXPECT_EQ(first.to_text(), second.to_text());
+}
+
+TEST(ScenarioTest, TopologyGraphErrorsAreEager) {
+  // Malformed spellings fail at parse.
+  EXPECT_THROW(Scenario::parse("[topology]\nkind = ring\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[topology]\nkind = graph\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[topology]\nkind = graph\nnodes = apache\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      Scenario::parse("[topology]\nkind = graph\nnodes = a:web, b:app\n"
+                      "edges = a-b:1\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      Scenario::parse("[topology]\nkind = graph\nnodes = a:web, b:app\n"
+                      "edges = a->b:-2\n"),
+      std::runtime_error);
+  // Structural violations (a cycle) also fail at parse, not at run time:
+  // from_config materializes the graph once to validate it.
+  EXPECT_THROW(
+      Scenario::parse("[topology]\nkind = graph\nnodes = a:web, b:app, c:db\n"
+                      "edges = a->b:1, b->c:1, c->b:1\n"),
+      std::runtime_error);
+}
+
+TEST(ScenarioTest, GraphScenariosInTheRegistryParse) {
+  const Scenario diamond = get_scenario("diamond-cache");
+  EXPECT_EQ(diamond.topology.kind, core::TopologySpec::Kind::kGraph);
+  EXPECT_EQ(diamond.hardware.app, 3);
+  EXPECT_TRUE(Scenario::parse(diamond.to_text()) == diamond);
+
+  const Scenario fanout = get_scenario("fanout-join");
+  ASSERT_EQ(fanout.topology.nodes.size(), 5u);
+  EXPECT_TRUE(Scenario::parse(fanout.to_text()) == fanout);
+}
+
 }  // namespace
 }  // namespace dcm::scenario
