@@ -1,0 +1,29 @@
+// Controller tournament — the full auto-scaler zoo raced across the default
+// scenario trio (steady load, the paper's Fig. 5 bursty trace, and the chaos
+// fault plan with resilience armed).
+//
+// Every controller faces the identical synthesized trace, client randomness
+// and fault schedule (SeedPolicy::kFixed per scenario), so the comparison is
+// paired. Cells are ranked lexicographically on (SLO-violation seconds,
+// VM-hours, actuation churn); the standings sum per-scenario ranks. Expected
+// shape: DCM leads on SLO seconds at comparable cost, the raw threshold pair
+// churns the most, the hysteresis-free PI/predictive variants land between.
+//
+// Thin client of the tournament harness: the identical field is reachable as
+//   dcm_run tournament            (and --digest for the scorecard digest)
+// and the printed scorecard digest matches that CLI invocation bit-for-bit.
+#include <cstdio>
+
+#include "scenario/tournament.h"
+
+int main() {
+  std::puts("=== Controller tournament: the auto-scaler zoo, ranked ===\n");
+
+  const dcm::scenario::TournamentOptions options;  // default field + trio
+  const dcm::scenario::Tournament tournament = dcm::scenario::run_tournament(options);
+  dcm::scenario::print_tournament(tournament);
+
+  std::printf("\nscorecard_digest %llu\n",
+              static_cast<unsigned long long>(dcm::scenario::scorecard_digest(tournament)));
+  return 0;
+}

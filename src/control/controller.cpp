@@ -18,7 +18,12 @@ ControllerBase::ControllerBase(sim::Engine& engine, ntier::NTierApp& app, bus::B
       app_agent_(engine, app, log_),
       low_util_streak_(app.tier_count(), 0),
       previous_util_(app.tier_count(), 0.0),
-      has_previous_util_(app.tier_count(), false) {
+      has_previous_util_(app.tier_count(), false),
+      last_capacity_(app.tier_count(), -1),
+      scale_out_gate_(app.tier_count(),
+                      HysteresisGate(policy.hysteresis, TriggerDirection::kAbove)),
+      scale_in_gate_(app.tier_count(),
+                     HysteresisGate(policy.hysteresis, TriggerDirection::kBelow)) {
   DCM_CHECK(policy_.control_period > 0);
   // Normally the MonitorFleet creates the metrics topic first; create it
   // here too so construction order doesn't matter.
@@ -106,10 +111,17 @@ std::vector<TierObservation> ControllerBase::aggregate() {
 
 bool ControllerBase::apply_hardware_rule(size_t tier_index, const TierObservation& obs) {
   if (tier_index == 0 && !policy_.scale_front_tier) return false;
-  if (obs.samples == 0) return false;
+  if (obs.samples == 0) {
+    // A silent period breaks the sample chain. A trend computed across the
+    // gap would read a multi-period-old utilisation as "last period's", so
+    // drop the prior and behave reactively on the first post-gap period.
+    has_previous_util_[tier_index] = false;
+    return false;
+  }
 
   // Predictive extension: judge scale-out on the utilisation projected one
-  // period ahead from the two most recent observations.
+  // period ahead from the two most recent observations. The prior is seeded
+  // with the first observation, so period 0 is purely reactive.
   double out_signal = obs.mean_util;
   if (policy_.predictive && has_previous_util_[tier_index]) {
     const double projected = obs.mean_util + (obs.mean_util - previous_util_[tier_index]);
@@ -122,13 +134,70 @@ bool ControllerBase::apply_hardware_rule(size_t tier_index, const TierObservatio
   const bool rt_violation = policy_.scale_out_response_time > 0.0 &&
                             obs.mean_response_time > policy_.scale_out_response_time;
 
+  return apply_threshold_rule(tier_index, obs, out_signal, obs.mean_util, rt_violation);
+}
+
+bool ControllerBase::membership_churned(size_t tier_index, const TierObservation& obs) {
+  const int capacity = obs.active_vms + obs.booting_vms;
+  auto& last = last_capacity_[tier_index];
+  const bool churned = last >= 0 && capacity != last;
+  last = capacity;
+  return churned;
+}
+
+bool ControllerBase::apply_threshold_rule(size_t tier_index, const TierObservation& obs,
+                                          double out_signal, double in_signal, bool force_out) {
+  if (tier_index == 0 && !policy_.scale_front_tier) return false;
+  if (obs.samples == 0) return false;
+
   auto& streak = low_util_streak_[tier_index];
-  if (out_signal > policy_.scale_out_util || rt_violation) {
+  // Capacity changed since the last sampled period (a launch, a crash, a
+  // replacement): the below-threshold streak was gathered against a
+  // different fleet, so restart the slow scale-in clock.
+  if (membership_churned(tier_index, obs)) streak = 0;
+
+  // Both gates see every sampled period so their state tracks the signal
+  // even while the other side is acting. Width 0 degenerates to the
+  // historical strict `>` / `<` comparisons.
+  const bool out_hot = scale_out_gate_[tier_index].update(out_signal, policy_.scale_out_util);
+  const bool in_hot = scale_in_gate_[tier_index].update(in_signal, policy_.scale_in_util);
+
+  if (out_hot || force_out) {
     streak = 0;
     if (policy_.wait_for_booting && obs.booting_vms > 0) return false;
     return vm_agent_.scale_out(tier_index);
   }
-  if (obs.mean_util < policy_.scale_in_util) {
+  if (in_hot) {
+    ++streak;
+    if (streak >= policy_.scale_in_consecutive) {
+      streak = 0;
+      return vm_agent_.scale_in(tier_index);
+    }
+    return false;
+  }
+  streak = 0;
+  return false;
+}
+
+bool ControllerBase::actuate_toward(size_t tier_index, const TierObservation& obs,
+                                    int desired_active) {
+  if (tier_index == 0 && !policy_.scale_front_tier) return false;
+  if (obs.samples == 0) return false;
+
+  auto& streak = low_util_streak_[tier_index];
+  if (membership_churned(tier_index, obs)) streak = 0;
+
+  // Booting VMs count toward provisioned capacity so a deficit already being
+  // filled doesn't trigger a second launch.
+  const int provisioned = obs.active_vms + obs.booting_vms;
+  if (desired_active > provisioned) {
+    streak = 0;
+    if (policy_.wait_for_booting && obs.booting_vms > 0) return false;
+    return vm_agent_.scale_out(tier_index);
+  }
+  if (desired_active < obs.active_vms && obs.booting_vms == 0) {
+    // Surplus: same "slow turn off" discipline as the threshold rule — the
+    // surplus must persist for scale_in_consecutive periods.
     ++streak;
     if (streak >= policy_.scale_in_consecutive) {
       streak = 0;

@@ -14,6 +14,7 @@
 #include "bus/broker.h"
 #include "bus/consumer.h"
 #include "control/actuators.h"
+#include "control/hysteresis.h"
 #include "control/scaling_policy.h"
 #include "metrics/timeseries.h"
 #include "ntier/app.h"
@@ -54,6 +55,8 @@ class ControllerBase {
     log_.set_observer(std::move(observer));
   }
   const std::string& name() const { return name_; }
+  /// The effective VM-level policy (read-only; registry tests inspect it).
+  const ScalingPolicy& policy() const { return policy_; }
   /// Per-tier utilisation as seen by the controller, one point per tick —
   /// the Fig. 5(c-f) "CPU util" series.
   const std::vector<metrics::TimeSeries>& util_series() const { return util_series_; }
@@ -66,6 +69,20 @@ class ControllerBase {
   /// to the policy thresholds; returns true if an action was taken.
   bool apply_hardware_rule(size_t tier_index, const TierObservation& obs);
 
+  /// The threshold rule with caller-supplied signals: zoo controllers feed
+  /// forecasts or synthetic signals instead of the raw utilisation.
+  /// `force_out` bypasses the out-gate (e.g. an SLA violation) but still
+  /// honours the booting suppression. Returns true if an action was taken.
+  bool apply_threshold_rule(size_t tier_index, const TierObservation& obs, double out_signal,
+                            double in_signal, bool force_out = false);
+
+  /// Capacity-target actuation for controllers that compute a desired
+  /// active-VM count directly (queueing inversion, PI). Moves the tier at
+  /// most one VM toward `desired_active` per period, with the same booting
+  /// suppression and slow scale-in streak as the threshold rule. Returns
+  /// true if an action was taken.
+  bool actuate_toward(size_t tier_index, const TierObservation& obs, int desired_active);
+
   /// Raw samples drained this period (DCM's online estimator consumes them).
   const std::vector<ntier::MetricSample>& period_samples() const { return period_samples_; }
 
@@ -74,7 +91,6 @@ class ControllerBase {
   const ntier::NTierApp& app() const { return *app_; }
   VmAgent& vm_agent() { return vm_agent_; }
   AppAgent& app_agent() { return app_agent_; }
-  const ScalingPolicy& policy() const { return policy_; }
   /// Concrete policies may record their own actions (e.g. watchdog
   /// freeze/resume transitions) alongside the actuators'.
   ControlLog& mutable_log() { return log_; }
@@ -82,6 +98,11 @@ class ControllerBase {
  private:
   void control_tick();
   std::vector<TierObservation> aggregate();
+  /// Tracks the tier's provisioned VM count (active + booting) and reports
+  /// whether it changed since the previous sampled period. Membership churn
+  /// invalidates the slow scale-in streak: evidence gathered against the old
+  /// capacity says nothing about the new one.
+  bool membership_churned(size_t tier_index, const TierObservation& obs);
 
   sim::Engine* engine_;
   ntier::NTierApp* app_;
@@ -96,6 +117,9 @@ class ControllerBase {
   std::vector<int> low_util_streak_;     // per tier, for slow scale-in
   std::vector<double> previous_util_;    // per tier, for predictive trend
   std::vector<bool> has_previous_util_;  // per tier
+  std::vector<int> last_capacity_;       // per tier, provisioned VMs (-1 = unseen)
+  std::vector<HysteresisGate> scale_out_gate_;  // per tier
+  std::vector<HysteresisGate> scale_in_gate_;   // per tier
   std::vector<metrics::TimeSeries> util_series_;
 };
 

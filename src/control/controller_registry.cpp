@@ -1,0 +1,51 @@
+#include "control/controller_registry.h"
+
+#include <stdexcept>
+
+#include "control/ec2_autoscale.h"
+
+namespace dcm::control {
+
+const std::vector<std::string>& controller_names() {
+  // Sorted by hand; registry_names_sorted in the tests pins it.
+  static const std::vector<std::string> kNames = {"dcm", "ec2", "pi", "predictive", "queueing"};
+  return kNames;
+}
+
+bool has_controller(const std::string& name) {
+  for (const auto& known : controller_names()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<ControllerBase> make_controller(const std::string& name, sim::Engine& engine,
+                                                ntier::NTierApp& app, bus::Broker& broker,
+                                                const ControllerMenu& menu) {
+  if (name == "ec2") {
+    return std::make_unique<Ec2AutoScaleController>(engine, app, broker, menu.policy);
+  }
+  if (name == "dcm") {
+    DcmConfig config = menu.dcm;
+    config.policy = menu.policy;
+    return std::make_unique<DcmController>(engine, app, broker, std::move(config));
+  }
+  if (name == "predictive") {
+    PredictiveConfig config = menu.predictive;
+    config.policy = menu.policy;
+    return std::make_unique<PredictiveController>(engine, app, broker, config);
+  }
+  if (name == "queueing") {
+    QueueingConfig config = menu.queueing;
+    config.policy = menu.policy;
+    return std::make_unique<QueueingController>(engine, app, broker, config);
+  }
+  if (name == "pi") {
+    PiConfig config = menu.pi;
+    config.policy = menu.policy;
+    return std::make_unique<PiController>(engine, app, broker, config);
+  }
+  throw std::invalid_argument("unknown controller: " + name);
+}
+
+}  // namespace dcm::control

@@ -1,0 +1,42 @@
+// Name-keyed controller registry: the single place that knows every
+// concrete auto-scaler. `src/scenario` exposes the names as the
+// `controller.kind` vocabulary and sweep axis, and `dcm_run tournament`
+// iterates them to race the whole zoo.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/controller.h"
+#include "control/dcm_controller.h"
+#include "control/pi_controller.h"
+#include "control/predictive_controller.h"
+#include "control/queueing_controller.h"
+
+namespace dcm::control {
+
+/// Everything a registry construction might need: the shared VM-level
+/// policy plus each family's tuning knobs. `make_controller` stamps
+/// `policy` into the chosen family's config, so callers set the policy
+/// once and only fill the knobs of families they care about.
+struct ControllerMenu {
+  ScalingPolicy policy;
+  DcmConfig dcm;
+  PredictiveConfig predictive;
+  QueueingConfig queueing;
+  PiConfig pi;
+};
+
+/// Registered controller names, sorted (stable sweep-axis order).
+const std::vector<std::string>& controller_names();
+
+bool has_controller(const std::string& name);
+
+/// Constructs the named controller. Throws std::invalid_argument for an
+/// unknown name.
+std::unique_ptr<ControllerBase> make_controller(const std::string& name, sim::Engine& engine,
+                                                ntier::NTierApp& app, bus::Broker& broker,
+                                                const ControllerMenu& menu);
+
+}  // namespace dcm::control

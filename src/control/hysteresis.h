@@ -1,0 +1,74 @@
+// Schmitt-trigger gate for actuation thresholds.
+//
+// A bare `util > threshold` comparison flaps when the signal hovers near the
+// threshold: one period reads hot, the next reads cool, and the controller
+// alternates scale-out/scale-in ("ping-pong" scaling). The gate widens the
+// comparison into a band of ±`width` around the threshold and remembers its
+// last state: it turns ON only when the signal crosses `threshold + width`
+// decisively and turns OFF only after the signal retreats past
+// `threshold - width`. Inside the band the previous verdict holds.
+//
+// `width <= 0` degenerates to the bare strict comparison with no state, so a
+// zero-width gate is bit-identical to the pre-gate controllers — that is what
+// keeps the pinned registry digests stable while hysteresis is off by
+// default.
+#pragma once
+
+#include <cmath>
+
+namespace dcm::control {
+
+/// Which side of the threshold counts as the gate's ON state.
+enum class TriggerDirection {
+  kAbove,  // ON when the signal is high (scale-out style triggers)
+  kBelow,  // ON when the signal is low (scale-in style triggers)
+};
+
+class HysteresisGate {
+ public:
+  constexpr HysteresisGate() = default;
+  constexpr HysteresisGate(double width, TriggerDirection direction, bool initial_state = false)
+      : width_(width), direction_(direction), state_(initial_state) {}
+
+  /// Feeds one signal sample; returns the gate state after the update.
+  bool update(double value, double threshold) {
+    if (!std::isfinite(value) || !std::isfinite(threshold)) {
+      state_ = false;
+      return state_;
+    }
+    if (!(width_ > 0.0)) {
+      // Degenerate gate: the bare strict comparison the controllers used
+      // before hysteresis existed. No memory, no band.
+      state_ = direction_ == TriggerDirection::kAbove ? value > threshold : value < threshold;
+      return state_;
+    }
+    if (direction_ == TriggerDirection::kAbove) {
+      if (value > threshold + width_) {
+        state_ = true;
+      } else if (value < threshold - width_) {
+        state_ = false;
+      }
+    } else {
+      if (value < threshold - width_) {
+        state_ = true;
+      } else if (value > threshold + width_) {
+        state_ = false;
+      }
+    }
+    return state_;
+  }
+
+  bool state() const { return state_; }
+  double width() const { return width_; }
+  TriggerDirection direction() const { return direction_; }
+
+  /// Forgets the current state (e.g. after a telemetry gap).
+  void reset(bool state = false) { state_ = state; }
+
+ private:
+  double width_ = 0.0;
+  TriggerDirection direction_ = TriggerDirection::kAbove;
+  bool state_ = false;
+};
+
+}  // namespace dcm::control

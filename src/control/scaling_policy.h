@@ -31,6 +31,12 @@ struct ScalingPolicy {
   /// *projection* crosses the threshold — buying back the VM preparation
   /// delay the paper's Sec. VI discusses. Scale-in stays reactive.
   bool predictive = false;
+  /// Schmitt-trigger band half-width applied to both utilisation thresholds
+  /// (see control/hysteresis.h). 0 keeps the bare strict comparisons and the
+  /// historical digests; > 0 requires the signal to breach
+  /// threshold ± hysteresis before a trigger arms or disarms, killing scale
+  /// flapping when utilisation hovers at a threshold.
+  double hysteresis = 0.0;
 };
 
 }  // namespace dcm::control

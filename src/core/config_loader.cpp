@@ -253,6 +253,10 @@ ExperimentConfig experiment_from_config(const Config& config) {
       static_cast<int>(config.get_int("controller", "scale_in_consecutive", 3));
   policy.predictive = config.get_bool("controller", "predictive", false);
   policy.scale_out_response_time = config.get_double("controller", "sla_rt", 0.0);
+  policy.hysteresis = config.get_double("controller", "hysteresis", 0.0);
+  if (policy.hysteresis < 0.0) {
+    throw std::runtime_error("config: [controller] hysteresis must be >= 0");
+  }
 
   const std::string controller_kind = config.get_string("controller", "kind", "none");
   if (controller_kind == "none") {
@@ -277,6 +281,44 @@ ExperimentConfig experiment_from_config(const Config& config) {
     dcm.stp_headroom = config.get_double("controller", "headroom", 1.0);
     dcm.online_estimation = config.get_bool("controller", "online_estimation", false);
     experiment.controller = ControllerSpec::dcm_controller(std::move(dcm));
+  } else if (controller_kind == "predictive") {
+    control::PredictiveConfig predictive;
+    predictive.policy = policy;
+    predictive.level_alpha = config.get_double("controller", "alpha", 0.5);
+    predictive.trend_beta = config.get_double("controller", "beta", 0.3);
+    predictive.horizon_periods = static_cast<int>(config.get_int("controller", "horizon", 2));
+    if (predictive.level_alpha <= 0.0 || predictive.level_alpha > 1.0) {
+      throw std::runtime_error("config: [controller] alpha must be in (0, 1]");
+    }
+    if (predictive.trend_beta < 0.0 || predictive.trend_beta > 1.0) {
+      throw std::runtime_error("config: [controller] beta must be in [0, 1]");
+    }
+    if (predictive.horizon_periods < 1) {
+      throw std::runtime_error("config: [controller] horizon must be >= 1");
+    }
+    experiment.controller = ControllerSpec::predictive_controller(predictive);
+  } else if (controller_kind == "queueing") {
+    control::QueueingConfig queueing;
+    queueing.policy = policy;
+    queueing.target_util = config.get_double("controller", "target_util", 0.6);
+    if (queueing.target_util <= 0.0 || queueing.target_util >= 1.0) {
+      throw std::runtime_error("config: [controller] target_util must be in (0, 1)");
+    }
+    experiment.controller = ControllerSpec::queueing_controller(queueing);
+  } else if (controller_kind == "pi") {
+    control::PiConfig pi;
+    pi.policy = policy;
+    pi.target_util = config.get_double("controller", "target_util", 0.6);
+    pi.kp = config.get_double("controller", "kp", 2.0);
+    pi.ki = config.get_double("controller", "ki", 0.5);
+    pi.deadband = config.get_double("controller", "deadband", 0.5);
+    if (pi.target_util <= 0.0 || pi.target_util >= 1.0) {
+      throw std::runtime_error("config: [controller] target_util must be in (0, 1)");
+    }
+    if (pi.kp < 0.0 || pi.ki < 0.0 || pi.deadband < 0.0) {
+      throw std::runtime_error("config: [controller] kp/ki/deadband must be >= 0");
+    }
+    experiment.controller = ControllerSpec::pi_controller(pi);
   } else {
     throw std::runtime_error("config: unknown controller kind '" + controller_kind + "'");
   }

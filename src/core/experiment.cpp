@@ -56,6 +56,52 @@ ControllerSpec ControllerSpec::dcm_controller(control::DcmConfig config) {
   return spec;
 }
 
+ControllerSpec ControllerSpec::predictive_controller(control::PredictiveConfig config) {
+  ControllerSpec spec;
+  spec.kind = Kind::kPredictive;
+  spec.policy = config.policy;
+  spec.predictive = std::move(config);
+  return spec;
+}
+
+ControllerSpec ControllerSpec::queueing_controller(control::QueueingConfig config) {
+  ControllerSpec spec;
+  spec.kind = Kind::kQueueing;
+  spec.policy = config.policy;
+  spec.queueing = std::move(config);
+  return spec;
+}
+
+ControllerSpec ControllerSpec::pi_controller(control::PiConfig config) {
+  ControllerSpec spec;
+  spec.kind = Kind::kPi;
+  spec.policy = config.policy;
+  spec.pi = std::move(config);
+  return spec;
+}
+
+const char* ControllerSpec::registry_name() const {
+  switch (kind) {
+    case Kind::kNone: return "";
+    case Kind::kEc2AutoScale: return "ec2";
+    case Kind::kDcm: return "dcm";
+    case Kind::kPredictive: return "predictive";
+    case Kind::kQueueing: return "queueing";
+    case Kind::kPi: return "pi";
+  }
+  return "";
+}
+
+control::ControllerMenu ControllerSpec::menu() const {
+  control::ControllerMenu menu;
+  menu.policy = policy;
+  menu.dcm = dcm;
+  menu.predictive = predictive;
+  menu.queueing = queueing;
+  menu.pi = pi;
+  return menu;
+}
+
 TierTimeline::TierTimeline(const std::string& tier_name)
     : name(tier_name),
       provisioned_vms(tier_name + ".vms", sim::kNanosPerSecond),
@@ -145,36 +191,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   std::unique_ptr<control::ControllerBase> controller;
-  switch (config.controller.kind) {
-    case ControllerSpec::Kind::kNone:
-      break;
-    case ControllerSpec::Kind::kEc2AutoScale:
-      controller = std::make_unique<control::Ec2AutoScaleController>(engine, app, broker,
-                                                                     config.controller.policy);
-      break;
-    case ControllerSpec::Kind::kDcm: {
-      control::DcmConfig dcm_config = config.controller.dcm;
-      dcm_config.policy = config.controller.policy;
+  if (config.controller.kind != ControllerSpec::Kind::kNone) {
+    control::ControllerMenu menu = config.controller.menu();
+    if (config.controller.kind == ControllerSpec::Kind::kDcm) {
       // When the caller left the managed pair at the 3-tier defaults, derive
       // it from the graph roles (first app node / first db node) so non-chain
       // topologies get the right pair without explicit indexes. Chains derive
       // their existing values, so this never shifts a legacy configuration.
-      if (dcm_config.app_tier == 1 && dcm_config.db_tier == 2) {
+      if (menu.dcm.app_tier == 1 && menu.dcm.db_tier == 2) {
         const int app_node = graph.first_node_with_role(ntier::NodeRole::kApp);
         const int db_node = graph.first_node_with_role(ntier::NodeRole::kDb);
         if (app_node >= 0 && db_node >= 0 && app_node < db_node) {
-          dcm_config.app_tier = static_cast<size_t>(app_node);
-          dcm_config.db_tier = static_cast<size_t>(db_node);
+          menu.dcm.app_tier = static_cast<size_t>(app_node);
+          menu.dcm.db_tier = static_cast<size_t>(db_node);
         }
       }
       if (config.resilience.enabled) {
-        dcm_config.watchdog_periods = config.resilience.watchdog_periods;
-        dcm_config.min_fit_r2 = config.resilience.min_fit_r2;
+        menu.dcm.watchdog_periods = config.resilience.watchdog_periods;
+        menu.dcm.min_fit_r2 = config.resilience.min_fit_r2;
       }
-      controller =
-          std::make_unique<control::DcmController>(engine, app, broker, std::move(dcm_config));
-      break;
     }
+    controller =
+        control::make_controller(config.controller.registry_name(), engine, app, broker, menu);
   }
 
   if (controller && tracer) {
@@ -286,6 +324,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.p95_response_time = stats.response_time_histogram().p95();
   result.sla_violation_fraction =
       measured_seconds > 0 ? static_cast<double>(sla_seconds) / measured_seconds : 0.0;
+  result.sla_violation_seconds = sla_seconds;
+  result.measured_seconds = measured_seconds;
 
   // Resource efficiency: integrate the per-second provisioned-VM series.
   result.vm_seconds.resize(result.tiers.size(), 0.0);

@@ -11,7 +11,11 @@
 #include <vector>
 
 #include "control/actuators.h"
+#include "control/controller_registry.h"
 #include "control/dcm_controller.h"
+#include "control/pi_controller.h"
+#include "control/predictive_controller.h"
+#include "control/queueing_controller.h"
 #include "control/scaling_policy.h"
 #include "core/topologies.h"
 #include "fault/fault_injector.h"
@@ -36,15 +40,27 @@ struct WorkloadSpec {
 };
 
 struct ControllerSpec {
-  enum class Kind { kNone, kEc2AutoScale, kDcm };
+  enum class Kind { kNone, kEc2AutoScale, kDcm, kPredictive, kQueueing, kPi };
   Kind kind = Kind::kNone;
   control::ScalingPolicy policy;
-  /// Only for kDcm; policy above is copied into it.
+  /// Per-family tuning knobs; only the chosen kind's member is read, and
+  /// `policy` above is copied into it at construction time.
   control::DcmConfig dcm;
+  control::PredictiveConfig predictive;
+  control::QueueingConfig queueing;
+  control::PiConfig pi;
 
   static ControllerSpec none();
   static ControllerSpec ec2(control::ScalingPolicy policy = {});
   static ControllerSpec dcm_controller(control::DcmConfig config);
+  static ControllerSpec predictive_controller(control::PredictiveConfig config);
+  static ControllerSpec queueing_controller(control::QueueingConfig config);
+  static ControllerSpec pi_controller(control::PiConfig config);
+
+  /// The controller-registry key for this kind ("" for kNone).
+  const char* registry_name() const;
+  /// Bundles the spec into the registry's construction menu.
+  control::ControllerMenu menu() const;
 };
 
 /// End-to-end resilience switchboard. One flag arms the whole stack with
@@ -152,6 +168,10 @@ struct ExperimentResult {
   /// exceeded the bound (1 s by default, the paper's visual SLA line).
   double sla_violation_fraction = 0.0;
   double sla_bound_seconds = 1.0;
+  /// The same violation count in whole seconds, and the post-warmup window
+  /// it was measured over — the tournament scorecard's SLO column.
+  int sla_violation_seconds = 0;
+  int measured_seconds = 0;
 
   /// Engine events dispatched over the whole run — the macro benchmark's
   /// work unit (events/sec). Diagnostic only; never feeds the result digest.

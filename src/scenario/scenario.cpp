@@ -52,7 +52,11 @@ ControllerDecl::Kind parse_controller_kind(const std::string& kind) {
   if (kind == "none") return ControllerDecl::Kind::kNone;
   if (kind == "ec2") return ControllerDecl::Kind::kEc2;
   if (kind == "dcm") return ControllerDecl::Kind::kDcm;
-  fail("unknown controller kind '" + kind + "' (expected none|ec2|dcm)");
+  if (kind == "predictive") return ControllerDecl::Kind::kPredictive;
+  if (kind == "queueing") return ControllerDecl::Kind::kQueueing;
+  if (kind == "pi") return ControllerDecl::Kind::kPi;
+  fail("unknown controller kind '" + kind +
+       "' (expected none|ec2|dcm|predictive|queueing|pi)");
 }
 
 const char* workload_kind_name(WorkloadDecl::Kind kind) {
@@ -75,6 +79,12 @@ const char* controller_kind_name(ControllerDecl::Kind kind) {
       return "ec2";
     case ControllerDecl::Kind::kDcm:
       return "dcm";
+    case ControllerDecl::Kind::kPredictive:
+      return "predictive";
+    case ControllerDecl::Kind::kQueueing:
+      return "queueing";
+    case ControllerDecl::Kind::kPi:
+      return "pi";
   }
   fail("corrupt controller kind");
 }
@@ -138,10 +148,25 @@ std::map<std::string, std::set<std::string>> allowed_keys(WorkloadDecl::Kind wor
   controller_keys.insert("kind");
   if (controller != ControllerDecl::Kind::kNone) {
     controller_keys.insert({"control_period", "scale_out_util", "scale_in_util",
-                            "scale_in_consecutive", "predictive", "sla_rt"});
+                            "scale_in_consecutive", "hysteresis"});
+  }
+  // The bool predictive trigger and the SLA trigger are ec2/dcm hardware-rule
+  // extensions; the zoo kinds have their own trigger shapes.
+  if (controller == ControllerDecl::Kind::kEc2 || controller == ControllerDecl::Kind::kDcm) {
+    controller_keys.insert({"predictive", "sla_rt"});
   }
   if (controller == ControllerDecl::Kind::kDcm) {
     controller_keys.insert({"headroom", "online_estimation", "app_model", "db_model"});
+  }
+  if (controller == ControllerDecl::Kind::kPredictive) {
+    controller_keys.insert({"alpha", "beta", "horizon"});
+  }
+  if (controller == ControllerDecl::Kind::kQueueing ||
+      controller == ControllerDecl::Kind::kPi) {
+    controller_keys.insert("target_util");
+  }
+  if (controller == ControllerDecl::Kind::kPi) {
+    controller_keys.insert({"kp", "ki", "deadband"});
   }
   return allowed;
 }
@@ -217,6 +242,8 @@ Scenario Scenario::from_config(const Config& config) {
   controller.scale_in_util = config.get_double("controller", "scale_in_util", 0.40);
   controller.scale_in_consecutive =
       static_cast<int>(config.get_int("controller", "scale_in_consecutive", 3));
+  controller.hysteresis = config.get_double("controller", "hysteresis", 0.0);
+  if (controller.hysteresis < 0.0) fail("[controller] hysteresis must be >= 0");
   controller.predictive = config.get_bool("controller", "predictive", false);
   controller.sla_rt = config.get_double("controller", "sla_rt", 0.0);
   controller.headroom = config.get_double("controller", "headroom", 1.0);
@@ -228,6 +255,32 @@ Scenario Scenario::from_config(const Config& config) {
   if (config.has("controller", "db_model")) {
     controller.db_model =
         normalize_model_triple("db_model", config.get_string("controller", "db_model"));
+  }
+  controller.alpha = config.get_double("controller", "alpha", 0.5);
+  controller.beta = config.get_double("controller", "beta", 0.3);
+  controller.horizon = static_cast<int>(config.get_int("controller", "horizon", 2));
+  if (controller.kind == ControllerDecl::Kind::kPredictive) {
+    if (controller.alpha <= 0.0 || controller.alpha > 1.0) {
+      fail("[controller] alpha must be in (0, 1]");
+    }
+    if (controller.beta < 0.0 || controller.beta > 1.0) {
+      fail("[controller] beta must be in [0, 1]");
+    }
+    if (controller.horizon < 1) fail("[controller] horizon must be >= 1");
+  }
+  controller.target_util = config.get_double("controller", "target_util", 0.6);
+  if ((controller.kind == ControllerDecl::Kind::kQueueing ||
+       controller.kind == ControllerDecl::Kind::kPi) &&
+      (controller.target_util <= 0.0 || controller.target_util >= 1.0)) {
+    fail("[controller] target_util must be in (0, 1)");
+  }
+  controller.kp = config.get_double("controller", "kp", 2.0);
+  controller.ki = config.get_double("controller", "ki", 0.5);
+  controller.deadband = config.get_double("controller", "deadband", 0.5);
+  if (controller.kind == ControllerDecl::Kind::kPi) {
+    if (controller.kp < 0.0) fail("[controller] kp must be >= 0");
+    if (controller.ki < 0.0) fail("[controller] ki must be >= 0");
+    if (controller.deadband < 0.0) fail("[controller] deadband must be >= 0");
   }
 
   FaultDecl& faults = scenario.faults;
@@ -336,8 +389,26 @@ Config Scenario::to_config() const {
     config.set("controller", "scale_in_util", format_double(controller.scale_in_util));
     config.set("controller", "scale_in_consecutive",
                format_int(controller.scale_in_consecutive));
+    config.set("controller", "hysteresis", format_double(controller.hysteresis));
+  }
+  if (controller.kind == ControllerDecl::Kind::kEc2 ||
+      controller.kind == ControllerDecl::Kind::kDcm) {
     config.set("controller", "predictive", controller.predictive ? "true" : "false");
     config.set("controller", "sla_rt", format_double(controller.sla_rt));
+  }
+  if (controller.kind == ControllerDecl::Kind::kPredictive) {
+    config.set("controller", "alpha", format_double(controller.alpha));
+    config.set("controller", "beta", format_double(controller.beta));
+    config.set("controller", "horizon", format_int(controller.horizon));
+  }
+  if (controller.kind == ControllerDecl::Kind::kQueueing ||
+      controller.kind == ControllerDecl::Kind::kPi) {
+    config.set("controller", "target_util", format_double(controller.target_util));
+  }
+  if (controller.kind == ControllerDecl::Kind::kPi) {
+    config.set("controller", "kp", format_double(controller.kp));
+    config.set("controller", "ki", format_double(controller.ki));
+    config.set("controller", "deadband", format_double(controller.deadband));
   }
   if (controller.kind == ControllerDecl::Kind::kDcm) {
     config.set("controller", "headroom", format_double(controller.headroom));

@@ -39,16 +39,22 @@ struct WorkloadDecl {
   bool operator==(const WorkloadDecl&) const = default;
 };
 
-/// Declarative controller; the DCM kind may override the reference Eq. 5
-/// parameters with explicit "s0,alpha,beta" triples (the wrong-models
-/// ablation, or a user-fitted system).
+/// Declarative controller. The kind names mirror the control-layer registry
+/// (`control::controller_names()`): ec2 and dcm are the paper's pair, and
+/// predictive / queueing / pi are the zoo additions. The DCM kind may
+/// override the reference Eq. 5 parameters with explicit "s0,alpha,beta"
+/// triples (the wrong-models ablation, or a user-fitted system).
 struct ControllerDecl {
-  enum class Kind { kNone, kEc2, kDcm };
+  enum class Kind { kNone, kEc2, kDcm, kPredictive, kQueueing, kPi };
   Kind kind = Kind::kNone;
   double control_period_seconds = 15.0;
   double scale_out_util = 0.80;
   double scale_in_util = 0.40;
   int scale_in_consecutive = 3;
+  /// Schmitt-trigger band half-width on both thresholds (0 = historical
+  /// strict comparisons; any non-none kind).
+  double hysteresis = 0.0;
+  // kEc2 / kDcm only (the zoo kinds have their own trigger shapes):
   bool predictive = false;
   double sla_rt = 0.0;
   // kDcm only:
@@ -56,6 +62,16 @@ struct ControllerDecl {
   bool online_estimation = false;
   std::string app_model;  // "" = reference model
   std::string db_model;   // "" = reference model
+  // kPredictive only (Holt smoothing):
+  double alpha = 0.5;
+  double beta = 0.3;
+  int horizon = 2;
+  // kQueueing / kPi: per-server utilisation target ρ*.
+  double target_util = 0.6;
+  // kPi only:
+  double kp = 2.0;
+  double ki = 0.5;
+  double deadband = 0.5;
 
   bool operator==(const ControllerDecl&) const = default;
 };

@@ -97,6 +97,38 @@ TEST_F(ControllerTest, ScaleInNeedsThreeConsecutiveLowPeriods) {
   EXPECT_EQ(controller.log().filtered("scale_in").size(), 1u);
 }
 
+TEST_F(ControllerTest, MembershipChurnResetsTheScaleInStreak) {
+  Ec2AutoScaleController controller(engine_, app_, broker_);
+  controller.start();
+  app_.tier(1).scale_out();
+  engine_.run_until(sim::from_seconds(16.0));
+  ASSERT_EQ(app_.tier(1).active_vm_count(), 2);
+
+  // Two low periods build the streak... (emit each before its tick — the
+  // consumer drains everything available at tick time)
+  emit_period(30.0, 0.10, 0.60);
+  engine_.run_until(sim::from_seconds(31.0));
+  emit_period(45.0, 0.10, 0.60);
+  engine_.run_until(sim::from_seconds(46.0));
+  ASSERT_EQ(controller.log().filtered("scale_in").size(), 0u);
+
+  // ...then the membership changes mid-streak (an operator launch; a crash
+  // or resilience relaunch looks identical to the controller). The evidence
+  // was gathered against the old fleet, so the streak must restart.
+  ASSERT_TRUE(app_.tier(1).scale_out());
+  emit_period(60.0, 0.10, 0.60);
+  engine_.run_until(sim::from_seconds(61.0));
+  EXPECT_EQ(controller.log().filtered("scale_in").size(), 0u)
+      << "third low period after churn must not complete the old streak";
+
+  // Two more low periods complete a fresh streak against the stable fleet.
+  emit_period(75.0, 0.10, 0.60);
+  engine_.run_until(sim::from_seconds(76.0));
+  emit_period(90.0, 0.10, 0.60);
+  engine_.run_until(sim::from_seconds(91.0));
+  EXPECT_EQ(controller.log().filtered("scale_in").size(), 1u);
+}
+
 TEST_F(ControllerTest, BootingVmSuppressesFurtherScaleOut) {
   Ec2AutoScaleController controller(engine_, app_, broker_);
   controller.start();

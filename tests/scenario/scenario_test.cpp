@@ -361,5 +361,77 @@ TEST(ScenarioTest, GraphScenariosInTheRegistryParse) {
   EXPECT_TRUE(Scenario::parse(fanout.to_text()) == fanout);
 }
 
+TEST(ScenarioTest, PredictiveControllerVocabularyRoundTrips) {
+  const Scenario scenario = Scenario::parse(
+      "[controller]\nkind=predictive\nalpha=0.6\nbeta=0.2\nhorizon=4\nhysteresis=0.05\n");
+  const Scenario again = Scenario::parse(scenario.to_text());
+  EXPECT_TRUE(scenario == again);
+  EXPECT_EQ(again.controller.kind, ControllerDecl::Kind::kPredictive);
+  const auto experiment = scenario.experiment();
+  EXPECT_EQ(experiment.controller.kind, core::ControllerSpec::Kind::kPredictive);
+  EXPECT_DOUBLE_EQ(experiment.controller.predictive.level_alpha, 0.6);
+  EXPECT_DOUBLE_EQ(experiment.controller.predictive.trend_beta, 0.2);
+  EXPECT_EQ(experiment.controller.predictive.horizon_periods, 4);
+  EXPECT_DOUBLE_EQ(experiment.controller.policy.hysteresis, 0.05);
+}
+
+TEST(ScenarioTest, QueueingAndPiControllerVocabularyRoundTrips) {
+  const Scenario queueing = Scenario::parse("[controller]\nkind=queueing\ntarget_util=0.55\n");
+  EXPECT_TRUE(queueing == Scenario::parse(queueing.to_text()));
+  EXPECT_DOUBLE_EQ(queueing.experiment().controller.queueing.target_util, 0.55);
+
+  const Scenario pi = Scenario::parse(
+      "[controller]\nkind=pi\ntarget_util=0.65\nkp=3\nki=0.25\ndeadband=0.4\n");
+  EXPECT_TRUE(pi == Scenario::parse(pi.to_text()));
+  const auto experiment = pi.experiment();
+  EXPECT_EQ(experiment.controller.kind, core::ControllerSpec::Kind::kPi);
+  EXPECT_DOUBLE_EQ(experiment.controller.pi.target_util, 0.65);
+  EXPECT_DOUBLE_EQ(experiment.controller.pi.kp, 3.0);
+  EXPECT_DOUBLE_EQ(experiment.controller.pi.ki, 0.25);
+  EXPECT_DOUBLE_EQ(experiment.controller.pi.deadband, 0.4);
+}
+
+TEST(ScenarioTest, ZooKindsScopeTheirTuningKeys) {
+  // Family knobs only apply to their family.
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=queueing\nalpha=0.5\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=predictive\nkp=2\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=ec2\ntarget_util=0.6\n"), std::runtime_error);
+  // The threshold-rule extensions stay with the threshold-rule families.
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=queueing\npredictive=true\n"),
+               std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=pi\nsla_rt=0.5\n"), std::runtime_error);
+  // The hysteresis gate belongs to every real controller, but not to none.
+  EXPECT_NO_THROW(Scenario::parse("[controller]\nkind=ec2\nhysteresis=0.05\n"));
+  EXPECT_NO_THROW(Scenario::parse("[controller]\nkind=pi\nhysteresis=0.05\n"));
+  EXPECT_THROW(Scenario::parse("[controller]\nhysteresis=0.05\n"), std::runtime_error);
+}
+
+TEST(ScenarioTest, ZooTuningValuesAreValidated) {
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=ec2\nhysteresis=-0.1\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=predictive\nalpha=0\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=predictive\nbeta=1.5\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=predictive\nhorizon=0\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=queueing\ntarget_util=1\n"),
+               std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=pi\nkp=-1\n"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("[controller]\nkind=pi\ndeadband=-0.5\n"), std::runtime_error);
+}
+
+TEST(ScenarioTest, KeyAppliesFollowsZooKinds) {
+  Config config;
+  config.set("controller", "kind", "predictive");
+  EXPECT_TRUE(scenario_key_applies(config, "controller", "alpha"));
+  EXPECT_TRUE(scenario_key_applies(config, "controller", "hysteresis"));
+  EXPECT_FALSE(scenario_key_applies(config, "controller", "kp"));
+  EXPECT_FALSE(scenario_key_applies(config, "controller", "target_util"));
+  config.set("controller", "kind", "pi");
+  EXPECT_TRUE(scenario_key_applies(config, "controller", "kp"));
+  EXPECT_TRUE(scenario_key_applies(config, "controller", "target_util"));
+  EXPECT_FALSE(scenario_key_applies(config, "controller", "alpha"));
+  config.set("controller", "kind", "queueing");
+  EXPECT_TRUE(scenario_key_applies(config, "controller", "target_util"));
+  EXPECT_FALSE(scenario_key_applies(config, "controller", "predictive"));
+}
+
 }  // namespace
 }  // namespace dcm::scenario

@@ -31,7 +31,7 @@ const std::vector<Layer>& layers() {
       {"core",
        {"common", "sim", "fit", "metrics", "trace", "bus", "model", "ntier", "fault",
         "control", "workload"}},
-      {"scenario", {"common", "sim", "metrics", "workload", "core"}},
+      {"scenario", {"common", "sim", "metrics", "workload", "control", "core"}},
   };
   return kLayers;
 }

@@ -1,0 +1,48 @@
+# CLI digest-label regression (run with cmake -P; pass -DDCM_RUN=<binary>).
+#
+# `dcm_run run <scenario> --digest` must print the canonical
+# registry-pinned result_digest of the single root-seed run — not a sweep
+# digest over a derived seed — and must say which digest it is printing.
+# The quickstart value below is the same pin registry_digest_test asserts.
+if(NOT DEFINED DCM_RUN)
+  message(FATAL_ERROR "pass -DDCM_RUN=<path to dcm_run>")
+endif()
+
+execute_process(
+  COMMAND ${DCM_RUN} run quickstart --digest --quiet
+  OUTPUT_VARIABLE run_out
+  RESULT_VARIABLE run_rc
+  OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "dcm_run run quickstart --digest failed (rc=${run_rc})")
+endif()
+if(NOT run_out STREQUAL "result_digest 8007654335316031933")
+  message(FATAL_ERROR "run --digest must print the canonical result_digest, got: ${run_out}")
+endif()
+
+execute_process(
+  COMMAND ${DCM_RUN} sweep quickstart --axis controller.kind=ec2,dcm --digest --quiet
+  OUTPUT_VARIABLE sweep_out
+  RESULT_VARIABLE sweep_rc
+  OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT sweep_rc EQUAL 0)
+  message(FATAL_ERROR "dcm_run sweep --digest failed (rc=${sweep_rc})")
+endif()
+if(NOT sweep_out MATCHES "^sweep_digest [0-9]+$")
+  message(FATAL_ERROR "sweep --digest must be labelled sweep_digest, got: ${sweep_out}")
+endif()
+
+execute_process(
+  COMMAND ${DCM_RUN} tournament quickstart --controllers ec2,queueing
+          --set run.duration=90 --digest --quiet
+  OUTPUT_VARIABLE tournament_out
+  RESULT_VARIABLE tournament_rc
+  OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT tournament_rc EQUAL 0)
+  message(FATAL_ERROR "dcm_run tournament --digest failed (rc=${tournament_rc})")
+endif()
+if(NOT tournament_out MATCHES "^scorecard_digest [0-9]+$")
+  message(FATAL_ERROR "tournament --digest must be labelled scorecard_digest, got: ${tournament_out}")
+endif()
+
+message(STATUS "dcm_run digest labels OK")

@@ -13,6 +13,12 @@
 //       the named scenarios (default: the committed BENCH_macro.json suite),
 //       each run digest-verified against the scenario registry. Exit 1 on
 //       any digest mismatch.
+//   dcm_run tournament [scenario...] [--controllers a,b,...] [options]
+//       Race the controller zoo: sweep every named controller (default: all
+//       registered) across the named scenarios (default: quickstart, fig5,
+//       chaos-resilience) with pinned seeds, and print the ranked scorecard
+//       (SLO-violation seconds, VM-hours, actuation churn). --digest prints
+//       only "scorecard_digest <n>" (bit-identical for any --jobs).
 //
 // Options (run and sweep):
 //   --set section.key=value   override a base-scenario field (repeatable)
@@ -25,8 +31,11 @@
 //                             (default) or pinned to it (paired comparisons)
 //   --json <path|->           write dcm-result-v1 JSON (- = stdout)
 //   --csv <prefix>            write <prefix>_run<i>_timeline.csv per run
-//   --digest                  print only "digest <n>" (CI's jobs-invariance
-//                             compare relies on this being bit-stable)
+//   --digest                  print only the digest line — "result_digest
+//                             <n>" for run (the canonical registry-pinned
+//                             digest), "sweep_digest <n>" for sweep (CI's
+//                             jobs-invariance compare relies on both being
+//                             bit-stable)
 //   --quiet                   suppress per-run summary tables
 //
 // Exit status: 0 on success, 1 on any failure, 2 on usage errors.
@@ -46,6 +55,7 @@
 #include "scenario/result_writer.h"
 #include "scenario/scenario.h"
 #include "scenario/sweep.h"
+#include "scenario/tournament.h"
 
 using namespace dcm;
 
@@ -57,6 +67,7 @@ struct Options {
   std::vector<std::string> targets;  // bench accepts several scenarios
   std::vector<std::string> sets;
   std::vector<std::string> axes;
+  std::vector<std::string> controllers;  // tournament; empty = all registered
   int jobs = 1;
   int reps = 3;
   scenario::SeedPolicy seed_policy = scenario::SeedPolicy::kDerivePerRun;
@@ -78,8 +89,11 @@ int usage(const char* argv0) {
                "             [--jobs N] [--seed-policy derive|fixed] [--set s.k=v]...\n"
                "             [--json path|-] [--csv prefix] [--trace] [--trace-rate R]\n"
                "             [--digest] [--quiet]\n"
-               "       %s bench [scenario...] [--reps N] [--json path|-] [--quiet]\n",
-               argv0, argv0, argv0, argv0, argv0);
+               "       %s bench [scenario...] [--reps N] [--json path|-] [--quiet]\n"
+               "       %s tournament [scenario...] [--controllers a,b,...] [--jobs N]\n"
+               "             [--set s.k=v]... [--json path|-] [--csv prefix] [--digest]\n"
+               "             [--quiet]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -115,8 +129,16 @@ int cmd_show(const std::string& target) {
 void write_outputs(const Options& opts, const std::string& name,
                    const std::vector<scenario::SweepRun>& runs) {
   if (opts.digest_only) {
-    std::printf("digest %llu\n",
-                static_cast<unsigned long long>(scenario::sweep_digest(runs)));
+    // A single `run` prints the canonical per-run digest — the number the
+    // scenario registry pins — under its own label; sweeps print the merged
+    // sweep digest, labelled explicitly so the two can never be confused.
+    if (opts.command == "run" && runs.size() == 1) {
+      std::printf("result_digest %llu\n",
+                  static_cast<unsigned long long>(scenario::result_digest(runs[0].result)));
+    } else {
+      std::printf("sweep_digest %llu\n",
+                  static_cast<unsigned long long>(scenario::sweep_digest(runs)));
+    }
   }
   if (!opts.json_path.empty()) {
     if (opts.json_path == "-") {
@@ -179,10 +201,55 @@ int cmd_bench(const Options& opts) {
   return 0;
 }
 
+int cmd_tournament(const Options& opts) {
+  scenario::TournamentOptions tournament_opts;
+  if (!opts.targets.empty()) tournament_opts.scenarios = opts.targets;
+  tournament_opts.controllers = opts.controllers;
+  tournament_opts.jobs = opts.jobs;
+  for (const auto& set : opts.sets) {
+    const scenario::SweepAxis axis = scenario::parse_axis(set);
+    if (axis.values.size() != 1) {
+      throw std::runtime_error("--set " + set + " must have exactly one value");
+    }
+    tournament_opts.overrides.emplace_back(axis.section + "." + axis.key, axis.values[0]);
+  }
+
+  const scenario::Tournament tournament = scenario::run_tournament(tournament_opts);
+
+  if (opts.digest_only) {
+    std::printf("scorecard_digest %llu\n",
+                static_cast<unsigned long long>(scenario::scorecard_digest(tournament)));
+  } else if (!opts.quiet) {
+    scenario::print_tournament(tournament);
+  }
+  if (!opts.json_path.empty()) {
+    if (opts.json_path == "-") {
+      scenario::write_tournament_json(std::cout, tournament);
+    } else {
+      std::ofstream out(opts.json_path);
+      if (!out) throw std::runtime_error("cannot open " + opts.json_path);
+      scenario::write_tournament_json(out, tournament);
+      if (!opts.digest_only && !opts.quiet) std::printf("wrote %s\n", opts.json_path.c_str());
+    }
+  }
+  if (!opts.csv_prefix.empty()) {
+    const std::string path = opts.csv_prefix + "_tournament.csv";
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    scenario::write_tournament_csv(out, tournament);
+    if (!opts.digest_only && !opts.quiet) std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int cmd_run_or_sweep(const Options& opts) {
   scenario::SweepPlan plan;
   plan.base = load_target(opts.target);
   plan.seed_policy = opts.seed_policy;
+  // A single run IS the canonical run: it must keep the scenario's root seed
+  // (derive-per-run seeding would silently swap in derive_seed(root, 0) and
+  // print a digest nothing in the registry pins).
+  if (opts.command == "run") plan.seed_policy = scenario::SeedPolicy::kFixed;
   if (opts.trace) {
     // Applied before --set so an explicit --set trace.* still wins.
     Config config = plan.base.to_config();
@@ -250,6 +317,11 @@ int main(int argc, char** argv) {
       opts.reps = static_cast<int>(*parsed);
     } else if (arg == "--axis") {
       opts.axes.push_back(next());
+    } else if (arg == "--controllers") {
+      for (const auto& name : split(next(), ',')) {
+        const std::string trimmed{trim(name)};
+        if (!trimmed.empty()) opts.controllers.push_back(trimmed);
+      }
     } else if (arg == "--jobs") {
       const auto parsed = parse_int(next());
       if (!parsed) return usage(argv[0]);
@@ -285,7 +357,7 @@ int main(int argc, char** argv) {
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "dcm_run: unknown flag '%s'\n", arg.c_str());
       return 2;
-    } else if (opts.command == "bench") {
+    } else if (opts.command == "bench" || opts.command == "tournament") {
       opts.targets.push_back(arg);
     } else if (opts.target.empty()) {
       opts.target = arg;
@@ -298,6 +370,7 @@ int main(int argc, char** argv) {
   try {
     if (opts.command == "list") return cmd_list();
     if (opts.command == "bench") return cmd_bench(opts);
+    if (opts.command == "tournament") return cmd_tournament(opts);
     if (opts.command == "show" && !opts.target.empty()) return cmd_show(opts.target);
     if ((opts.command == "run" || opts.command == "sweep") && !opts.target.empty()) {
       if (opts.command == "sweep" && opts.axes.empty()) {
